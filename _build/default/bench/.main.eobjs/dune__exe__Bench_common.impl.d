@@ -1,0 +1,1 @@
+bench/bench_common.ml: Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_util List Printf Sys

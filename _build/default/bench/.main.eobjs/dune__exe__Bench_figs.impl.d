@@ -1,0 +1,1 @@
+bench/bench_figs.ml: Bench_common Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_hdf5 Hpcfs_trace Hpcfs_util List Option Printf String Sys

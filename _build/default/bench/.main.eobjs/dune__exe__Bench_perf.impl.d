@@ -1,0 +1,1 @@
+bench/bench_perf.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_util List Measure Option Printf Staged Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Bench_common Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_fs Hpcfs_util List Option Printf String

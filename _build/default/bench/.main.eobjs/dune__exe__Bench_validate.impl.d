@@ -1,0 +1,1 @@
+bench/bench_validate.ml: Bench_common Hpcfs_apps Hpcfs_core Hpcfs_fs Hpcfs_util List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common Bench_figs Bench_perf Bench_tables Bench_validate List Printf Sys

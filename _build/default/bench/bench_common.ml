@@ -1,0 +1,42 @@
+(* Shared plumbing for the experiment reproduction harness: one traced run
+   per configuration, memoized, plus small formatting helpers. *)
+
+module Registry = Hpcfs_apps.Registry
+module Runner = Hpcfs_apps.Runner
+module Report = Hpcfs_core.Report
+module Table = Hpcfs_util.Table
+
+let nprocs =
+  match Sys.getenv_opt "HPCFS_BENCH_NPROCS" with
+  | Some s -> (try max 4 (int_of_string s) with _ -> 64)
+  | None -> 64
+
+type run = {
+  entry : Registry.entry;
+  result : Runner.result;
+  report : Report.t;
+}
+
+let cache : (string, run) Hashtbl.t = Hashtbl.create 32
+
+let run_of entry =
+  let label = Registry.label entry in
+  match Hashtbl.find_opt cache label with
+  | Some r -> r
+  | None ->
+    let result = Runner.run ~nprocs entry.Registry.body in
+    let report = Report.analyze ~nprocs result.Runner.records in
+    let r = { entry; result; report } in
+    Hashtbl.replace cache label r;
+    r
+
+let all_runs () = List.map run_of Registry.all
+let table4_runs () = List.map run_of Registry.table4_entries
+
+let mark b = if b then "x" else ""
+let check b = if b then "ok" else "DIFF"
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let pct f = Printf.sprintf "%.1f" f

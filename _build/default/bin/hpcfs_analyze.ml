@@ -1,0 +1,228 @@
+(* Command-line front end: run application models under the simulator,
+   save/load traces, analyze them, and validate against the PFS simulator.
+
+     hpcfs_analyze list
+     hpcfs_analyze run FLASH-fbs --ranks 64 --trace /tmp/flash.trace
+     hpcfs_analyze analyze /tmp/flash.trace --ranks 64
+     hpcfs_analyze validate FLASH-fbs --ranks 32
+     hpcfs_analyze conflicts FLASH-fbs --semantics session
+*)
+
+module Registry = Hpcfs_apps.Registry
+module Runner = Hpcfs_apps.Runner
+module Validation = Hpcfs_apps.Validation
+module Report = Hpcfs_core.Report
+module Conflict = Hpcfs_core.Conflict
+module Access = Hpcfs_core.Access
+module Tracefile = Hpcfs_trace.Tracefile
+module Consistency = Hpcfs_fs.Consistency
+module Table = Hpcfs_util.Table
+
+open Cmdliner
+
+let ranks_arg =
+  let doc = "Number of simulated MPI ranks." in
+  Arg.(value & opt int 64 & info [ "r"; "ranks" ] ~docv:"N" ~doc)
+
+let app_arg =
+  let doc = "Application configuration (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let find_app name =
+  match Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown configuration %S; try `hpcfs_analyze list'" name)
+
+let exits_of_result = function
+  | Ok () -> ()
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* list --------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create [ "Configuration"; "I/O library"; "Table 3"; "Description" ] in
+    List.iter
+      (fun e ->
+        Table.add_row t
+          [
+            Registry.label e;
+            e.Registry.io_lib;
+            e.Registry.expected_xy ^ " " ^ e.Registry.expected_structure;
+            e.Registry.description;
+          ])
+      Registry.all;
+    Table.print t
+  in
+  let doc = "List the application configurations of the study." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* run ---------------------------------------------------------------------- *)
+
+let trace_arg =
+  let doc = "Write the captured trace to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
+
+let run_cmd =
+  let run app ranks trace_path =
+    exits_of_result
+      (Result.map
+         (fun entry ->
+           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           Printf.printf "ran %s on %d ranks: %d trace records\n"
+             (Registry.label entry) ranks
+             (List.length result.Runner.records);
+           match trace_path with
+           | Some path ->
+             Tracefile.save path result.Runner.records;
+             Printf.printf "trace written to %s\n" path
+           | None ->
+             let report = Report.analyze ~nprocs:ranks result.Runner.records in
+             Report.pp_summary Format.std_formatter report)
+         (find_app app))
+  in
+  let doc = "Run an application model and capture (or analyze) its trace." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ app_arg $ ranks_arg $ trace_arg)
+
+(* analyze ------------------------------------------------------------------ *)
+
+let file_arg =
+  let doc = "Trace file produced by $(b,run --trace)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let analyze_cmd =
+  let run path ranks =
+    exits_of_result
+      (match Tracefile.load path with
+      | Error e -> Error e
+      | Ok records ->
+        let report = Report.analyze ~nprocs:ranks records in
+        Report.pp_summary Format.std_formatter report;
+        Ok ())
+  in
+  let doc = "Analyze a saved trace: patterns, conflicts, recommendation." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ ranks_arg)
+
+(* conflicts ---------------------------------------------------------------- *)
+
+let model_conv =
+  Arg.enum
+    [ ("session", Conflict.Session_semantics);
+      ("commit", Conflict.Commit_semantics) ]
+
+let semantics_arg =
+  let doc = "Consistency model to test: $(b,session) or $(b,commit)." in
+  Arg.(value
+       & opt model_conv Conflict.Session_semantics
+       & info [ "s"; "semantics" ] ~docv:"MODEL" ~doc)
+
+let conflicts_cmd =
+  let run app ranks semantics =
+    exits_of_result
+      (Result.map
+         (fun entry ->
+           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           let report = Report.analyze ~nprocs:ranks result.Runner.records in
+           let conflicts =
+             match semantics with
+             | Conflict.Session_semantics -> report.Report.session_conflicts
+             | Conflict.Commit_semantics -> report.Report.commit_conflicts
+           in
+           if conflicts = [] then print_endline "no conflicts detected"
+           else begin
+             let t =
+               Table.create
+                 [ "kind"; "scope"; "file"; "range"; "writer@t"; "second@t" ]
+             in
+             List.iter
+               (fun c ->
+                 let a = c.Conflict.first and b = c.Conflict.second in
+                 Table.add_row t
+                   [
+                     Conflict.kind_name c.Conflict.kind;
+                     Conflict.scope_name c.Conflict.scope;
+                     a.Access.file;
+                     Format.asprintf "%a" Hpcfs_util.Interval.pp a.Access.iv;
+                     Printf.sprintf "r%d@%d" a.Access.rank a.Access.time;
+                     Printf.sprintf "r%d@%d" b.Access.rank b.Access.time;
+                   ])
+               conflicts;
+             Table.print t;
+             Printf.printf "%d conflicts\n" (List.length conflicts)
+           end)
+         (find_app app))
+  in
+  let doc = "List every detected conflict pair of a configuration." in
+  Cmd.v
+    (Cmd.info "conflicts" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ semantics_arg)
+
+(* profile -------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run app ranks =
+    exits_of_result
+      (Result.map
+         (fun entry ->
+           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           let report = Report.analyze ~nprocs:ranks result.Runner.records in
+           let profile =
+             Hpcfs_core.Profile.build result.Runner.records report
+           in
+           Hpcfs_core.Profile.pp Format.std_formatter profile)
+         (find_app app))
+  in
+  let doc =
+    "Detailed I/O profile of a run: call counters, size histogram, per-file \
+     activity and conflicts."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ app_arg $ ranks_arg)
+
+(* validate ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run app ranks =
+    exits_of_result
+      (Result.map
+         (fun entry ->
+           let outcomes = Validation.validate ~nprocs:ranks entry.Registry.body in
+           let t =
+             Table.create
+               [ "semantics"; "stale reads"; "corrupted files"; "verdict" ]
+           in
+           List.iter
+             (fun o ->
+               Table.add_row t
+                 [
+                   Consistency.name o.Validation.semantics;
+                   string_of_int o.Validation.stale_reads;
+                   Printf.sprintf "%d/%d" o.Validation.corrupted_files
+                     o.Validation.files;
+                   (if Validation.correct o then "correct" else "INCORRECT");
+                 ])
+             outcomes;
+           Table.print t)
+         (find_app app))
+  in
+  let doc =
+    "Run a configuration under each consistency model on the PFS simulator \
+     and compare against strong consistency."
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ app_arg $ ranks_arg)
+
+(* main ----------------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "consistency-semantics requirements analysis for HPC applications \
+     (reproduction of Wang, Mohror & Snir, HPDC'21)"
+  in
+  let info = Cmd.info "hpcfs_analyze" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; analyze_cmd; conflicts_cmd; profile_cmd; validate_cmd ]))

@@ -1,0 +1,1 @@
+examples/flash_conflicts.ml: Hpcfs_apps Hpcfs_core Hpcfs_fs Hpcfs_hdf5 Hpcfs_util List Option Printf

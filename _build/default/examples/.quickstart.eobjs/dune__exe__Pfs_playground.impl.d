@@ -1,0 +1,1 @@
+examples/pfs_playground.ml: Bytes Hpcfs_fs List Printf

@@ -1,0 +1,1 @@
+examples/pfs_playground.mli:

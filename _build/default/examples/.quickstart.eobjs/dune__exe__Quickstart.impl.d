@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Hpcfs_apps Hpcfs_core Hpcfs_mpi Hpcfs_posix List Printf

@@ -1,0 +1,1 @@
+examples/semantics_advisor.ml: Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_fs Hpcfs_util List Option Printf String

@@ -1,0 +1,1 @@
+examples/semantics_advisor.mli:

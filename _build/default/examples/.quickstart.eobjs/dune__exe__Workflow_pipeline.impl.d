@@ -1,0 +1,1 @@
+examples/workflow_pipeline.ml: Bytes Char Hpcfs_apps Hpcfs_fs Hpcfs_mpi Hpcfs_posix Hpcfs_sim Printf

@@ -1,0 +1,1 @@
+examples/workflow_pipeline.mli:

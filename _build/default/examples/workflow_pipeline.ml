@@ -1,0 +1,75 @@
+(* Workflow pipeline: the paper's future-work scenario (Section 7), where
+   simulation output is consumed by a separate analysis step through the
+   file system.
+
+   Producer phase: all ranks write a shared snapshot file and close it.
+   Consumer phase: the same job's ranks read the snapshot back.
+
+   Under session semantics the close-to-open discipline of the pipeline
+   makes the handoff safe.  Under eventual consistency correctness becomes
+   a race against the propagation delay — unless the producer laminates
+   the file (the UnifyFS operation of Section 3.2), which publishes it to
+   everyone immediately.
+
+     dune exec examples/workflow_pipeline.exe *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Posix = Hpcfs_posix.Posix
+module Pfs = Hpcfs_fs.Pfs
+module Consistency = Hpcfs_fs.Consistency
+module Runner = Hpcfs_apps.Runner
+
+let snapshot = "/pipeline/snapshot.dat"
+let tile = 1024
+
+let pipeline ~laminate (env : Runner.env) =
+  let posix = env.Runner.posix in
+  let rank = Mpi.rank env.Runner.comm in
+  (* Producer: every rank writes its tile, then closes. *)
+  if rank = 0 then begin
+    Posix.mkdir posix "/pipeline";
+    Posix.close posix
+      (Posix.openf posix snapshot [ Posix.O_WRONLY; Posix.O_CREAT ])
+  end;
+  Mpi.barrier env.Runner.comm;
+  let fd = Posix.openf posix snapshot [ Posix.O_WRONLY ] in
+  ignore
+    (Posix.pwrite posix fd ~off:(rank * tile)
+       (Bytes.make tile (Char.chr (65 + (rank mod 26)))));
+  Posix.close posix fd;
+  (* Lamination is legal only once every writer is done. *)
+  Mpi.barrier env.Runner.comm;
+  if laminate && rank = 0 then
+    Pfs.laminate (Posix.pfs posix)
+      ~time:(Hpcfs_sim.Sched.tick ())
+      snapshot;
+  Mpi.barrier env.Runner.comm;
+  (* Consumer: every rank reads the whole snapshot. *)
+  let fd = Posix.openf posix snapshot [ Posix.O_RDONLY ] in
+  ignore (Posix.read posix fd (tile * env.Runner.nprocs));
+  Posix.close posix fd
+
+let run_under name semantics ~laminate =
+  let result = Runner.run ~nprocs:8 ~semantics (pipeline ~laminate) in
+  let stats = result.Runner.stats in
+  Printf.printf "%-42s stale reads: %d / %d reads\n" name
+    stats.Pfs.stale_reads stats.Pfs.reads
+
+let () =
+  print_endline
+    "producer -> consumer handoff through a shared snapshot file (8 ranks):\n";
+  run_under "strong consistency" Consistency.Strong ~laminate:false;
+  run_under "session consistency (close-to-open)" Consistency.Session
+    ~laminate:false;
+  run_under "commit consistency" Consistency.Commit ~laminate:false;
+  run_under "eventual (delay 50000 ticks)"
+    (Consistency.Eventual { delay = 50_000 })
+    ~laminate:false;
+  run_under "eventual (delay 50000) + lamination"
+    (Consistency.Eventual { delay = 50_000 })
+    ~laminate:true;
+  print_endline
+    "\nThe pipeline's own open/close discipline makes session semantics\n\
+     sufficient (the paper's observation generalized to workflows); under\n\
+     eventual consistency the consumer races the propagation delay and\n\
+     reads stale data, unless the producer laminates the snapshot first."

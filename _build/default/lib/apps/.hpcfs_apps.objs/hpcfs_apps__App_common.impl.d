@@ -1,0 +1,1 @@
+lib/apps/app_common.ml: Bytes Char Hpcfs_fs Hpcfs_mpi Hpcfs_posix Hpcfs_sim Hpcfs_util List Runner String

@@ -1,0 +1,1 @@
+lib/apps/chombo.ml: App_common Hpcfs_hdf5 Printf Runner

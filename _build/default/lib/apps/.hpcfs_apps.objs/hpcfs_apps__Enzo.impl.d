@@ -1,0 +1,1 @@
+lib/apps/enzo.ml: App_common Bytes Hpcfs_hdf5 Printf Runner

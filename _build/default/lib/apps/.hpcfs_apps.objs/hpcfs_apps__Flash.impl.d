@@ -1,0 +1,1 @@
+lib/apps/flash.ml: App_common Bytes Hpcfs_hdf5 Hpcfs_mpi Hpcfs_util Printf Runner

@@ -1,0 +1,1 @@
+lib/apps/flash.mli: Runner

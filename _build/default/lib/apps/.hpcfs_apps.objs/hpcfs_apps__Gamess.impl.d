@@ -1,0 +1,1 @@
+lib/apps/gamess.ml: App_common Hpcfs_posix Printf Runner

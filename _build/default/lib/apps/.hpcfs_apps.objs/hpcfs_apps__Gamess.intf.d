@@ -1,0 +1,1 @@
+lib/apps/gamess.mli: Runner

@@ -1,0 +1,1 @@
+lib/apps/gtc.ml: App_common Hpcfs_posix Option Printf Runner

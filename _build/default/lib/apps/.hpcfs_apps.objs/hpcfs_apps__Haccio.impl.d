@@ -1,0 +1,1 @@
+lib/apps/haccio.ml: App_common Hpcfs_mpiio Hpcfs_posix Printf Runner

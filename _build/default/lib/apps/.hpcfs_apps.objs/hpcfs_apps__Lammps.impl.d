@@ -1,0 +1,1 @@
+lib/apps/lammps.ml: App_common Array Bytes Hpcfs_formats Hpcfs_hdf5 Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Option Printf Runner

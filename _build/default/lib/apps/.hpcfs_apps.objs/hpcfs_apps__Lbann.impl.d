@@ -1,0 +1,1 @@
+lib/apps/lbann.ml: App_common Bytes Hpcfs_posix Runner

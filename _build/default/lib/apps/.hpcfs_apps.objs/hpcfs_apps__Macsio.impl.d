@@ -1,0 +1,1 @@
+lib/apps/macsio.ml: App_common Hpcfs_formats Printf Runner

@@ -1,0 +1,1 @@
+lib/apps/milc.ml: App_common Array Hpcfs_mpi Hpcfs_posix Printf Runner

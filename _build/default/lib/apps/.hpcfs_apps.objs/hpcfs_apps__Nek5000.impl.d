@@ -1,0 +1,1 @@
+lib/apps/nek5000.ml: App_common Array Hpcfs_mpi Hpcfs_posix Printf Runner

@@ -1,0 +1,1 @@
+lib/apps/nwchem.mli: Runner

@@ -1,0 +1,1 @@
+lib/apps/paradis.ml: App_common Hpcfs_hdf5 Hpcfs_posix Option Printf Runner

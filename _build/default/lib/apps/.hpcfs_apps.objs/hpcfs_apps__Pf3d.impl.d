@@ -1,0 +1,1 @@
+lib/apps/pf3d.ml: App_common Hpcfs_posix Printf Runner

@@ -1,0 +1,1 @@
+lib/apps/pf3d.mli: Runner

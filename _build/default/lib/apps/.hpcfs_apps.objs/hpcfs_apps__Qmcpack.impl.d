@@ -1,0 +1,1 @@
+lib/apps/qmcpack.ml: App_common Array Hpcfs_hdf5 Hpcfs_mpi Runner

@@ -1,0 +1,1 @@
+lib/apps/qmcpack.mli: Runner

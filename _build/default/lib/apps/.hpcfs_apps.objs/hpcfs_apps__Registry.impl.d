@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Chombo Enzo Flash Gamess Gtc Haccio Lammps Lbann List Macsio Milc Nek5000 Nwchem Paradis Pf3d Qmcpack Runner String Vasp Vpicio

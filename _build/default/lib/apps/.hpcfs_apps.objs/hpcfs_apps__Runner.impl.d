@@ -1,0 +1,1 @@
+lib/apps/runner.ml: Hpcfs_fs Hpcfs_hdf5 Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Hpcfs_sim Hpcfs_trace Hpcfs_util

@@ -1,0 +1,1 @@
+lib/apps/runner.mli: Hpcfs_fs Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Hpcfs_trace Hpcfs_util

@@ -1,0 +1,1 @@
+lib/apps/validation.ml: Digest Hpcfs_fs List Runner

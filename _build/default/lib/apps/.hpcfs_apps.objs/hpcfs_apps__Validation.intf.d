@@ -1,0 +1,1 @@
+lib/apps/validation.mli: Hpcfs_fs Runner

@@ -1,0 +1,1 @@
+lib/apps/vasp.ml: App_common Hpcfs_posix Option Runner

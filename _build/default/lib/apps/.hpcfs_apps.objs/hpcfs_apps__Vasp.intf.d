@@ -1,0 +1,1 @@
+lib/apps/vasp.mli: Runner

@@ -1,0 +1,1 @@
+lib/apps/vpicio.ml: App_common Array Hpcfs_hdf5 Runner

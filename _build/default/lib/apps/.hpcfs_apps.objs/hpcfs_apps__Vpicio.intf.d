@@ -1,0 +1,1 @@
+lib/apps/vpicio.mli: Runner

@@ -1,0 +1,27 @@
+(* Chombo model: 3D AMR Poisson solve writing one shared plot file through
+   parallel HDF5 with independent transfers: every rank writes its boxes at
+   rank-strided offsets within each level's dataset (N-1 strided); no
+   conflicts. *)
+
+module Hdf5 = Hpcfs_hdf5.Hdf5
+
+let levels = 3
+
+let run env =
+  App_common.setup_dir env "/out/chombo";
+  App_common.compute_allreduce env;
+  let file =
+    Hdf5.create (Hdf5.B_mpiio env.Runner.mpiio) "/out/chombo/poisson.3d.hdf5"
+  in
+  let nprocs = env.Runner.nprocs in
+  for level = 0 to levels - 1 do
+    let ds =
+      Hdf5.create_dataset file
+        (Printf.sprintf "level_%d/data" level)
+        ~nbytes:(App_common.block * nprocs)
+    in
+    Hdf5.write_independent ds
+      ~off:(App_common.block * App_common.rank env)
+      (App_common.payload env level)
+  done;
+  Hdf5.close file

@@ -1,0 +1,4 @@
+(** Chombo model: AMR Poisson plot file via parallel HDF5 with
+    independent strided writes (N-1 strided, no conflicts). *)
+
+val run : Runner.env -> unit

@@ -1,0 +1,33 @@
+(* ENZO model: non-cosmological collapse test.  Each rank writes its own
+   HDF5 .cpu file (N-N consecutive) and reads back an attribute it just
+   wrote without an intervening flush — the RAW-S of Table 4, present under
+   both session and commit semantics. *)
+
+module Hdf5 = Hpcfs_hdf5.Hdf5
+
+let grids_per_rank = 4
+
+let run env =
+  App_common.setup_dir env "/out/enzo";
+  for _cycle = 1 to 3 do
+    App_common.compute_allreduce env
+  done;
+  let path =
+    Printf.sprintf "/out/enzo/DD0001.cpu%04d" (App_common.rank env)
+  in
+  let file = Hdf5.create (Hdf5.B_posix env.Runner.posix) path in
+  for g = 0 to grids_per_rank - 1 do
+    let ds =
+      Hdf5.create_dataset file
+        (Printf.sprintf "Grid%08d" g)
+        ~nbytes:(App_common.block * 4)
+    in
+    Hdf5.write_independent ds ~off:0
+      (App_common.payload ~len:(App_common.block * 4) env g)
+  done;
+  Hdf5.write_attribute file "Time" (Bytes.make 32 't');
+  Hdf5.write_attribute file "CycleNumber" (Bytes.make 8 'c');
+  (* Read-after-write on the same process: ENZO re-reads the header
+     attribute it just wrote while assembling the hierarchy file. *)
+  ignore (Hdf5.read_attribute file "Time" 32);
+  Hdf5.close file

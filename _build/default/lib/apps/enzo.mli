@@ -1,0 +1,4 @@
+(** ENZO model: collapse test writing per-rank HDF5 files (N-N) with an
+    attribute read-back giving the RAW-S of Table 4. *)
+
+val run : Runner.env -> unit

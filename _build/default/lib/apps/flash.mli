@@ -1,0 +1,15 @@
+(** FLASH 4.4 model: Sedov explosion with HDF5 checkpoints and plot files,
+    flushing metadata after every dataset — the source of the study's only
+    cross-process conflicts (Section 6.3). *)
+
+val run_fbs : Runner.env -> unit
+(** Fixed block size: collective data transfers through the MPI-IO
+    aggregators (Table 3: M-1 strided cyclic). *)
+
+val run_nofbs : Runner.env -> unit
+(** Dynamic block size: independent transfers from every rank
+    (Table 3: N-1 strided). *)
+
+val run_fbs_collective_metadata : Runner.env -> unit
+(** The paper's proposed fix: rank 0 performs all metadata I/O, removing
+    the cross-process conflicts. *)

@@ -1,0 +1,36 @@
+(* GAMESS model: closed-shell SCF test.  Only a subset of ranks performs
+   I/O (M-M): each I/O rank keeps a scratch .F10 integral file, appending
+   batches and rewriting the first record's bookkeeping block (WAW-S). *)
+
+module Posix = Hpcfs_posix.Posix
+
+let io_stride = 4 (* one I/O rank per group of 4 *)
+let batches = 12
+
+let is_io_rank env = App_common.rank env mod io_stride = 0
+
+let run env =
+  App_common.setup_dir env "/out/gamess";
+  if is_io_rank env then begin
+    let path =
+      Printf.sprintf "/out/gamess/scratch.F10.%04d" (App_common.rank env)
+    in
+    let fd =
+      Posix.openf env.Runner.posix path
+        [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ]
+    in
+    ignore (Posix.write env.Runner.posix fd (App_common.payload env 0));
+    for b = 1 to batches do
+      ignore (Posix.write env.Runner.posix fd (App_common.payload env b));
+      if b mod 4 = 0 then begin
+        (* Update the record-0 directory block, then continue appending. *)
+        ignore (Posix.lseek env.Runner.posix fd 0 Posix.SEEK_SET);
+        ignore (Posix.write env.Runner.posix fd (App_common.payload env (b + 100)));
+        ignore (Posix.lseek env.Runner.posix fd 0 Posix.SEEK_END)
+      end
+    done;
+    Posix.close env.Runner.posix fd
+  end;
+  for _ = 1 to 3 do
+    App_common.compute env
+  done

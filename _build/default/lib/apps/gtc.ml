@@ -1,0 +1,39 @@
+(* GTC model: gyrokinetic toroidal code, rank 0 appending diagnostics to
+   history.out every interval and writing restart files (1-1 consecutive,
+   no conflicts). *)
+
+module Posix = Hpcfs_posix.Posix
+
+let nsteps = 200
+let history_interval = 10
+let restart_interval = 50
+
+let run env =
+  App_common.setup_dir env "/out/gtc";
+  let hist = ref None in
+  if App_common.is_rank0 env then
+    hist :=
+      Some
+        (Posix.fopen env.Runner.posix "/out/gtc/history.out" "a");
+  for step = 1 to nsteps do
+    App_common.compute env;
+    if App_common.is_rank0 env then begin
+      if step mod history_interval = 0 then
+        ignore
+          (Posix.fwrite env.Runner.posix (Option.get !hist)
+             (App_common.payload ~len:64 env step));
+      if step mod restart_interval = 0 then begin
+        let fd =
+          Posix.fopen env.Runner.posix
+            (Printf.sprintf "/out/gtc/DATA_RESTART.%05d" step)
+            "w"
+        in
+        for chunk = 0 to 7 do
+          ignore
+            (Posix.fwrite env.Runner.posix fd (App_common.payload env chunk))
+        done;
+        Posix.fclose env.Runner.posix fd
+      end
+    end
+  done;
+  if App_common.is_rank0 env then Posix.fclose env.Runner.posix (Option.get !hist)

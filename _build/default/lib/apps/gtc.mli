@@ -1,0 +1,4 @@
+(** GTC model: rank-0 history appends and restart files (1-1, no
+    conflicts). *)
+
+val run : Runner.env -> unit

@@ -1,0 +1,39 @@
+(* HACC-IO model: checkpoint/restart of the HACC cosmology code.  Each rank
+   writes its own particle file (N-N consecutive) with nine variables per
+   particle, through either the POSIX API or independent MPI-IO over
+   MPI_COMM_SELF.  No shared files, no conflicts. *)
+
+module Posix = Hpcfs_posix.Posix
+module Mpiio = Hpcfs_mpiio.Mpiio
+
+let variables = 9
+
+let path env =
+  Printf.sprintf "/out/hacc/m000.full.mpicosmo.%d" (App_common.rank env)
+
+let run_posix env =
+  App_common.setup_dir env "/out/hacc";
+  let fd =
+    Posix.openf env.Runner.posix (path env)
+      [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  for v = 0 to variables - 1 do
+    ignore
+      (Posix.write env.Runner.posix fd
+         (App_common.payload ~len:(App_common.block * 2) env v))
+  done;
+  Posix.close env.Runner.posix fd;
+  App_common.compute env
+
+let run_mpiio env =
+  App_common.setup_dir env "/out/hacc";
+  let fh =
+    Mpiio.file_open_self env.Runner.mpiio (path env) Mpiio.mode_wronly_create
+  in
+  for v = 0 to variables - 1 do
+    Mpiio.write_at env.Runner.mpiio fh
+      ~off:(v * App_common.block * 2)
+      (App_common.payload ~len:(App_common.block * 2) env v)
+  done;
+  Mpiio.file_close env.Runner.mpiio fh;
+  App_common.compute env

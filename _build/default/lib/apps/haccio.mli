@@ -1,0 +1,5 @@
+(** HACC-IO model: per-rank particle files (N-N consecutive, no
+    conflicts) via POSIX or MPI-IO over MPI_COMM_SELF. *)
+
+val run_posix : Runner.env -> unit
+val run_mpiio : Runner.env -> unit

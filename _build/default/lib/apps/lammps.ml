@@ -1,0 +1,128 @@
+(* LAMMPS model: 2D LJ flow, 100 steps, atom-coordinate dump every 20 steps
+   through five alternative I/O paths (Table 5).  The POSIX, MPI-IO and
+   HDF5 paths are conflict-free; the NetCDF and ADIOS paths carry the
+   library-metadata overwrites of Table 4 (WAW-S). *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Posix = Hpcfs_posix.Posix
+module Mpiio = Hpcfs_mpiio.Mpiio
+module Hdf5 = Hpcfs_hdf5.Hdf5
+module Netcdf = Hpcfs_formats.Netcdf
+module Adios = Hpcfs_formats.Adios
+
+let nsteps = 100
+let dump_interval = 20
+
+let steps env ~on_dump =
+  let snap = ref 0 in
+  for step = 1 to nsteps do
+    App_common.compute env;
+    if step mod dump_interval = 0 then begin
+      on_dump !snap;
+      incr snap
+    end
+  done
+
+(* Rank 0 gathers all coordinates and appends them to the dump file. *)
+let run_posix env =
+  App_common.setup_dir env "/out/lammps";
+  let fd = ref None in
+  if App_common.is_rank0 env then
+    fd :=
+      Some
+        (Posix.openf env.Runner.posix "/out/lammps/dump.lammpstrj"
+           [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_APPEND ]);
+  steps env ~on_dump:(fun snap ->
+      let mine = App_common.payload env snap in
+      match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+      | Some blocks ->
+        let fd = Option.get !fd in
+        Array.iter
+          (function
+            | Mpi.P_bytes b -> ignore (Posix.write env.Runner.posix fd b)
+            | _ -> ())
+          blocks
+      | None -> ());
+  if App_common.is_rank0 env then Posix.close env.Runner.posix (Option.get !fd)
+
+(* Shared dump file, collective writes: only the aggregators reach the PFS. *)
+let run_mpiio env =
+  App_common.setup_dir env "/out/lammps";
+  let fh =
+    Mpiio.file_open env.Runner.mpiio "/out/lammps/dump.mpiio"
+      Mpiio.mode_wronly_create
+  in
+  let nprocs = env.Runner.nprocs in
+  steps env ~on_dump:(fun snap ->
+      let base = snap * App_common.block * nprocs in
+      let off = base + (App_common.block * App_common.rank env) in
+      Mpiio.write_at_all env.Runner.mpiio fh ~off (App_common.payload env snap));
+  Mpiio.file_close env.Runner.mpiio fh
+
+(* Rank 0 writes one HDF5 file with a dataset per snapshot. *)
+let run_hdf5 env =
+  App_common.setup_dir env "/out/lammps";
+  let nprocs = env.Runner.nprocs in
+  let file = ref None in
+  if App_common.is_rank0 env then
+    file :=
+      Some (Hdf5.create (Hdf5.B_posix env.Runner.posix) "/out/lammps/dump.h5");
+  steps env ~on_dump:(fun snap ->
+      let mine = App_common.payload env snap in
+      match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+      | Some blocks ->
+        let file = Option.get !file in
+        let ds =
+          Hdf5.create_dataset file
+            (Printf.sprintf "snapshot%02d" snap)
+            ~nbytes:(App_common.block * nprocs)
+        in
+        Array.iteri
+          (fun r p ->
+            match p with
+            | Mpi.P_bytes b ->
+              Hdf5.write_independent ds ~off:(r * App_common.block) b
+            | _ -> ())
+          blocks
+      | None -> ());
+  if App_common.is_rank0 env then Hdf5.close (Option.get !file)
+
+(* Rank 0 writes a classic-format NetCDF dump: the numrecs rewrite after
+   each appended record is the WAW-S of Table 4. *)
+let run_netcdf env =
+  App_common.setup_dir env "/out/lammps";
+  let nprocs = env.Runner.nprocs in
+  let nc = ref None in
+  if App_common.is_rank0 env then
+    nc :=
+      Some
+        (Netcdf.create env.Runner.posix "/out/lammps/dump.nc"
+           ~header_bytes:1024);
+  steps env ~on_dump:(fun snap ->
+      let mine = App_common.payload env snap in
+      match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+      | Some blocks ->
+        let buf = Bytes.create (App_common.block * nprocs) in
+        Array.iteri
+          (fun r p ->
+            match p with
+            | Mpi.P_bytes b ->
+              Bytes.blit b 0 buf (r * App_common.block) (Bytes.length b)
+            | _ -> ())
+          blocks;
+        Netcdf.append_record (Option.get !nc) buf;
+        ignore snap
+      | None -> ());
+  if App_common.is_rank0 env then Netcdf.close (Option.get !nc)
+
+(* BP4-style output: substream aggregators plus rank 0's md.idx single-byte
+   overwrite (the WAW-S of Table 4). *)
+let run_adios env =
+  App_common.setup_dir env "/out/lammps";
+  let bp =
+    Adios.open_write env.Runner.posix env.Runner.comm "/out/lammps/dump.bp"
+      ~substreams:8
+  in
+  steps env ~on_dump:(fun snap ->
+      Adios.write_step bp (App_common.payload env snap));
+  Adios.close bp

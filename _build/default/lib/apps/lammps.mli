@@ -1,0 +1,9 @@
+(** LAMMPS model: LJ flow with an atom dump every 20 steps through five
+    alternative I/O paths (Table 5).  POSIX/MPI-IO/HDF5 are conflict-free;
+    NetCDF and ADIOS carry library-metadata overwrites (Table 4). *)
+
+val run_posix : Runner.env -> unit
+val run_mpiio : Runner.env -> unit
+val run_hdf5 : Runner.env -> unit
+val run_netcdf : Runner.env -> unit
+val run_adios : Runner.env -> unit

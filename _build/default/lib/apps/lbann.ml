@@ -1,0 +1,30 @@
+(* LBANN model: autoencoder training on CIFAR-10.  The defining behaviour
+   is read-intensive input: every rank reads the entire dataset file from
+   beginning to end (N-1, locally consecutive), with the parallel reads
+   interleaving into a far more random global pattern at the PFS. *)
+
+module Posix = Hpcfs_posix.Posix
+
+let dataset = "/data/cifar10/data_batch_all.bin"
+let dataset_size = 64 * 4096
+let chunk = 4096
+
+let run env =
+  App_common.prepare_input env dataset dataset_size;
+  let prng = Runner.rank_prng env in
+  (* The data reader stats the dataset to size its buffers. *)
+  ignore (Posix.stat env.Runner.posix dataset);
+  let fd = Posix.openf env.Runner.posix dataset [ Posix.O_RDONLY ] in
+  let rec read_all remaining =
+    if remaining > 0 then begin
+      App_common.jitter env prng ~max_slots:6;
+      let got = Bytes.length (Posix.read env.Runner.posix fd chunk) in
+      if got > 0 then read_all (remaining - got)
+    end
+  in
+  read_all dataset_size;
+  Posix.close env.Runner.posix fd;
+  (* A few training epochs' worth of synchronization. *)
+  for _ = 1 to 5 do
+    App_common.compute_allreduce env
+  done

@@ -1,0 +1,7 @@
+(** LBANN model: read-intensive CIFAR-10 training input — every rank
+    reads the whole dataset (N-1; locally consecutive, globally random). *)
+
+val run : Runner.env -> unit
+
+val dataset : string
+(** Path of the staged input file. *)

@@ -1,0 +1,22 @@
+(* MACSio model: ALE3D-like proxy I/O through Silo in PMPIO multi-file
+   mode: all ranks write, grouped into a few shared files (N-M strided),
+   with Silo's double table-of-contents rewrite per turn (WAW-S). *)
+
+module Silo = Hpcfs_formats.Silo
+
+let dumps = 2
+
+(* Part files per dump: scales with the run so groups always share a file
+   (MACSio's -parallel_file_mode MIF behaviour). *)
+let files env = max 2 (env.Runner.nprocs / 8)
+
+let run env =
+  App_common.setup_dir env "/out/macsio";
+  for dump = 0 to dumps - 1 do
+    App_common.compute env;
+    let silo =
+      Silo.create env.Runner.posix env.Runner.comm ~nfiles:(files env)
+        ~basename:(Printf.sprintf "/out/macsio/macsio_silo_%03d" dump)
+    in
+    Silo.write_blocks silo ~block:(App_common.payload ~len:(App_common.block * 2) env dump)
+  done

@@ -1,0 +1,4 @@
+(** MACSio model: Silo PMPIO multi-file dumps (N-M strided; WAW-S from
+    the double table-of-contents rewrite). *)
+
+val run : Runner.env -> unit

@@ -1,0 +1,53 @@
+(* MILC-QCD model: lattice QCD gauge-configuration saves.  With
+   save_serial (the studied configuration) rank 0 gathers and writes the
+   lattice alone (1-1 consecutive); with save_parallel every rank writes
+   its own time-slice chunks into the shared file (N-1 strided). *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Posix = Hpcfs_posix.Posix
+
+let trajectories = 4
+let time_slices = 4
+
+let run_serial env =
+  App_common.setup_dir env "/out/milc";
+  for traj = 1 to trajectories do
+    App_common.compute_allreduce env;
+    let mine = App_common.payload env traj in
+    match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+    | Some blocks ->
+      let fd =
+        Posix.openf env.Runner.posix
+          (Printf.sprintf "/out/milc/lat.sample.l8888.%d" traj)
+          [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+      in
+      Array.iter
+        (function
+          | Mpi.P_bytes b -> ignore (Posix.write env.Runner.posix fd b)
+          | _ -> ())
+        blocks;
+      Posix.close env.Runner.posix fd
+    | None -> ()
+  done
+
+let run_parallel env =
+  App_common.setup_dir env "/out/milc";
+  let nprocs = env.Runner.nprocs in
+  for traj = 1 to trajectories do
+    App_common.compute_allreduce env;
+    let path = Printf.sprintf "/out/milc/lat.sample.l8888.%d" traj in
+    if App_common.is_rank0 env then
+      Posix.close env.Runner.posix
+        (Posix.openf env.Runner.posix path
+           [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]);
+    App_common.compute env;
+    let fd = Posix.openf env.Runner.posix path [ Posix.O_WRONLY ] in
+    for t = 0 to time_slices - 1 do
+      let off =
+        (t * App_common.block * nprocs)
+        + (App_common.block * App_common.rank env)
+      in
+      ignore (Posix.pwrite env.Runner.posix fd ~off (App_common.payload env t))
+    done;
+    Posix.close env.Runner.posix fd
+  done

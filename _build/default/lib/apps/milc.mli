@@ -1,0 +1,5 @@
+(** MILC-QCD model: gauge-configuration saves, serial (1-1) or parallel
+    (N-1 strided time-slice chunks). *)
+
+val run_serial : Runner.env -> unit
+val run_parallel : Runner.env -> unit

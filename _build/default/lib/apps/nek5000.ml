@@ -1,0 +1,36 @@
+(* Nek5000 model: doubly-periodic eddy solution, 1000 steps with an error
+   monitor, checkpoint every 100 steps written by rank 0 (1-1 consecutive,
+   no conflicts). *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Posix = Hpcfs_posix.Posix
+
+let nsteps = 1000
+let checkpoint_interval = 100
+
+let run env =
+  App_common.setup_dir env "/out/nek5000";
+  let chk = ref 0 in
+  for step = 1 to nsteps do
+    (* The eddy case monitors the exact-solution error every step. *)
+    if step mod 10 = 0 then App_common.compute_allreduce env
+    else App_common.compute env;
+    if step mod checkpoint_interval = 0 then begin
+      let mine = App_common.payload env step in
+      (match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+      | Some blocks ->
+        let fd =
+          Posix.openf env.Runner.posix
+            (Printf.sprintf "/out/nek5000/eddy_uv0.f%05d" !chk)
+            [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+        in
+        Array.iter
+          (function
+            | Mpi.P_bytes b -> ignore (Posix.write env.Runner.posix fd b)
+            | _ -> ())
+          blocks;
+        Posix.close env.Runner.posix fd
+      | None -> ());
+      incr chk
+    end
+  done

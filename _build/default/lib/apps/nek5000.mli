@@ -1,0 +1,4 @@
+(** Nek5000 model: rank-0 checkpoints every 100 of 1000 steps (1-1, no
+    conflicts). *)
+
+val run : Runner.env -> unit

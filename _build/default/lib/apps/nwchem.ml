@@ -1,0 +1,40 @@
+(* NWChem model: gas-phase molecular dynamics writing per-rank trajectory
+   files (N-N consecutive).  The trajectory header is rewritten after every
+   print interval and read back for the restart bookkeeping, giving the
+   WAW-S and RAW-S of Table 4. *)
+
+module Posix = Hpcfs_posix.Posix
+
+let equilibration = 5
+let data_steps = 30
+let print_interval = 5
+
+let run env =
+  App_common.setup_dir env "/out/nwchem";
+  for _ = 1 to equilibration do
+    App_common.compute env
+  done;
+  let path =
+    Printf.sprintf "/out/nwchem/benzi.trj.%04d" (App_common.rank env)
+  in
+  let fd =
+    Posix.openf env.Runner.posix path
+      [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  ignore (Posix.write env.Runner.posix fd (App_common.payload env 0));
+  for step = 1 to data_steps do
+    App_common.compute env;
+    (* Solute coordinates appended every step. *)
+    ignore (Posix.write env.Runner.posix fd (App_common.payload env step));
+    if step mod print_interval = 0 then begin
+      let posix = env.Runner.posix in
+      (* Rewrite the frame-count header (WAW-S), read it back (RAW-S),
+         return to the end of the trajectory. *)
+      ignore (Posix.lseek posix fd 0 Posix.SEEK_SET);
+      ignore (Posix.write posix fd (App_common.payload env (1000 + step)));
+      ignore (Posix.lseek posix fd 0 Posix.SEEK_SET);
+      ignore (Posix.read posix fd App_common.block);
+      ignore (Posix.lseek posix fd 0 Posix.SEEK_END)
+    end
+  done;
+  Posix.close env.Runner.posix fd

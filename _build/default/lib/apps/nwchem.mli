@@ -1,0 +1,4 @@
+(** NWChem model: per-rank trajectory files with header rewrites and
+    read-backs (Table 4: WAW-S and RAW-S). *)
+
+val run : Runner.env -> unit

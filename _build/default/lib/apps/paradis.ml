@@ -1,0 +1,56 @@
+(* ParaDiS model: dislocation dynamics restart dumps.  All ranks write
+   disjoint strided segments of one shared restart file (N-1 strided),
+   either directly with POSIX pwrite or through parallel HDF5 (which adds
+   the lstat/fstat/ftruncate metadata operations of Figure 3).  No
+   conflicts in either mode. *)
+
+module Posix = Hpcfs_posix.Posix
+module Hdf5 = Hpcfs_hdf5.Hdf5
+
+let segments = 3
+
+let run_posix env =
+  App_common.setup_dir env "/out/paradis";
+  let nprocs = env.Runner.nprocs in
+  App_common.compute_allreduce env;
+  let fd = ref None in
+  if App_common.is_rank0 env then
+    fd :=
+      Some
+        (Posix.openf env.Runner.posix "/out/paradis/rs0001.data"
+           [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]);
+  App_common.compute env;
+  if not (App_common.is_rank0 env) then
+    fd :=
+      Some
+        (Posix.openf env.Runner.posix "/out/paradis/rs0001.data"
+           [ Posix.O_WRONLY ]);
+  let fd = Option.get !fd in
+  for seg = 0 to segments - 1 do
+    let base = seg * App_common.block * nprocs in
+    let off = base + (App_common.block * App_common.rank env) in
+    ignore
+      (Posix.pwrite env.Runner.posix fd ~off (App_common.payload env seg))
+  done;
+  Posix.close env.Runner.posix fd;
+  App_common.compute env
+
+let run_hdf5 env =
+  App_common.setup_dir env "/out/paradis";
+  let nprocs = env.Runner.nprocs in
+  App_common.compute_allreduce env;
+  let file =
+    Hdf5.create (Hdf5.B_mpiio env.Runner.mpiio) "/out/paradis/rs0001.h5"
+  in
+  for seg = 0 to segments - 1 do
+    let ds =
+      Hdf5.create_dataset file
+        (Printf.sprintf "nodes%d" seg)
+        ~nbytes:(App_common.block * nprocs)
+    in
+    Hdf5.write_independent ds
+      ~off:(App_common.block * App_common.rank env)
+      (App_common.payload env seg)
+  done;
+  Hdf5.close file;
+  App_common.compute env

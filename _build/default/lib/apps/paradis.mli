@@ -1,0 +1,5 @@
+(** ParaDiS model: shared strided restart dumps (N-1 strided, no
+    conflicts) through POSIX or parallel HDF5. *)
+
+val run_posix : Runner.env -> unit
+val run_hdf5 : Runner.env -> unit

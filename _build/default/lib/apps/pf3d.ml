@@ -1,0 +1,28 @@
+(* pF3D-IO model: one checkpoint step, each rank writing its own file with
+   large consecutive writes (N-N).  After writing, the rank seeks back and
+   re-reads the self-describing header it wrote — the RAW-S of Table 4. *)
+
+module Posix = Hpcfs_posix.Posix
+
+let chunks = 32
+
+let run env =
+  App_common.setup_dir env "/out/pf3d";
+  let path =
+    Printf.sprintf "/out/pf3d/checkpoint-%05d.pdb" (App_common.rank env)
+  in
+  let fd =
+    Posix.openf env.Runner.posix path
+      [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  (* Self-describing header, then the checkpoint payload. *)
+  ignore (Posix.write env.Runner.posix fd (App_common.payload env 0));
+  for c = 1 to chunks do
+    ignore
+      (Posix.write env.Runner.posix fd
+         (App_common.payload ~len:(App_common.block * 4) env c))
+  done;
+  (* Verify the header (PDB libraries re-read the symbol table). *)
+  ignore (Posix.lseek env.Runner.posix fd 0 Posix.SEEK_SET);
+  ignore (Posix.read env.Runner.posix fd App_common.block);
+  Posix.close env.Runner.posix fd

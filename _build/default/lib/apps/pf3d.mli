@@ -1,0 +1,4 @@
+(** pF3D-IO model: one checkpoint step per rank with a header
+    verification read (Table 4: RAW-S). *)
+
+val run : Runner.env -> unit

@@ -1,0 +1,40 @@
+(* QMCPACK model: diffusion Monte Carlo of a water molecule, 100 warmup +
+   40 computation steps, checkpointing every 20 steps into an HDF5 config
+   file written by rank 0 alone (1-1 consecutive, no conflicts). *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Hdf5 = Hpcfs_hdf5.Hdf5
+
+let warmup = 100
+let steps = 40
+let checkpoint_interval = 20
+
+let checkpoint env =
+  let mine = App_common.payload env 7 in
+  match Mpi.gather env.Runner.comm ~root:0 (Mpi.P_bytes mine) with
+  | Some blocks ->
+    let file =
+      Hdf5.create (Hdf5.B_posix env.Runner.posix) "/out/qmcpack/qmc.s000.config.h5"
+    in
+    let ds =
+      Hdf5.create_dataset file "walkers"
+        ~nbytes:(App_common.block * Array.length blocks)
+    in
+    Array.iteri
+      (fun r p ->
+        match p with
+        | Mpi.P_bytes b -> Hdf5.write_independent ds ~off:(r * App_common.block) b
+        | _ -> ())
+      blocks;
+    Hdf5.close file
+  | None -> ()
+
+let run env =
+  App_common.setup_dir env "/out/qmcpack";
+  for _ = 1 to warmup / 10 do
+    App_common.compute env
+  done;
+  for step = 1 to steps do
+    if step mod 4 = 0 then App_common.compute_allreduce env;
+    if step mod checkpoint_interval = 0 then checkpoint env
+  done

@@ -1,0 +1,4 @@
+(** QMCPACK model: rank-0 HDF5 checkpoints every 20 steps (1-1, no
+    conflicts). *)
+
+val run : Runner.env -> unit

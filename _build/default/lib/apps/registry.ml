@@ -1,0 +1,198 @@
+type conflicts = { waw_s : bool; waw_d : bool; raw_s : bool; raw_d : bool }
+
+let no_conflicts = { waw_s = false; waw_d = false; raw_s = false; raw_d = false }
+
+type entry = {
+  app : string;
+  variant : string;
+  io_lib : string;
+  version : string;
+  description : string;
+  compiler : string;
+  mpi : string;
+  hdf5 : string option;
+  expected_xy : string;
+  expected_structure : string;
+  expected_conflicts : conflicts option;
+  body : Runner.env -> unit;
+}
+
+(* Build/link combinations of Table 2. *)
+let intel19 = ("Intel 19.1.0", "Intel MPI 2018")
+let intel18 = ("Intel 18.0.1", "MVAPICH 2.2")
+let gcc73 = ("GCC 7.3.0", "MVAPICH 2.3")
+
+let make ~app ?(variant = "") ~io_lib ~version ~description
+    ~build:(compiler, mpi) ?hdf5 ~xy ~structure ?conflicts body =
+  {
+    app;
+    variant;
+    io_lib;
+    version;
+    description;
+    compiler;
+    mpi;
+    hdf5;
+    expected_xy = xy;
+    expected_structure = structure;
+    expected_conflicts = conflicts;
+    body;
+  }
+
+let c ~waw_s ~waw_d ~raw_s ~raw_d = Some { waw_s; waw_d; raw_s; raw_d }
+let clean = Some no_conflicts
+
+let table4 =
+  [
+    make ~app:"FLASH" ~variant:"fbs" ~io_lib:"HDF5" ~version:"4.4"
+      ~description:
+        "2D 512x512 Sedov explosion; 100 time steps, checkpointing every 20 \
+         steps; fixed block size (collective I/O)"
+      ~build:intel19 ~hdf5:"1.8.20" ~xy:"M-1" ~structure:"strided cyclic"
+      ?conflicts:(c ~waw_s:true ~waw_d:true ~raw_s:false ~raw_d:false)
+      Flash.run_fbs;
+    make ~app:"ENZO" ~io_lib:"HDF5" ~version:"enzo-dev 20200623"
+      ~description:
+        "Non-cosmological collapse test: a sphere collapses until becoming \
+         pressure supported"
+      ~build:intel19 ~hdf5:"1.12.0" ~xy:"N-N" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:false ~waw_d:false ~raw_s:true ~raw_d:false)
+      Enzo.run;
+    make ~app:"NWChem" ~io_lib:"POSIX" ~version:"6.8.1"
+      ~description:
+        "3-Carboxybenzisoxazole gas-phase dynamics at 500K; 5 equilibration \
+         + 30 data-gathering steps, trajectory written every step"
+      ~build:intel19 ~xy:"N-N" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:true ~waw_d:false ~raw_s:true ~raw_d:false)
+      Nwchem.run;
+    make ~app:"pF3D-IO" ~io_lib:"POSIX" ~version:"-"
+      ~description:
+        "Simulates one pF3D checkpoint step (per-process checkpoint output)"
+      ~build:intel18 ~xy:"N-N" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:false ~waw_d:false ~raw_s:true ~raw_d:false)
+      Pf3d.run;
+    make ~app:"MACSio" ~io_lib:"Silo" ~version:"1.1"
+      ~description:"Simulates the I/O behaviour of ALE3D; Silo used for I/O"
+      ~build:intel19 ~hdf5:"1.8.20" ~xy:"N-M" ~structure:"strided"
+      ?conflicts:(c ~waw_s:true ~waw_d:false ~raw_s:false ~raw_d:false)
+      Macsio.run;
+    make ~app:"GAMESS" ~io_lib:"POSIX" ~version:"June 30, 2019 R1"
+      ~description:
+        "Closed-shell functional test on a C1 conformer of ethyl alcohol"
+      ~build:intel19 ~xy:"M-M" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:true ~waw_d:false ~raw_s:false ~raw_d:false)
+      Gamess.run;
+    make ~app:"LAMMPS" ~variant:"ADIOS" ~io_lib:"ADIOS" ~version:"3Mar20"
+      ~description:
+        "2D LJ flow; 100 steps, dump of unscaled atom coordinates every 20 \
+         steps via ADIOS2 BP4"
+      ~build:intel19 ~xy:"M-M" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:true ~waw_d:false ~raw_s:false ~raw_d:false)
+      Lammps.run_adios;
+    make ~app:"LAMMPS" ~variant:"NetCDF" ~io_lib:"NetCDF" ~version:"3Mar20"
+      ~description:"Same LJ flow; dump via NetCDF classic format"
+      ~build:intel19 ~xy:"1-1" ~structure:"consecutive"
+      ?conflicts:(c ~waw_s:true ~waw_d:false ~raw_s:false ~raw_d:false)
+      Lammps.run_netcdf;
+    make ~app:"LAMMPS" ~variant:"HDF5" ~io_lib:"HDF5" ~version:"3Mar20"
+      ~description:"Same LJ flow; dump via serial HDF5" ~build:intel19
+      ~hdf5:"1.12.0" ~xy:"1-1" ~structure:"consecutive" ?conflicts:clean
+      Lammps.run_hdf5;
+    make ~app:"LAMMPS" ~variant:"MPI-IO" ~io_lib:"MPI-IO" ~version:"3Mar20"
+      ~description:"Same LJ flow; dump via collective MPI-IO" ~build:intel19
+      ~xy:"M-1" ~structure:"strided" ?conflicts:clean Lammps.run_mpiio;
+    make ~app:"LAMMPS" ~variant:"POSIX" ~io_lib:"POSIX" ~version:"3Mar20"
+      ~description:"Same LJ flow; rank 0 writes the dump with POSIX"
+      ~build:intel19 ~xy:"1-1" ~structure:"consecutive" ?conflicts:clean
+      Lammps.run_posix;
+    make ~app:"MILC-QCD" ~variant:"Serial" ~io_lib:"POSIX" ~version:"7.8.1"
+      ~description:
+        "Lattice QCD gauge configuration saves with save_serial (rank 0 \
+         performs all I/O)"
+      ~build:intel19 ~xy:"1-1" ~structure:"consecutive" ?conflicts:clean
+      Milc.run_serial;
+    make ~app:"ParaDiS" ~variant:"HDF5" ~io_lib:"HDF5" ~version:"2.5.1.1"
+      ~description:
+        "Dislocation dynamics in sample copper with fast multipole far-field \
+         forces; HDF5 restart dumps"
+      ~build:intel19 ~hdf5:"1.8.20" ~xy:"N-1" ~structure:"strided"
+      ?conflicts:clean Paradis.run_hdf5;
+    make ~app:"ParaDiS" ~variant:"POSIX" ~io_lib:"POSIX" ~version:"2.5.1.1"
+      ~description:"Same dislocation run; POSIX restart dumps" ~build:intel19
+      ~xy:"N-1" ~structure:"strided" ?conflicts:clean Paradis.run_posix;
+    make ~app:"VASP" ~io_lib:"POSIX" ~version:"5.4.4"
+      ~description:
+        "Elastic properties and energies of zinc-blended GaAs at given \
+         volume and pressure"
+      ~build:intel18 ~xy:"N-1" ~structure:"consecutive" ?conflicts:clean
+      Vasp.run;
+    make ~app:"LBANN" ~io_lib:"POSIX" ~version:"0.1000"
+      ~description:
+        "Train/test an autoencoder on CIFAR-10 (60,000 32x32 colour images); \
+         every rank reads the full dataset"
+      ~build:gcc73 ~hdf5:"1.10.5" ~xy:"N-1" ~structure:"consecutive"
+      ?conflicts:clean Lbann.run;
+    make ~app:"QMCPACK" ~io_lib:"HDF5" ~version:"3.9.2"
+      ~description:
+        "Short diffusion Monte Carlo of a water molecule; 100 warmup + 40 \
+         computation steps, checkpoint every 20"
+      ~build:intel19 ~hdf5:"1.12.0" ~xy:"1-1" ~structure:"consecutive"
+      ?conflicts:clean Qmcpack.run;
+    make ~app:"Nek5000" ~io_lib:"POSIX" ~version:"v19.0rc1"
+      ~description:
+        "Eddy solutions in a doubly-periodic domain; 1000 steps, checkpoint \
+         every 100"
+      ~build:intel19 ~xy:"1-1" ~structure:"consecutive" ?conflicts:clean
+      Nek5000.run;
+    make ~app:"GTC" ~io_lib:"POSIX" ~version:"0.92"
+      ~description:"Built-in example run (gtc.64p.input)" ~build:intel19
+      ~xy:"1-1" ~structure:"consecutive" ?conflicts:clean Gtc.run;
+    make ~app:"Chombo" ~io_lib:"HDF5" ~version:"3.2.7"
+      ~description:
+        "3D variable-coefficient AMR Poisson solve with sinusoidal RHS and \
+         coefficients"
+      ~build:intel19 ~hdf5:"1.8.20" ~xy:"N-1" ~structure:"strided"
+      ?conflicts:clean Chombo.run;
+    make ~app:"HACC-IO" ~variant:"MPI-IO" ~io_lib:"MPI-IO" ~version:"1.0"
+      ~description:
+        "HACC checkpoint/restart I/O kernel; independent MPI-IO to \
+         per-process files"
+      ~build:intel19 ~xy:"N-N" ~structure:"consecutive" ?conflicts:clean
+      Haccio.run_mpiio;
+    make ~app:"HACC-IO" ~variant:"POSIX" ~io_lib:"POSIX" ~version:"1.0"
+      ~description:"HACC I/O kernel; POSIX to per-process files"
+      ~build:intel19 ~xy:"N-N" ~structure:"consecutive" ?conflicts:clean
+      Haccio.run_posix;
+    make ~app:"VPIC-IO" ~io_lib:"HDF5" ~version:"0.1"
+      ~description:
+        "1D particle array, eight variables per particle, collective \
+         parallel-HDF5 writes"
+      ~build:intel19 ~hdf5:"1.12.0" ~xy:"M-1" ~structure:"strided cyclic"
+      ?conflicts:clean Vpicio.run;
+  ]
+
+(* Configurations appearing in Table 3 (or Section 6.2) but not Table 4. *)
+let extras =
+  [
+    make ~app:"FLASH" ~variant:"nofbs" ~io_lib:"HDF5" ~version:"4.4"
+      ~description:
+        "Same Sedov run with dynamic block size: independent (non-collective) \
+         I/O"
+      ~build:intel19 ~hdf5:"1.8.20" ~xy:"N-1" ~structure:"strided"
+      Flash.run_nofbs;
+    make ~app:"MILC-QCD" ~variant:"Parallel" ~io_lib:"POSIX" ~version:"7.8.1"
+      ~description:"Gauge saves with save_parallel: every rank writes its \
+                    time-slice chunks"
+      ~build:intel19 ~xy:"N-1" ~structure:"strided" Milc.run_parallel;
+  ]
+
+let all = table4 @ extras
+
+let table4_entries =
+  List.filter (fun e -> e.expected_conflicts <> None) table4
+
+let label e = if e.variant = "" then e.app else e.app ^ "-" ^ e.variant
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii (label e) = name) all

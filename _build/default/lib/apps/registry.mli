@@ -1,0 +1,41 @@
+(** The application catalogue: every configuration of the study (Table 5),
+    its build metadata (Table 2), its published high-level pattern
+    (Table 3) and conflict matrix (Table 4), and the model that reproduces
+    it.
+
+    The [expected_*] fields record what the paper reports; the benchmark
+    harness re-derives the same quantities from fresh traces and prints
+    both sides, so any divergence is visible in EXPERIMENTS.md. *)
+
+type conflicts = { waw_s : bool; waw_d : bool; raw_s : bool; raw_d : bool }
+
+val no_conflicts : conflicts
+
+type entry = {
+  app : string;
+  variant : string;  (** I/O library or mode; "" when there is only one. *)
+  io_lib : string;  (** As named in the paper's tables. *)
+  version : string;
+  description : string;  (** Table 5 configuration description. *)
+  compiler : string;
+  mpi : string;
+  hdf5 : string option;
+  expected_xy : string;  (** Table 3, e.g. "N-1". *)
+  expected_structure : string;  (** Table 3: consecutive/strided/... *)
+  expected_conflicts : conflicts option;
+      (** Table 4 row under session semantics; [None] when the
+          configuration is not part of Table 4. *)
+  body : Runner.env -> unit;
+}
+
+val all : entry list
+(** Every configuration, in the paper's Table 4 order followed by the
+    extra Table 3-only configurations. *)
+
+val table4_entries : entry list
+
+val label : entry -> string
+(** e.g. ["LAMMPS-ADIOS"] or ["FLASH-fbs"]. *)
+
+val find : string -> entry option
+(** Look up by {!label} (case-insensitive). *)

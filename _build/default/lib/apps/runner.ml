@@ -1,0 +1,47 @@
+module Sched = Hpcfs_sim.Sched
+module Mpi = Hpcfs_mpi.Mpi
+module Pfs = Hpcfs_fs.Pfs
+module Posix = Hpcfs_posix.Posix
+module Mpiio = Hpcfs_mpiio.Mpiio
+module Collector = Hpcfs_trace.Collector
+module Prng = Hpcfs_util.Prng
+
+type result = {
+  records : Hpcfs_trace.Record.t list;
+  events : Mpi.event list;
+  stats : Pfs.stats;
+  pfs : Pfs.t;
+  nprocs : int;
+}
+
+type env = {
+  comm : Mpi.comm;
+  posix : Posix.ctx;
+  mpiio : Mpiio.ctx;
+  nprocs : int;
+  seed : int;
+}
+
+let run ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
+    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) body =
+  Hpcfs_hdf5.Hdf5.reset_registries ();
+  let pfs = Pfs.create ~local_order semantics in
+  let collector = Collector.create () in
+  let posix = Posix.make_ctx pfs collector in
+  let comm = Mpi.world () in
+  let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+  let env = { comm; posix; mpiio; nprocs; seed } in
+  Sched.run ~nprocs (fun _rank ->
+      Mpi.barrier comm;
+      body env;
+      Mpi.barrier comm);
+  {
+    records = Collector.records collector;
+    events = Mpi.events comm;
+    stats = Pfs.stats pfs;
+    pfs;
+    nprocs;
+  }
+
+let rank_prng env =
+  Prng.create ((env.seed * 1_000_003) + Sched.self ())

@@ -1,0 +1,36 @@
+(** Harness that executes an application model under the simulator and
+    captures everything the analysis needs: the multi-level trace, the MPI
+    event log, and the PFS statistics. *)
+
+type result = {
+  records : Hpcfs_trace.Record.t list;  (** The trace, in time order. *)
+  events : Hpcfs_mpi.Mpi.event list;  (** Communication log. *)
+  stats : Hpcfs_fs.Pfs.stats;
+  pfs : Hpcfs_fs.Pfs.t;  (** The file system after the run. *)
+  nprocs : int;
+}
+
+type env = {
+  comm : Hpcfs_mpi.Mpi.comm;
+  posix : Hpcfs_posix.Posix.ctx;
+  mpiio : Hpcfs_mpiio.Mpiio.ctx;
+  nprocs : int;
+  seed : int;
+}
+(** Shared by all ranks of a run; rank identity comes from the scheduler. *)
+
+val run :
+  ?semantics:Hpcfs_fs.Consistency.t ->
+  ?local_order:bool ->
+  ?nprocs:int ->
+  ?seed:int ->
+  ?cb_nodes:int ->
+  (env -> unit) ->
+  result
+(** [run body] executes [body] on every rank (default 64 ranks, strong
+    semantics, seed 42, 6 collective-buffering aggregators).  A barrier is
+    executed before and after the body, mirroring the paper's
+    clock-alignment barrier. *)
+
+val rank_prng : env -> Hpcfs_util.Prng.t
+(** Deterministic per-rank generator (distinct stream per rank and seed). *)

@@ -1,0 +1,56 @@
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Namespace = Hpcfs_fs.Namespace
+module Fdata = Hpcfs_fs.Fdata
+
+type outcome = {
+  semantics : Consistency.t;
+  stale_reads : int;
+  corrupted_files : int;
+  files : int;
+}
+
+let correct o = o.stale_reads = 0 && o.corrupted_files = 0
+
+(* Final contents of every regular file, as a fresh post-run observer. *)
+let final_digests result =
+  let pfs = result.Runner.pfs in
+  let files = Namespace.all_files (Pfs.namespace pfs) in
+  (* Any time beyond the run works; read_back bumps it internally. *)
+  let time = 1 lsl 40 in
+  List.map
+    (fun path ->
+      let r = Pfs.read_back pfs ~time path in
+      (path, Digest.bytes r.Fdata.data))
+    files
+
+let run_against ~reference_digests ~nprocs ?(local_order = true) model body =
+  let result = Runner.run ~semantics:model ~local_order ~nprocs body in
+  let digests = final_digests result in
+  let corrupted =
+    List.fold_left2
+      (fun acc (path_a, digest_a) (path_b, digest_b) ->
+        assert (path_a = path_b);
+        if digest_a = digest_b then acc else acc + 1)
+      0 reference_digests digests
+  in
+  {
+    semantics = model;
+    stale_reads = result.Runner.stats.Pfs.stale_reads;
+    corrupted_files = corrupted;
+    files = List.length digests;
+  }
+
+let validate ?(nprocs = 64)
+    ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
+    body =
+  let reference = Runner.run ~semantics:Consistency.Strong ~nprocs body in
+  let reference_digests = final_digests reference in
+  List.map (fun model -> run_against ~reference_digests ~nprocs model body)
+    semantics
+
+let validate_burstfs ?(nprocs = 64) body =
+  let reference = Runner.run ~semantics:Consistency.Strong ~nprocs body in
+  let reference_digests = final_digests reference in
+  run_against ~reference_digests ~nprocs ~local_order:false Consistency.Commit
+    body

@@ -1,0 +1,35 @@
+(** End-to-end validation of the trace-based predictions (Section 3 / 6.3).
+
+    The paper predicts from traces which applications run correctly under
+    which consistency semantics.  Because our substrate is a PFS simulator
+    with pluggable semantics, the prediction can be checked directly: run
+    the same application model under each model and compare what is read —
+    both the reads the application itself performed (stale bytes) and the
+    final contents of every file as seen by a fresh observer, against the
+    strong-consistency ground truth. *)
+
+type outcome = {
+  semantics : Hpcfs_fs.Consistency.t;
+  stale_reads : int;
+      (** Application reads that observed at least one stale byte. *)
+  corrupted_files : int;
+      (** Files whose final contents differ from the strong-semantics run. *)
+  files : int;  (** Total files compared. *)
+}
+
+val correct : outcome -> bool
+(** No stale reads and no corrupted files. *)
+
+val validate :
+  ?nprocs:int ->
+  ?semantics:Hpcfs_fs.Consistency.t list ->
+  (Runner.env -> unit) ->
+  outcome list
+(** Run the body once per semantics model (default: strong, commit,
+    session) and compare against the strong run.  The body must be
+    deterministic and must not branch on data read back from files. *)
+
+val validate_burstfs : ?nprocs:int -> (Runner.env -> unit) -> outcome
+(** Run under commit semantics {e without} the single-process
+    write-ordering guarantee — the BurstFS exception of Section 6.3 — and
+    compare against the strong run. *)

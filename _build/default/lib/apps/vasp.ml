@@ -1,0 +1,49 @@
+(* VASP model: elastic-property calculation for GaAs.  Every rank writes
+   its contiguous tile of the shared WAVECAR wavefunction file (N-1
+   consecutive — the dominant output); rank 0 also appends small OSZICAR /
+   OUTCAR log lines.  No conflicts. *)
+
+module Posix = Hpcfs_posix.Posix
+
+let scf_iterations = 12
+let wavecar_tiles = 2
+
+let run env =
+  App_common.setup_dir env "/out/vasp";
+  let oszicar = ref None in
+  if App_common.is_rank0 env then
+    oszicar := Some (Posix.fopen env.Runner.posix "/out/vasp/OSZICAR" "a");
+  for it = 1 to scf_iterations do
+    App_common.compute_allreduce env;
+    if App_common.is_rank0 env then
+      ignore
+        (Posix.fwrite env.Runner.posix (Option.get !oszicar)
+           (App_common.payload ~len:48 env it))
+  done;
+  if App_common.is_rank0 env then Posix.fclose env.Runner.posix (Option.get !oszicar);
+  (* WAVECAR: per-rank contiguous tiles covering the file (the dominant
+     output volume, hence the N-1 classification). *)
+
+  let path = "/out/vasp/WAVECAR" in
+  if App_common.is_rank0 env then
+    Posix.close env.Runner.posix
+      (Posix.openf env.Runner.posix path
+         [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]);
+  App_common.compute env;
+  let fd = Posix.openf env.Runner.posix path [ Posix.O_WRONLY ] in
+  let tile = App_common.block * 8 in
+  for t = 0 to wavecar_tiles - 1 do
+    let off = (App_common.rank env * wavecar_tiles * tile) + (t * tile) in
+    ignore
+      (Posix.pwrite env.Runner.posix fd ~off (App_common.payload ~len:tile env t))
+  done;
+  Posix.close env.Runner.posix fd;
+  if App_common.is_rank0 env then begin
+    let fd =
+      Posix.openf env.Runner.posix "/out/vasp/OUTCAR"
+        [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_APPEND ]
+    in
+    ignore (Posix.write env.Runner.posix fd (App_common.payload ~len:256 env 99));
+    Posix.close env.Runner.posix fd;
+    ignore (Posix.stat env.Runner.posix "/out/vasp/WAVECAR")
+  end

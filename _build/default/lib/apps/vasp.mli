@@ -1,0 +1,4 @@
+(** VASP model: rank-tiled WAVECAR (the dominant output: N-1
+    consecutive) plus rank-0 logs; no conflicts. *)
+
+val run : Runner.env -> unit

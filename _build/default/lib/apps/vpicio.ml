@@ -1,0 +1,24 @@
+(* VPIC-IO model: a 1D particle array with eight variables per particle,
+   written collectively through parallel HDF5 — the data funnels through
+   the MPI-IO aggregators (M-1 strided cyclic). *)
+
+module Hdf5 = Hpcfs_hdf5.Hdf5
+
+let variables = 8
+
+let run env =
+  App_common.setup_dir env "/out/vpic";
+  let file =
+    Hdf5.create (Hdf5.B_mpiio env.Runner.mpiio) "/out/vpic/particle.h5part"
+  in
+  let nprocs = env.Runner.nprocs in
+  let vars = [| "x"; "y"; "z"; "px"; "py"; "pz"; "id1"; "id2" |] in
+  for v = 0 to variables - 1 do
+    let ds =
+      Hdf5.create_dataset file vars.(v) ~nbytes:(App_common.block * nprocs)
+    in
+    Hdf5.write_collective ds
+      ~off:(App_common.block * App_common.rank env)
+      (App_common.payload env v)
+  done;
+  Hdf5.close file

@@ -1,0 +1,4 @@
+(** VPIC-IO model: eight particle variables written collectively through
+    parallel HDF5 (M-1 strided cyclic, no conflicts). *)
+
+val run : Runner.env -> unit

@@ -1,0 +1,1 @@
+lib/core/happens_before.ml: Access Array Conflict Hashtbl Hpcfs_mpi List Queue

@@ -1,0 +1,1 @@
+lib/core/happens_before.mli: Conflict Hpcfs_mpi

@@ -1,0 +1,1 @@
+lib/core/meta_conflict.ml: Hashtbl Hpcfs_trace List String

@@ -1,0 +1,1 @@
+lib/core/meta_conflict.mli: Hpcfs_trace

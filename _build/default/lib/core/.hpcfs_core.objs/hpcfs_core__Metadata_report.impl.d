@@ -1,0 +1,1 @@
+lib/core/metadata_report.ml: Hashtbl Hpcfs_trace List

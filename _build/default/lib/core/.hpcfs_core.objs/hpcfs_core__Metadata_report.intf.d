@@ -1,0 +1,1 @@
+lib/core/metadata_report.mli: Hpcfs_trace

@@ -1,0 +1,1 @@
+lib/core/offsets.ml: Access Eventtab Hashtbl Hpcfs_trace Hpcfs_util List Option String

@@ -1,0 +1,1 @@
+lib/core/offsets.mli: Access Eventtab Hpcfs_trace

@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Access Array Hashtbl Hpcfs_util List

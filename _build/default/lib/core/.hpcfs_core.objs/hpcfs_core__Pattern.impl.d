@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Access Hashtbl Hpcfs_util List

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Access Conflict Format Hashtbl Hpcfs_trace Hpcfs_util List Option Printf Report String

@@ -1,0 +1,1 @@
+lib/core/recommend.ml: Conflict Hpcfs_fs Overlap Printf

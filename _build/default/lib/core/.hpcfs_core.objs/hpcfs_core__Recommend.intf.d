@@ -1,0 +1,1 @@
+lib/core/recommend.mli: Access Conflict Hpcfs_fs

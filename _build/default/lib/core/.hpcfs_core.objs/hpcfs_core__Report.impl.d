@@ -1,0 +1,1 @@
+lib/core/report.ml: Access Conflict Eventtab Format List Metadata_report Offsets Overlap Pattern Recommend Sharing String

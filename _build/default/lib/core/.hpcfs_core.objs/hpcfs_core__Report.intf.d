@@ -1,0 +1,1 @@
+lib/core/report.mli: Access Conflict Eventtab Format Hpcfs_trace Metadata_report Pattern Recommend Sharing

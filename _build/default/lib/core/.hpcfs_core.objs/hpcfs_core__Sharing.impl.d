@@ -1,0 +1,1 @@
+lib/core/sharing.ml: Access Hashtbl Hpcfs_util List

@@ -1,0 +1,87 @@
+type series = { mutable acc : int list; mutable sorted : int array }
+
+type t = {
+  opens : (int * string, series) Hashtbl.t;
+  closes : (int * string, series) Hashtbl.t;
+  commits : (int * string, series) Hashtbl.t;
+  mutable sealed : bool;
+}
+
+let create () =
+  {
+    opens = Hashtbl.create 64;
+    closes = Hashtbl.create 64;
+    commits = Hashtbl.create 64;
+    sealed = false;
+  }
+
+let add tbl key time =
+  match Hashtbl.find_opt tbl key with
+  | Some s -> s.acc <- time :: s.acc
+  | None -> Hashtbl.add tbl key { acc = [ time ]; sorted = [||] }
+
+let add_open t ~rank ~file time = add t.opens (rank, file) time
+let add_close t ~rank ~file time = add t.closes (rank, file) time
+let add_commit t ~rank ~file time = add t.commits (rank, file) time
+
+let seal t =
+  let seal_tbl tbl =
+    Hashtbl.iter
+      (fun _ s ->
+        let a = Array.of_list s.acc in
+        Array.sort compare a;
+        s.sorted <- a)
+      tbl
+  in
+  seal_tbl t.opens;
+  seal_tbl t.closes;
+  seal_tbl t.commits;
+  t.sealed <- true
+
+let sorted t tbl key =
+  if not t.sealed then invalid_arg "Eventtab: query before seal";
+  match Hashtbl.find_opt tbl key with Some s -> s.sorted | None -> [||]
+
+(* Largest element <= x, or min_int. *)
+let floor_find a x =
+  let rec go lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= x then go (mid + 1) hi a.(mid) else go lo (mid - 1) best
+    end
+  in
+  go 0 (Array.length a - 1) min_int
+
+(* Smallest element > x, or max_int. *)
+let ceil_find a x =
+  let rec go lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) > x then go lo (mid - 1) a.(mid) else go (mid + 1) hi best
+    end
+  in
+  go 0 (Array.length a - 1) max_int
+
+let last_open_before t ~rank ~file time =
+  floor_find (sorted t t.opens (rank, file)) time
+
+let first_close_after t ~rank ~file time =
+  ceil_find (sorted t t.closes (rank, file)) time
+
+let first_commit_after t ~rank ~file time =
+  ceil_find (sorted t t.commits (rank, file)) time
+
+let exists_commit_between t ~rank ~file t1 t2 =
+  let c = first_commit_after t ~rank ~file t1 in
+  c < t2
+
+let exists_close_open_between t ~writer ~reader ~file t1 t2 =
+  let close = first_close_after t ~rank:writer ~file t1 in
+  if close >= t2 then false
+  else begin
+    (* Latest reader open before t2 must follow the writer's close. *)
+    let open_ = floor_find (sorted t t.opens (reader, file)) (t2 - 1) in
+    open_ > close
+  end

@@ -1,0 +1,41 @@
+(** Per-(rank, file) tables of open / close / commit times.
+
+    Section 5.2 describes two ways of testing the commit and session
+    conditions: annotating each record with its neighbouring events, or
+    keeping per-process tables of the (few) open/close/commit operations
+    and binary-searching them per overlap.  This module is the table
+    representation; {!Offsets} uses it to annotate accesses, and
+    {!Conflict} can also query it directly (the paper's alternative),
+    which the benchmark harness compares. *)
+
+type t
+
+val create : unit -> t
+
+val add_open : t -> rank:int -> file:string -> int -> unit
+val add_close : t -> rank:int -> file:string -> int -> unit
+
+val add_commit : t -> rank:int -> file:string -> int -> unit
+(** Commits include closes (a close commits); {!add_close} does NOT
+    automatically add a commit — callers register both, mirroring the
+    trace. *)
+
+val seal : t -> unit
+(** Sort the accumulated times; must be called before any query. *)
+
+val last_open_before : t -> rank:int -> file:string -> int -> int
+(** Latest open time [<=] the given time; [min_int] if none. *)
+
+val first_close_after : t -> rank:int -> file:string -> int -> int
+(** Earliest close time [>] the given time; [max_int] if none. *)
+
+val first_commit_after : t -> rank:int -> file:string -> int -> int
+(** Earliest commit time [>] the given time; [max_int] if none. *)
+
+val exists_commit_between : t -> rank:int -> file:string -> int -> int -> bool
+(** Any commit strictly inside [(t1, t2)] — condition (3) of Section 5. *)
+
+val exists_close_open_between :
+  t -> writer:int -> reader:int -> file:string -> int -> int -> bool
+(** A close by [writer] followed by an open by [reader], both strictly
+    inside [(t1, t2)] — condition (4) of Section 5. *)

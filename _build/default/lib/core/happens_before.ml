@@ -1,0 +1,132 @@
+module Mpi = Hpcfs_mpi.Mpi
+
+type clocked = { point : int; vc : int array }
+
+type t = { nprocs : int; per_rank : clocked array array }
+
+let join a b = Array.mapi (fun i x -> max x b.(i)) a
+
+(* Atomic items the vector-clock pass processes: a barrier is split into an
+   enter event (publishes the rank's clock into the generation's join set)
+   and an exit event (absorbs the join of every participant's enter clock),
+   so that work preceding any rank's enter happens-before work following any
+   rank's exit. *)
+type item =
+  | I_send of { src : int; dst : int; tag : int; time : int }
+  | I_recv of { src : int; dst : int; tag : int; time : int }
+  | I_bar_enter of { rank : int; gen : int; time : int }
+  | I_bar_exit of { rank : int; gen : int; time : int }
+
+let item_time = function
+  | I_send { time; _ } | I_recv { time; _ }
+  | I_bar_enter { time; _ } | I_bar_exit { time; _ } ->
+    time
+
+let build ~nprocs events =
+  let items =
+    List.concat_map
+      (fun e ->
+        match e with
+        | Mpi.E_send { src; dst; tag; time } -> [ I_send { src; dst; tag; time } ]
+        | Mpi.E_recv { src; dst; tag; time } -> [ I_recv { src; dst; tag; time } ]
+        | Mpi.E_barrier { rank; gen; enter; exit } ->
+          [ I_bar_enter { rank; gen; time = enter };
+            I_bar_exit { rank; gen; time = exit } ]
+        | Mpi.E_coll _ -> [])
+      events
+    |> List.sort (fun a b -> compare (item_time a) (item_time b))
+  in
+  let vcs = Array.init nprocs (fun _ -> Array.make nprocs 0) in
+  let out = Array.make nprocs [] in
+  let msgs : (int * int * int, int array Queue.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let barrier_enters : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let record rank point =
+    out.(rank) <- { point; vc = Array.copy vcs.(rank) } :: out.(rank)
+  in
+  let advance rank = vcs.(rank).(rank) <- vcs.(rank).(rank) + 1 in
+  List.iter
+    (fun item ->
+      match item with
+      | I_send { src; dst; tag; time } ->
+        advance src;
+        let q =
+          match Hashtbl.find_opt msgs (src, dst, tag) with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.add msgs (src, dst, tag) q;
+            q
+        in
+        Queue.push (Array.copy vcs.(src)) q;
+        record src time
+      | I_recv { src; dst; tag; time } ->
+        let incoming =
+          match Hashtbl.find_opt msgs (src, dst, tag) with
+          | Some q when not (Queue.is_empty q) -> Queue.pop q
+          | Some _ | None -> Array.make nprocs 0
+        in
+        vcs.(dst) <- join vcs.(dst) incoming;
+        advance dst;
+        record dst time
+      | I_bar_enter { rank; gen; time } ->
+        advance rank;
+        (match Hashtbl.find_opt barrier_enters gen with
+        | Some j -> Hashtbl.replace barrier_enters gen (join j vcs.(rank))
+        | None -> Hashtbl.add barrier_enters gen (Array.copy vcs.(rank)));
+        record rank time
+      | I_bar_exit { rank; gen; time } ->
+        (* Every enter of this generation precedes every exit, so the join
+           set is complete by the time the first exit is processed. *)
+        (match Hashtbl.find_opt barrier_enters gen with
+        | Some j -> vcs.(rank) <- join vcs.(rank) j
+        | None -> ());
+        advance rank;
+        record rank time)
+    items;
+  { nprocs; per_rank = Array.map (fun l -> Array.of_list (List.rev l)) out }
+
+let ordered t ~r1 ~t1 ~r2 ~t2 =
+  if r1 = r2 then t1 < t2
+  else if r1 < 0 || r1 >= t.nprocs || r2 < 0 || r2 >= t.nprocs then false
+  else begin
+    let evs1 = t.per_rank.(r1) and evs2 = t.per_rank.(r2) in
+    (* First event on r1 strictly after t1. *)
+    let rec first_after lo hi best =
+      if lo > hi then best
+      else begin
+        let mid = (lo + hi) / 2 in
+        if evs1.(mid).point > t1 then first_after lo (mid - 1) (Some mid)
+        else first_after (mid + 1) hi best
+      end
+    in
+    (* Last event on r2 strictly before t2. *)
+    let rec last_before lo hi best =
+      if lo > hi then best
+      else begin
+        let mid = (lo + hi) / 2 in
+        if evs2.(mid).point < t2 then last_before (mid + 1) hi (Some mid)
+        else last_before lo (mid - 1) best
+      end
+    in
+    match
+      ( first_after 0 (Array.length evs1 - 1) None,
+        last_before 0 (Array.length evs2 - 1) None )
+    with
+    | Some i1, Some i2 ->
+      (* r1's op at t1 precedes its (i1)-th event, whose own-component value
+         is evs1.(i1).vc.(r1); r2 knows about it iff its clock caught up. *)
+      evs2.(i2).vc.(r1) >= evs1.(i1).vc.(r1)
+    | _ -> false
+  end
+
+let conflict_synchronized t (c : Conflict.t) =
+  ordered t ~r1:c.Conflict.first.Access.rank ~t1:c.Conflict.first.Access.time
+    ~r2:c.Conflict.second.Access.rank ~t2:c.Conflict.second.Access.time
+
+let race_free t conflicts =
+  List.for_all
+    (fun c ->
+      c.Conflict.scope = Conflict.Same || conflict_synchronized t c)
+    conflicts

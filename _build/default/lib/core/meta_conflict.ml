@@ -1,0 +1,121 @@
+module Record = Hpcfs_trace.Record
+
+type kind = Mutate_mutate | Mutate_observe
+
+type t = {
+  path : string;
+  first : Record.t;
+  second : Record.t;
+  kind : kind;
+}
+
+let is_mutation = function
+  | "mkdir" | "rmdir" | "unlink" | "remove" | "rename" | "truncate"
+  | "ftruncate" | "link" | "symlink" | "mknod" | "chmod" | "chown" | "utime" ->
+    true
+  | "open" | "fopen" -> false (* creation is handled via the flags below *)
+  | _ -> false
+
+let is_creating_open r =
+  match r.Record.func with
+  | "open" -> (
+    match Record.arg r "flags" with
+    | Some flags ->
+      List.exists
+        (fun f -> f = "O_CREAT" || f = "O_TRUNC")
+        (String.split_on_char '|' flags)
+    | None -> false)
+  | "fopen" -> (
+    match Record.arg r "mode" with
+    | Some m -> String.length m > 0 && (m.[0] = 'w' || m.[0] = 'a')
+    | None -> false)
+  | _ -> false
+
+let is_observation = function
+  | "stat" | "stat64" | "lstat" | "lstat64" | "fstat" | "fstat64" | "access"
+  | "faccessat" | "opendir" | "readdir" | "readlink" | "readlinkat" ->
+    true
+  | "open" | "fopen" -> true (* opening looks the path up *)
+  | _ -> false
+
+let mutates r = is_mutation r.Record.func || is_creating_open r
+
+let observes r = is_observation r.Record.func
+
+(* Paths an operation touches ([rename] touches two). *)
+let paths_of r =
+  match r.Record.file with
+  | None -> []
+  | Some p -> (
+    match (r.Record.func, Record.arg r "dst") with
+    | "rename", Some dst -> [ p; dst ]
+    | _ -> [ p ])
+
+let detect records =
+  (* Per path, scan operations in time order; pair each mutation with the
+     next operations by other ranks until the mutator commits the path. *)
+  let per_path : (string, Record.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if r.Record.layer = Record.L_posix && (mutates r || observes r || Hpcfs_trace.Opclass.is_commit_for_conflicts r.Record.func)
+      then
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt per_path p with
+            | Some l -> l := r :: !l
+            | None -> Hashtbl.add per_path p (ref [ r ]))
+          (paths_of r))
+    records;
+  let conflicts = ref [] in
+  Hashtbl.iter
+    (fun path ops ->
+      let ops = List.rev !ops in
+      let rec scan = function
+        | [] -> ()
+        | first :: rest when mutates first ->
+          (* Walk forward until the mutator commits this path. *)
+          let rec forward = function
+            | [] -> ()
+            | second :: more ->
+              if
+                second.Record.rank = first.Record.rank
+                && Hpcfs_trace.Opclass.is_commit_for_conflicts
+                     second.Record.func
+              then ()
+              else begin
+                if second.Record.rank <> first.Record.rank then begin
+                  if mutates second then
+                    conflicts :=
+                      { path; first; second; kind = Mutate_mutate }
+                      :: !conflicts
+                  else if observes second then
+                    conflicts :=
+                      { path; first; second; kind = Mutate_observe }
+                      :: !conflicts
+                end;
+                forward more
+              end
+          in
+          forward rest;
+          scan rest
+        | _ :: rest -> scan rest
+      in
+      scan ops)
+    per_path;
+  List.sort
+    (fun a b -> compare a.first.Record.time b.first.Record.time)
+    !conflicts
+
+type summary = { mutate_mutate : int; mutate_observe : int; paths : int }
+
+let summarize conflicts =
+  let paths = Hashtbl.create 16 in
+  let mm = ref 0 and mo = ref 0 in
+  List.iter
+    (fun c ->
+      Hashtbl.replace paths c.path ();
+      match c.kind with
+      | Mutate_mutate -> incr mm
+      | Mutate_observe -> incr mo)
+    conflicts;
+  { mutate_mutate = !mm; mutate_observe = !mo; paths = Hashtbl.length paths }

@@ -1,0 +1,49 @@
+module Record = Hpcfs_trace.Record
+module Opclass = Hpcfs_trace.Opclass
+
+type issuer = By_mpi | By_hdf5 | By_app
+
+let issuer_name = function
+  | By_mpi -> "MPI"
+  | By_hdf5 -> "HDF5"
+  | By_app -> "App"
+
+type usage = (string * issuer list) list
+
+let issuer_of_origin = function
+  | Record.O_mpi -> By_mpi
+  | Record.O_hdf5 -> By_hdf5
+  | Record.O_app | Record.O_netcdf | Record.O_adios | Record.O_silo -> By_app
+
+let inventory records =
+  let tbl : (string, issuer list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      if
+        r.Record.layer = Record.L_posix
+        && Opclass.classify r.Record.func = Opclass.Metadata
+      then begin
+        let issuer = issuer_of_origin r.Record.origin in
+        match Hashtbl.find_opt tbl r.Record.func with
+        | Some l -> if not (List.mem issuer !l) then l := issuer :: !l
+        | None -> Hashtbl.add tbl r.Record.func (ref [ issuer ])
+      end)
+    records;
+  (* Present in the monitored-operation order of the paper's footnote 3. *)
+  List.filter_map
+    (fun op ->
+      match Hashtbl.find_opt tbl op with
+      | Some issuers -> Some (op, List.sort compare !issuers)
+      | None -> None)
+    Opclass.monitored_metadata_ops
+
+let used_ops usage = List.map fst usage
+
+let never_used usages =
+  let used = Hashtbl.create 32 in
+  List.iter
+    (fun usage -> List.iter (fun (op, _) -> Hashtbl.replace used op ()) usage)
+    usages;
+  List.filter
+    (fun op -> not (Hashtbl.mem used op))
+    Opclass.monitored_metadata_ops

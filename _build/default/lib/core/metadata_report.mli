@@ -1,0 +1,23 @@
+(** Metadata-operation inventory (Section 6.4 / Figure 3).
+
+    For each application configuration, which of the monitored POSIX
+    metadata and utility operations were invoked, attributed to the
+    software layer that issued them: the MPI library, HDF5, or the
+    application itself (which, as in the paper, also absorbs libraries the
+    tracer does not distinguish further — NetCDF, ADIOS, Silo). *)
+
+type issuer = By_mpi | By_hdf5 | By_app
+
+val issuer_name : issuer -> string
+
+type usage = (string * issuer list) list
+(** Monitored operations actually used, with the (sorted, de-duplicated)
+    issuers of each; operations never used are absent. *)
+
+val inventory : Hpcfs_trace.Record.t list -> usage
+
+val used_ops : usage -> string list
+
+val never_used : usage list -> string list
+(** Monitored operations that no configuration used (the paper calls out
+    [rename], [chown], [utime]). *)

@@ -1,0 +1,25 @@
+(** Offset reconstruction from raw POSIX traces (Section 5.1).
+
+    Calls like [pwrite] carry their offset explicitly, but [write]/[read]
+    depend on the file position left by previous operations.  This module
+    replays the POSIX-layer records of a trace in timestamp order, tracking
+    the current offset of every (rank, fd) — applying the open flags
+    ([O_TRUNC], [O_APPEND]), the seek whences ([SEEK_SET]/[CUR]/[END]) and
+    the byte counts of data operations — and produces the resolved
+    {!Access.t} tuples the overlap and conflict algorithms consume, plus
+    the open/close/commit {!Eventtab.t}.
+
+    File sizes needed by [SEEK_END] and [O_APPEND] are themselves
+    reconstructed from the writes and truncations seen so far. *)
+
+type result = {
+  accesses : Access.t list;  (** Data accesses in timestamp order. *)
+  events : Eventtab.t;  (** Sealed open/close/commit tables. *)
+  skipped : int;
+      (** Data records that could not be resolved (e.g. an fd with no
+          preceding open in the trace). *)
+}
+
+val resolve : Hpcfs_trace.Record.t list -> result
+(** Records from layers other than POSIX are ignored (they duplicate the
+    POSIX calls the libraries issue underneath). *)

@@ -1,0 +1,113 @@
+module Interval = Hpcfs_util.Interval
+
+type pair = Access.t * Access.t
+
+let by_time a b = if a.Access.time <= b.Access.time then (a, b) else (b, a)
+
+let group_by_file accesses =
+  let tbl : (string, Access.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt tbl a.Access.file with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add tbl a.Access.file (ref [ a ]))
+    accesses;
+  Hashtbl.fold (fun _ l acc -> !l :: acc) tbl []
+
+(* The inner loop of Algorithm 1 on an offset-sorted array. *)
+let scan_sorted arr =
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    let ai = arr.(i) in
+    let rec inner j =
+      if j < n then begin
+        let aj = arr.(j) in
+        if aj.Access.iv.Interval.lo >= ai.Access.iv.Interval.hi then ()
+          (* subsequent tuples cannot overlap T_i *)
+        else begin
+          if Interval.overlaps ai.Access.iv aj.Access.iv then
+            pairs := by_time ai aj :: !pairs;
+          inner (j + 1)
+        end
+      end
+    in
+    inner (i + 1)
+  done;
+  !pairs
+
+let detect accesses =
+  List.concat_map
+    (fun file_accesses ->
+      let arr = Array.of_list file_accesses in
+      Array.sort Access.compare_start arr;
+      scan_sorted arr)
+    (group_by_file accesses)
+
+(* K-way merge of per-rank streams, each sorted by offset.  Per-rank
+   records arrive already sorted by time; one sort per rank by offset is
+   still needed, but each stream is much smaller than the union. *)
+let detect_merge accesses =
+  List.concat_map
+    (fun file_accesses ->
+      let per_rank : (int, Access.t list ref) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun a ->
+          match Hashtbl.find_opt per_rank a.Access.rank with
+          | Some l -> l := a :: !l
+          | None -> Hashtbl.add per_rank a.Access.rank (ref [ a ]))
+        file_accesses;
+      let streams =
+        Hashtbl.fold
+          (fun _ l acc ->
+            let arr = Array.of_list !l in
+            Array.sort Access.compare_start arr;
+            arr :: acc)
+          per_rank []
+      in
+      let total = List.fold_left (fun n s -> n + Array.length s) 0 streams in
+      let out = Array.make total (List.hd file_accesses) in
+      let heads = Array.of_list streams in
+      let idx = Array.make (Array.length heads) 0 in
+      for slot = 0 to total - 1 do
+        let best = ref (-1) in
+        Array.iteri
+          (fun s i ->
+            if i < Array.length heads.(s) then
+              match !best with
+              | -1 -> best := s
+              | b ->
+                if Access.compare_start heads.(s).(i) heads.(b).(idx.(b)) < 0
+                then best := s)
+          idx;
+        let s = !best in
+        out.(slot) <- heads.(s).(idx.(s));
+        idx.(s) <- idx.(s) + 1
+      done;
+      scan_sorted out)
+    (group_by_file accesses)
+
+let detect_naive accesses =
+  List.concat_map
+    (fun file_accesses ->
+      let arr = Array.of_list file_accesses in
+      let n = Array.length arr in
+      let pairs = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Interval.overlaps arr.(i).Access.iv arr.(j).Access.iv then
+            pairs := by_time arr.(i) arr.(j) :: !pairs
+        done
+      done;
+      !pairs)
+    (group_by_file accesses)
+
+let rank_matrix ~nprocs pairs =
+  let m = Array.make_matrix nprocs nprocs 0 in
+  List.iter
+    (fun (a, b) ->
+      let i = min a.Access.rank b.Access.rank in
+      let j = max a.Access.rank b.Access.rank in
+      if i >= 0 && j < nprocs then m.(i).(j) <- m.(i).(j) + 1)
+    pairs;
+  m

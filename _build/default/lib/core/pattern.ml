@@ -1,0 +1,60 @@
+module Interval = Hpcfs_util.Interval
+
+type mix = { consecutive : int; monotonic : int; random : int }
+
+let zero = { consecutive = 0; monotonic = 0; random = 0 }
+
+let add a b =
+  {
+    consecutive = a.consecutive + b.consecutive;
+    monotonic = a.monotonic + b.monotonic;
+    random = a.random + b.random;
+  }
+
+let total m = m.consecutive + m.monotonic + m.random
+
+let percentages m =
+  let t = total m in
+  ( Hpcfs_util.Stats.pct m.consecutive t,
+    Hpcfs_util.Stats.pct m.monotonic t,
+    Hpcfs_util.Stats.pct m.random t )
+
+let classify_stream accesses =
+  let step (prev_end, m) a =
+    let lo = a.Access.iv.Interval.lo in
+    let m =
+      if lo = prev_end then { m with consecutive = m.consecutive + 1 }
+      else if lo > prev_end then { m with monotonic = m.monotonic + 1 }
+      else { m with random = m.random + 1 }
+    in
+    (a.Access.iv.Interval.hi, m)
+  in
+  snd (List.fold_left step (0, zero) accesses)
+
+let group accesses key =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun a ->
+      let k = key a in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add tbl k (ref [ a ]))
+    accesses;
+  (* Accumulation reversed the per-group time order; restore it. *)
+  Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) tbl []
+
+let local_mix accesses =
+  group accesses (fun a -> (a.Access.file, a.Access.rank))
+  |> List.fold_left (fun m stream -> add m (classify_stream stream)) zero
+
+let global_mix accesses =
+  group accesses (fun a -> (a.Access.file, 0))
+  |> List.fold_left (fun m stream -> add m (classify_stream stream)) zero
+
+let offset_series accesses ~file =
+  List.filter_map
+    (fun a ->
+      if a.Access.file = file then
+        Some (a.Access.time, a.Access.rank, a.Access.iv)
+      else None)
+    accesses

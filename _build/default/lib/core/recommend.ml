@@ -1,0 +1,37 @@
+module Consistency = Hpcfs_fs.Consistency
+
+type verdict = {
+  semantics : Consistency.t;
+  session_summary : Conflict.summary;
+  commit_summary : Conflict.summary;
+  needs_local_order : bool;
+}
+
+let analyze accesses =
+  let pairs = Overlap.detect accesses in
+  let session_summary =
+    Conflict.summarize (Conflict.of_pairs Conflict.Session_semantics pairs)
+  in
+  let commit_summary =
+    Conflict.summarize (Conflict.of_pairs Conflict.Commit_semantics pairs)
+  in
+  let semantics =
+    if Conflict.only_same_process session_summary then Consistency.Session
+    else if Conflict.only_same_process commit_summary then Consistency.Commit
+    else Consistency.Strong
+  in
+  let needs_local_order =
+    not
+      (Conflict.no_conflicts
+         (match semantics with
+         | Consistency.Session -> session_summary
+         | Consistency.Commit | Consistency.Strong | Consistency.Eventual _ ->
+           commit_summary))
+  in
+  { semantics; session_summary; commit_summary; needs_local_order }
+
+let describe v =
+  Printf.sprintf "%s%s" (Consistency.name v.semantics)
+    (if v.needs_local_order then
+       " (requires same-process ordering, i.e. not BurstFS)"
+     else "")

@@ -1,0 +1,62 @@
+type t = {
+  nprocs : int;
+  record_count : int;
+  accesses : Access.t list;
+  skipped : int;
+  events : Eventtab.t;
+  sharing : Sharing.t;
+  local_mix : Pattern.mix;
+  global_mix : Pattern.mix;
+  session_conflicts : Conflict.t list;
+  commit_conflicts : Conflict.t list;
+  metadata : Metadata_report.usage;
+  verdict : Recommend.verdict;
+}
+
+let analyze ~nprocs records =
+  let resolved = Offsets.resolve records in
+  let accesses = resolved.Offsets.accesses in
+  let pairs = Overlap.detect accesses in
+  {
+    nprocs;
+    record_count = List.length records;
+    accesses;
+    skipped = resolved.Offsets.skipped;
+    events = resolved.Offsets.events;
+    sharing = Sharing.classify ~nprocs accesses;
+    local_mix = Pattern.local_mix accesses;
+    global_mix = Pattern.global_mix accesses;
+    session_conflicts = Conflict.of_pairs Conflict.Session_semantics pairs;
+    commit_conflicts = Conflict.of_pairs Conflict.Commit_semantics pairs;
+    metadata = Metadata_report.inventory records;
+    verdict = Recommend.analyze accesses;
+  }
+
+let session_summary t = Conflict.summarize t.session_conflicts
+let commit_summary t = Conflict.summarize t.commit_conflicts
+
+let pp_mix ppf mix =
+  let c, m, r = Pattern.percentages mix in
+  Format.fprintf ppf "%.1f%% consecutive, %.1f%% monotonic, %.1f%% random" c m
+    r
+
+let pp_conflict_summary ppf (s : Conflict.summary) =
+  Format.fprintf ppf "WAW-S:%d WAW-D:%d RAW-S:%d RAW-D:%d" s.Conflict.waw_s
+    s.Conflict.waw_d s.Conflict.raw_s s.Conflict.raw_d
+
+let pp_summary ppf t =
+  Format.fprintf ppf "records analyzed : %d (%d data accesses, %d skipped)@."
+    t.record_count (List.length t.accesses) t.skipped;
+  Format.fprintf ppf "sharing pattern  : %s, %s (%d ranks doing I/O on %d files)@."
+    (Sharing.xy_name t.sharing.Sharing.xy)
+    (Sharing.structure_name t.sharing.Sharing.structure)
+    t.sharing.Sharing.io_ranks t.sharing.Sharing.files;
+  Format.fprintf ppf "local pattern    : %a@." pp_mix t.local_mix;
+  Format.fprintf ppf "global pattern   : %a@." pp_mix t.global_mix;
+  Format.fprintf ppf "session conflicts: %a@." pp_conflict_summary
+    (session_summary t);
+  Format.fprintf ppf "commit conflicts : %a@." pp_conflict_summary
+    (commit_summary t);
+  Format.fprintf ppf "metadata ops     : %s@."
+    (String.concat ", " (Metadata_report.used_ops t.metadata));
+  Format.fprintf ppf "weakest semantics: %s@." (Recommend.describe t.verdict)

@@ -1,0 +1,25 @@
+(** One-stop analysis of a traced run: everything the paper reports per
+    application configuration, computed from a record list. *)
+
+type t = {
+  nprocs : int;
+  record_count : int;
+  accesses : Access.t list;
+  skipped : int;
+  events : Eventtab.t;
+  sharing : Sharing.t;
+  local_mix : Pattern.mix;
+  global_mix : Pattern.mix;
+  session_conflicts : Conflict.t list;
+  commit_conflicts : Conflict.t list;
+  metadata : Metadata_report.usage;
+  verdict : Recommend.verdict;
+}
+
+val analyze : nprocs:int -> Hpcfs_trace.Record.t list -> t
+
+val session_summary : t -> Conflict.summary
+val commit_summary : t -> Conflict.summary
+
+val pp_summary : Format.formatter -> t -> unit
+(** Multi-line human-readable digest (used by the CLI and quickstart). *)

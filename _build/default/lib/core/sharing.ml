@@ -1,0 +1,126 @@
+module Interval = Hpcfs_util.Interval
+
+type xy = { x : string; y : string }
+
+type structure = Consecutive | Strided | Strided_cyclic
+
+type t = {
+  xy : xy;
+  structure : structure;
+  io_ranks : int;
+  files : int;
+}
+
+let cyclic_runs_threshold = 8
+
+let xy_name p = p.x ^ "-" ^ p.y
+
+let structure_name = function
+  | Consecutive -> "consecutive"
+  | Strided -> "strided"
+  | Strided_cyclic -> "strided cyclic"
+
+let distinct xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace tbl x ()) xs;
+  Hashtbl.length tbl
+
+let merge_runs intervals =
+  let sorted = List.sort Interval.compare_lo intervals in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | iv :: rest -> (
+      match acc with
+      | prev :: acc' when prev.Interval.hi >= iv.Interval.lo ->
+        go (Interval.union_hull prev iv :: acc') rest
+      | _ -> go (iv :: acc) rest)
+  in
+  go [] sorted
+
+(* Structure of one shared file: per-rank merged extent runs.  Repeated
+   interleaved passes only count as cyclic when the file's writers are a
+   proper subset of the ranks (aggregated I/O, as in collective buffering);
+   when every rank touches the file directly, many runs per rank are the
+   ordinary strided signature of a multi-dataset file. *)
+let file_structure ~nprocs accesses =
+  let per_rank : (int, Interval.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt per_rank a.Access.rank with
+      | Some l -> l := a.Access.iv :: !l
+      | None -> Hashtbl.add per_rank a.Access.rank (ref [ a.Access.iv ]))
+    accesses;
+  let runs_per_rank =
+    Hashtbl.fold (fun rank l acc -> (rank, merge_runs !l) :: acc) per_rank []
+  in
+  let max_runs =
+    List.fold_left (fun m (_, runs) -> max m (List.length runs)) 0
+      runs_per_rank
+  in
+  let writers = Hashtbl.length per_rank in
+  if max_runs >= cyclic_runs_threshold && writers < nprocs then Strided_cyclic
+  else begin
+    let single = List.for_all (fun (_, runs) -> List.length runs <= 1) runs_per_rank in
+    if not single then Strided
+    else begin
+      let runs =
+        List.filter_map (fun (_, runs) -> List.nth_opt runs 0) runs_per_rank
+      in
+      match runs with
+      | [] -> Consecutive
+      | first :: rest ->
+        let identical = List.for_all (fun r -> r = first) rest in
+        let sorted = List.sort Interval.compare_lo runs in
+        let rec tiles = function
+          | a :: (b :: _ as more) -> a.Interval.hi = b.Interval.lo && tiles more
+          | [ _ ] | [] -> true
+        in
+        if identical || tiles sorted then Consecutive else Strided
+    end
+  end
+
+let severity = function Consecutive -> 0 | Strided -> 1 | Strided_cyclic -> 2
+
+let classify ~nprocs accesses =
+  let writes = List.filter Access.is_write accesses in
+  (* Table 3 classifies output behaviour; purely read-only applications
+     (LBANN) are classified from their reads. *)
+  let considered = if writes = [] then accesses else writes in
+  let io_ranks = distinct (List.map (fun a -> a.Access.rank) considered) in
+  let files = distinct (List.map (fun a -> a.Access.file) considered) in
+  let x =
+    if io_ranks >= nprocs then "N" else if io_ranks = 1 then "1" else "M"
+  in
+  let by_file : (string, Access.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt by_file a.Access.file with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add by_file a.Access.file (ref [ a ]))
+    considered;
+  (* Y reflects how a file is shared during an I/O phase, not how many
+     files the run produces over time: every I/O rank sharing each file is
+     X-1; one rank per file is X-X; group-shared files are X-M. *)
+  let max_ranks_per_file =
+    Hashtbl.fold
+      (fun _ l acc -> max acc (distinct (List.map (fun a -> a.Access.rank) !l)))
+      by_file 0
+  in
+  let y =
+    if files = 1 || max_ranks_per_file >= io_ranks then "1"
+    else if max_ranks_per_file <= 1 then x
+    else "M"
+  in
+  let shared_structures =
+    Hashtbl.fold
+      (fun _ l acc ->
+        let ranks = distinct (List.map (fun a -> a.Access.rank) !l) in
+        if ranks >= 2 then file_structure ~nprocs !l :: acc else acc)
+      by_file []
+  in
+  let structure =
+    List.fold_left
+      (fun worst s -> if severity s > severity worst then s else worst)
+      Consecutive shared_structures
+  in
+  { xy = { x; y }; structure; io_ranks; files }

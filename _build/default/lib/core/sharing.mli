@@ -1,0 +1,36 @@
+(** High-level X–Y sharing patterns (Table 3).
+
+    X is how many processes perform I/O (N = all, M = a proper subset,
+    1 = one); Y is how many files they access (N/M = many, 1 = one).  The
+    structure class refines how a shared file is carved up: each process a
+    contiguous block (consecutive), one interleaved pass (strided), or
+    repeated interleaved passes (strided cyclic).
+
+    Following the paper we classify from the {e output} side when the
+    application writes at all (reading input files is almost always 1-1 and
+    excluded from Table 3); read-only applications (LBANN) are classified
+    from their reads. *)
+
+type xy = { x : string; y : string }
+
+type structure = Consecutive | Strided | Strided_cyclic
+
+type t = {
+  xy : xy;
+  structure : structure;
+  io_ranks : int;  (** Number of ranks that touched data. *)
+  files : int;  (** Number of files they touched. *)
+}
+
+val classify : nprocs:int -> Access.t list -> t
+(** Classify one application run's accesses.  [nprocs] is the number of
+    ranks in the run (needed to tell N from M). *)
+
+val xy_name : xy -> string
+(** e.g. ["N-1"]. *)
+
+val structure_name : structure -> string
+
+val cyclic_runs_threshold : int
+(** Number of disjoint extent runs per rank in a shared file beyond which
+    the interleaving is considered cyclic (documented heuristic). *)

@@ -1,0 +1,1 @@
+lib/formats/adios.ml: Bytes Char Hpcfs_mpi Hpcfs_posix Hpcfs_trace Option Printf

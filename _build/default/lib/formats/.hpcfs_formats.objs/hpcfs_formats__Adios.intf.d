@@ -1,0 +1,1 @@
+lib/formats/adios.mli: Hpcfs_mpi Hpcfs_posix

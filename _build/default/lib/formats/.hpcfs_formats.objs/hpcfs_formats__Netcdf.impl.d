@@ -1,0 +1,1 @@
+lib/formats/netcdf.ml: Bytes Hpcfs_posix Hpcfs_trace Int32

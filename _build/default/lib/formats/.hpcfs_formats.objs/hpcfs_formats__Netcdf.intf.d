@@ -1,0 +1,1 @@
+lib/formats/netcdf.mli: Hpcfs_posix

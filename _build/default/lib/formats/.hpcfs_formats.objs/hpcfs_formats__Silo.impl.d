@@ -1,0 +1,1 @@
+lib/formats/silo.ml: Bytes Fun Hpcfs_mpi Hpcfs_posix Hpcfs_trace List Printf

@@ -1,0 +1,1 @@
+lib/formats/silo.mli: Hpcfs_mpi Hpcfs_posix

@@ -1,0 +1,31 @@
+(** ADIOS2 BP4-engine writer model.
+
+    A BP4 "file" is a directory: per-substream data files ([data.k]) that
+    aggregator ranks append to, plus the metadata file [md.0] and the index
+    file [md.idx] maintained by rank 0.  Each step appends an index record
+    to [md.idx] {e and} overwrites a one-byte step-count field in its
+    header — the single-byte overwrite the paper identifies as the cause of
+    LAMMPS-ADIOS's WAW-S conflict ("overwriting of a single byte of the
+    ADIOS metadata file (*/md.idx)").
+
+    Data aggregation onto [substreams] writer ranks yields the M-M
+    consecutive pattern of Table 3. *)
+
+type t
+
+val open_write :
+  Hpcfs_posix.Posix.ctx -> Hpcfs_mpi.Mpi.comm -> string -> substreams:int -> t
+(** Collective: creates the [.bp] directory tree (rank 0), opens this
+    rank's substream file if it is an aggregator, and the metadata files on
+    rank 0. *)
+
+val write_step : t -> bytes -> unit
+(** Collective: every rank contributes its step payload; aggregators append
+    the gathered payloads to their substream file; rank 0 appends metadata
+    and updates the index header. *)
+
+val close : t -> unit
+(** Collective. *)
+
+val substream_of_rank : t -> int -> int
+(** Which substream aggregates a given rank (for tests). *)

@@ -1,0 +1,38 @@
+module Posix = Hpcfs_posix.Posix
+module Record = Hpcfs_trace.Record
+
+type t = {
+  posix : Posix.ctx;
+  fd : int;
+  header_bytes : int;
+  mutable numrecs : int;
+  mutable data_end : int;
+}
+
+let origin = Record.O_netcdf
+
+let create posix path ~header_bytes =
+  if header_bytes < 8 then invalid_arg "Netcdf.create: header too small";
+  (* The library resolves the path and stats the result (Figure 3: NetCDF
+     introduces getcwd and stat into the LAMMPS trace). *)
+  ignore (Posix.getcwd posix ~origin ());
+  let fd =
+    Posix.openf posix ~origin path [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  ignore (Posix.pwrite posix ~origin fd ~off:0 (Bytes.make header_bytes 'h'));
+  ignore (Posix.stat posix ~origin path);
+  { posix; fd; header_bytes; numrecs = 0; data_end = header_bytes }
+
+let append_record t data =
+  ignore (Posix.pwrite t.posix ~origin t.fd ~off:t.data_end data);
+  t.data_end <- t.data_end + Bytes.length data;
+  t.numrecs <- t.numrecs + 1;
+  (* Rewriting numrecs overlaps the header written at create time and the
+     previous rewrite: the WAW-S of LAMMPS-NetCDF. *)
+  let field = Bytes.create 4 in
+  Bytes.set_int32_be field 0 (Int32.of_int t.numrecs);
+  ignore (Posix.pwrite t.posix ~origin t.fd ~off:4 field)
+
+let sync t = Posix.fsync t.posix ~origin t.fd
+
+let close t = Posix.close t.posix ~origin t.fd

@@ -1,0 +1,22 @@
+(** NetCDF classic-format writer model.
+
+    The classic format keeps a header at the start of the file whose
+    [numrecs] field is rewritten every time a record is appended along the
+    unlimited dimension.  That rewrite is the single-process
+    write-after-write overlap the paper finds in LAMMPS-NetCDF (Table 4:
+    WAW-S).  All I/O is issued through the instrumented POSIX layer with
+    origin [O_netcdf]. *)
+
+type t
+
+val create : Hpcfs_posix.Posix.ctx -> string -> header_bytes:int -> t
+(** Create the file and write its header ([header_bytes] at offset 0). *)
+
+val append_record : t -> bytes -> unit
+(** Append one record after the current data section, then rewrite the
+    [numrecs] field inside the header (offset 4, 4 bytes). *)
+
+val sync : t -> unit
+(** [nc_sync]: flush to disk (fsync). *)
+
+val close : t -> unit

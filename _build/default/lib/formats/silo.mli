@@ -1,0 +1,26 @@
+(** Silo multi-file ("poor man's parallel", PMPIO) writer model.
+
+    MACSio drives Silo in PMPIO mode: the N ranks are split into M groups,
+    each group sharing one Silo file; within a group a baton is passed so
+    only one rank writes at a time.  A rank's turn appends its mesh block
+    and then updates the file's table of contents twice (directory entry,
+    then the entry count) — two overlapping same-process writes, the WAW-S
+    the paper reports for MACSio.  Because the baton holder closes the file
+    before handing it over, cross-rank overlaps never conflict under
+    session semantics, also matching Table 4 (no WAW-D). *)
+
+type t
+
+val create :
+  Hpcfs_posix.Posix.ctx -> Hpcfs_mpi.Mpi.comm -> nfiles:int -> basename:string -> t
+(** Collective: plans the group layout; rank 0 creates the directory. *)
+
+val group_of_rank : t -> int -> int
+(** Which Silo file a rank writes into. *)
+
+val write_blocks : t -> block:bytes -> unit
+(** Collective: every rank writes its block into its group's file under the
+    baton discipline. *)
+
+val toc_bytes : int
+(** Size of the table-of-contents header at the start of each file. *)

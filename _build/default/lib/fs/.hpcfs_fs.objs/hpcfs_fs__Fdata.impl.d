@@ -1,0 +1,1 @@
+lib/fs/fdata.ml: Array Bytes Consistency Hashtbl Hpcfs_util List

@@ -1,0 +1,1 @@
+lib/fs/fdata.mli: Consistency

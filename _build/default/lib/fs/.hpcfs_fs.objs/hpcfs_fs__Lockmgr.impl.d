@@ -1,0 +1,1 @@
+lib/fs/lockmgr.ml: Hashtbl Hpcfs_util List

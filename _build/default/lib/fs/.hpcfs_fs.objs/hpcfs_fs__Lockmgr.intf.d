@@ -1,0 +1,1 @@
+lib/fs/lockmgr.mli: Hpcfs_util

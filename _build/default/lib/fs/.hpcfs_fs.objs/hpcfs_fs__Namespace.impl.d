@@ -1,0 +1,1 @@
+lib/fs/namespace.ml: Fdata Hashtbl List String

@@ -1,0 +1,1 @@
+lib/fs/pfs.ml: Bytes Consistency Fdata Hpcfs_util Lockmgr Namespace Stripe

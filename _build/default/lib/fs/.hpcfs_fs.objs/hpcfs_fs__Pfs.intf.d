@@ -1,0 +1,1 @@
+lib/fs/pfs.mli: Consistency Fdata Lockmgr Namespace Stripe

@@ -1,0 +1,1 @@
+lib/fs/stripe.ml: Array Hpcfs_util List

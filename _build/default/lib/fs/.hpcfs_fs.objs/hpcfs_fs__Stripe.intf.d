@@ -1,0 +1,1 @@
+lib/fs/stripe.mli: Hpcfs_util

@@ -1,0 +1,38 @@
+type t = Strong | Commit | Session | Eventual of { delay : int }
+
+let strength = function
+  | Strong -> 4
+  | Commit -> 3
+  | Session -> 2
+  | Eventual _ -> 1
+
+let compare_strength a b = compare (strength a) (strength b)
+
+let name = function
+  | Strong -> "strong consistency"
+  | Commit -> "commit consistency"
+  | Session -> "session consistency"
+  | Eventual _ -> "eventual consistency"
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let table1 =
+  [
+    ( "Strong Consistency",
+      [ "GPFS"; "Lustre"; "GekkoFS"; "BeeGFS"; "BatchFS"; "OrangeFS" ] );
+    ("Commit Consistency", [ "BSCFS"; "UnifyFS"; "SymphonyFS"; "BurstFS" ]);
+    ("Session Consistency", [ "NFS"; "AFS"; "DDN IME"; "Gfarm/BB" ]);
+    ("Eventual Consistency", [ "PLFS"; "echofs"; "MarFS" ]);
+  ]
+
+let category_of_pfs fs =
+  let fs = String.lowercase_ascii fs in
+  let matches (_, systems) =
+    List.exists (fun s -> String.lowercase_ascii s = fs) systems
+  in
+  match List.find_opt matches table1 with
+  | Some ("Strong Consistency", _) -> Some Strong
+  | Some ("Commit Consistency", _) -> Some Commit
+  | Some ("Session Consistency", _) -> Some Session
+  | Some ("Eventual Consistency", _) -> Some (Eventual { delay = 0 })
+  | Some _ | None -> None

@@ -1,0 +1,187 @@
+module Interval = Hpcfs_util.Interval
+
+type write_rec = {
+  w_rank : int;
+  w_time : int;
+  w_iv : Interval.t;
+  w_data : bytes;
+}
+
+type t = {
+  mutable writes : write_rec list; (* newest first *)
+  mutable size : int;
+  commits : (int, int list ref) Hashtbl.t; (* rank -> commit times, desc *)
+  opens : (int, int list ref) Hashtbl.t; (* rank -> open times, desc *)
+  closes : (int, int list ref) Hashtbl.t; (* rank -> close times, desc *)
+  mutable laminated_at : int option;
+}
+
+let create () =
+  {
+    writes = [];
+    size = 0;
+    commits = Hashtbl.create 8;
+    opens = Hashtbl.create 8;
+    closes = Hashtbl.create 8;
+    laminated_at = None;
+  }
+
+let size t = t.size
+
+let push tbl rank time =
+  match Hashtbl.find_opt tbl rank with
+  | Some l -> l := time :: !l
+  | None -> Hashtbl.add tbl rank (ref [ time ])
+
+let times tbl rank =
+  match Hashtbl.find_opt tbl rank with Some l -> !l | None -> []
+
+let laminate t ~time = t.laminated_at <- Some time
+
+let is_laminated t = t.laminated_at <> None
+
+let write t ~rank ~time ~off data =
+  if is_laminated t then invalid_arg "Fdata.write: file is laminated";
+  let len = Bytes.length data in
+  if len > 0 then begin
+    t.writes <-
+      { w_rank = rank; w_time = time; w_iv = Interval.of_len off len;
+        w_data = Bytes.copy data }
+      :: t.writes;
+    if off + len > t.size then t.size <- off + len
+  end
+
+let truncate t ~time:_ len =
+  t.writes <-
+    List.filter_map
+      (fun w ->
+        if w.w_iv.Interval.lo >= len then None
+        else if w.w_iv.Interval.hi <= len then Some w
+        else begin
+          let keep = len - w.w_iv.Interval.lo in
+          Some
+            {
+              w with
+              w_iv = Interval.make w.w_iv.Interval.lo len;
+              w_data = Bytes.sub w.w_data 0 keep;
+            }
+        end)
+      t.writes;
+  t.size <- len
+
+let commit t ~rank ~time = push t.commits rank time
+
+let session_open t ~rank ~time = push t.opens rank time
+
+let session_close t ~rank ~time =
+  push t.closes rank time;
+  (* A close also makes pending writes globally visible under commit
+     semantics (cf. Section 3.2: "a close() call usually also has the
+     effect of a commit"). *)
+  push t.commits rank time
+
+(* Does [rank] observe write [w] at [time] under [semantics]?  A process
+   always sees its own writes in order (the "single process" guarantee most
+   PFSs provide, Section 3.5). *)
+let visible t ~semantics ~rank ~time w =
+  if w.w_rank = rank then true
+  else if
+    (* Lamination publishes every write to every reader. *)
+    match t.laminated_at with Some tl -> tl <= time | None -> false
+  then true
+  else
+    match (semantics : Consistency.t) with
+    | Strong -> true
+    | Commit ->
+      List.exists
+        (fun tc -> w.w_time < tc && tc <= time)
+        (times t.commits w.w_rank)
+    | Session ->
+      let closes = times t.closes w.w_rank in
+      let opens = times t.opens rank in
+      List.exists
+        (fun tc ->
+          w.w_time < tc
+          && List.exists (fun topen -> tc < topen && topen <= time) opens)
+        closes
+    | Eventual { delay } -> w.w_time + delay <= time
+
+type read_result = { data : bytes; stale_bytes : int }
+
+(* When a write becomes effective from this reader's point of view.  Under
+   the relaxed models, a remote write only takes effect when the operation
+   that published it executes (the writer's commit or close), so two
+   overlapping writes can take effect in an order different from their
+   issue order — the write-after-write hazard the paper's analysis hunts
+   for.  A process's own writes are always effective at issue time. *)
+let effective_time t ~semantics ~rank w =
+  if w.w_rank = rank then w.w_time
+  else if
+    match t.laminated_at with Some _ -> true | None -> false
+  then w.w_time
+  else begin
+    let first_after times =
+      List.fold_left
+        (fun best tc -> if tc > w.w_time && tc < best then tc else best)
+        max_int times
+    in
+    match (semantics : Consistency.t) with
+    | Strong -> w.w_time
+    | Commit -> first_after (times t.commits w.w_rank)
+    | Session -> first_after (times t.closes w.w_rank)
+    | Eventual { delay } -> w.w_time + delay
+  end
+
+let read ?(local_order = true) t ~semantics ~rank ~time ~off ~len =
+  let len = max 0 (min len (max 0 (t.size - off))) in
+  let req = Interval.of_len off len in
+  let data = Bytes.make len '\000' in
+  (* Identity of the write that paints each byte, computed twice: once in
+     issue order over all writes (what a strongly-consistent PFS returns)
+     and once in effective order over the visible writes (what this reader
+     observes).  A byte is stale when the two disagree — either because its
+     newest write is not yet visible, or because visibility reordered
+     overlapping writes. *)
+  let vis_seq = Array.make len (-1) in
+  let any_seq = Array.make len (-1) in
+  let paint seq_arr ?into seq w =
+    match Interval.intersect req w.w_iv with
+    | None -> ()
+    | Some inter ->
+      let src_pos = inter.Interval.lo - w.w_iv.Interval.lo in
+      let dst_pos = inter.Interval.lo - off in
+      let n = Interval.length inter in
+      (match into with
+      | Some buf -> Bytes.blit w.w_data src_pos buf dst_pos n
+      | None -> ());
+      Array.fill seq_arr dst_pos n seq
+  in
+  let ordered = List.rev t.writes in
+  List.iteri (fun seq w -> paint any_seq seq w) ordered;
+  let visible_writes =
+    List.mapi (fun seq w -> (seq, w)) ordered
+    |> List.filter (fun (_, w) -> visible t ~semantics ~rank ~time w)
+  in
+  let keyed =
+    List.map
+      (fun (seq, w) ->
+        if local_order then
+          (effective_time t ~semantics ~rank w, w.w_time, seq, w)
+        else begin
+          (* BurstFS mode: no single-process ordering.  Writes published by
+             the same operation tie on effective time; break the tie in
+             reverse issue order — a legal, adversarial outcome. *)
+          let eff = effective_time t ~semantics ~rank:(-2) w in
+          (eff, -w.w_time, -seq, w)
+        end)
+      visible_writes
+  in
+  let sorted = List.sort compare keyed in
+  List.iter (fun (_, _, seq, w) -> paint vis_seq ~into:data seq w) sorted;
+  let stale = ref 0 in
+  for i = 0 to len - 1 do
+    if any_seq.(i) <> vis_seq.(i) then incr stale
+  done;
+  { data; stale_bytes = !stale }
+
+let write_count t = List.length t.writes

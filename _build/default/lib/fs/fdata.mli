@@ -1,0 +1,70 @@
+(** Per-file write history and visibility resolution.
+
+    A regular file is stored not as a flat byte array but as the full log of
+    write extents, together with the commit / session events of every
+    process.  A read is answered by composing the writes that are {e visible}
+    to the reading process under the active consistency semantics
+    ({!Consistency.t}); the same read also reports how many of the requested
+    bytes are {e stale} — covered by a newer write that is not yet visible.
+    Staleness is what turns a "potential conflict" of the paper into an
+    observable wrong read, so it is the ground truth the trace-analysis
+    predictions are validated against. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Current file size: the high-water mark of all writes and truncations.
+    (Metadata is kept strongly consistent; only data visibility is
+    relaxed.) *)
+
+val write : t -> rank:int -> time:int -> off:int -> bytes -> unit
+(** Record a write of the full buffer at [off]. Extends the size if needed. *)
+
+val truncate : t -> time:int -> int -> unit
+(** [truncate t ~time len] discards write history beyond [len] and sets the
+    size.  Truncation is modeled as a strongly-consistent metadata
+    operation. *)
+
+type read_result = {
+  data : bytes;  (** Bytes visible to the reader; unwritten bytes are 0. *)
+  stale_bytes : int;
+      (** Requested bytes whose globally-latest write was not visible to the
+          reader — each is a consistency violation waiting to happen. *)
+}
+
+val read :
+  ?local_order:bool ->
+  t -> semantics:Consistency.t -> rank:int -> time:int -> off:int -> len:int ->
+  read_result
+(** Resolve a read of [len] bytes at [off] as seen by [rank] at [time].
+    Reads past the current size return the in-range prefix.
+
+    [local_order] (default true) is the single-process guarantee of
+    Section 3.5: a process's own overlapping writes take effect in issue
+    order.  BurstFS does not provide it — with [local_order:false],
+    overlapping writes published by the same commit take effect in an
+    adversarial (reversed) order, modelling the paper's warning that "a
+    read following two writes from the same process could return the value
+    of either write". *)
+
+val commit : t -> rank:int -> time:int -> unit
+(** Record a commit (fsync/fdatasync/lamination) by [rank]. *)
+
+val session_open : t -> rank:int -> time:int -> unit
+(** Record the start of a session ([open]) by [rank]. *)
+
+val session_close : t -> rank:int -> time:int -> unit
+(** Record the end of a session ([close]) by [rank].  A close also counts
+    as a commit, as in the systems surveyed by the paper. *)
+
+val laminate : t -> time:int -> unit
+(** UnifyFS-style lamination (Section 3.2): the file becomes permanently
+    read-only and all of its data becomes globally visible, regardless of
+    the consistency model.  Later writes raise [Invalid_argument]. *)
+
+val is_laminated : t -> bool
+
+val write_count : t -> int
+(** Number of recorded write extents (for tests and reports). *)

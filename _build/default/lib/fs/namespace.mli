@@ -1,0 +1,64 @@
+(** Hierarchical namespace of the simulated PFS.
+
+    Paths are absolute, '/'-separated.  Metadata (the directory tree, file
+    sizes, timestamps) is kept strongly consistent — the paper's analysis
+    relaxes only data operations and defers metadata semantics to future
+    work, so a single authoritative tree is the right model. *)
+
+type t
+
+type kind = Regular | Directory
+
+type stat = {
+  st_kind : kind;
+  st_size : int;
+  st_mtime : int;
+  st_ctime : int;
+  st_atime : int;
+}
+
+exception Not_found_path of string
+exception Exists of string
+exception Not_a_directory of string
+exception Is_a_directory of string
+exception Not_empty of string
+
+val create : unit -> t
+(** A namespace containing only the root directory. *)
+
+val lookup_file : t -> string -> Fdata.t
+(** File payload at a path. Raises {!Not_found_path} / {!Is_a_directory}. *)
+
+val create_file : t -> time:int -> string -> Fdata.t
+(** Create a regular file; parent directories must exist.  Raises
+    {!Exists} if the path already names a directory; returns the existing
+    payload when it names a file (open with O_CREAT on an existing file). *)
+
+val exists : t -> string -> bool
+val is_dir : t -> string -> bool
+
+val mkdir : t -> time:int -> string -> unit
+(** Raises {!Exists} if the path already exists. *)
+
+val rmdir : t -> string -> unit
+(** Raises {!Not_empty} unless the directory is empty. *)
+
+val unlink : t -> string -> unit
+(** Remove a regular file. *)
+
+val rename : t -> time:int -> string -> string -> unit
+(** Move a file or directory; the destination must not exist. *)
+
+val readdir : t -> string -> string list
+(** Entry names of a directory, sorted. *)
+
+val stat : t -> string -> stat
+
+val touch_mtime : t -> time:int -> string -> unit
+(** Bump a path's modification time (called on data writes). *)
+
+val touch_atime : t -> time:int -> string -> unit
+(** Bump a path's access time (called on data reads). *)
+
+val all_files : t -> string list
+(** Paths of every regular file, sorted — used by validation sweeps. *)

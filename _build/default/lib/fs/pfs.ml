@@ -1,0 +1,138 @@
+module Interval = Hpcfs_util.Interval
+
+type t = {
+  semantics : Consistency.t;
+  local_order : bool;
+  namespace : Namespace.t;
+  stripe : Stripe.t;
+  lockmgr : Lockmgr.t;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable stale_reads : int;
+  mutable stale_bytes : int;
+}
+
+let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
+    semantics =
+  let stripe =
+    match stripe with
+    | Some s -> s
+    | None -> Stripe.create ~stripe_size:(1 lsl 20) ~server_count:8
+  in
+  {
+    semantics;
+    local_order;
+    namespace = Namespace.create ();
+    stripe;
+    lockmgr = Lockmgr.create ~granularity:lock_granularity;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    stale_reads = 0;
+    stale_bytes = 0;
+  }
+
+let semantics t = t.semantics
+let namespace t = t.namespace
+let stripe t = t.stripe
+
+let account_lock t ~file ~rank mode iv =
+  match t.semantics with
+  | Consistency.Strong -> Lockmgr.access t.lockmgr ~file ~client:rank mode iv
+  | Consistency.Commit | Consistency.Session | Consistency.Eventual _ -> ()
+
+let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
+  let fd =
+    if create then Namespace.create_file t.namespace ~time path
+    else Namespace.lookup_file t.namespace path
+  in
+  if trunc then Fdata.truncate fd ~time 0;
+  Fdata.session_open fd ~rank ~time;
+  Fdata.size fd
+
+let close_file t ~time ~rank path =
+  let fd = Namespace.lookup_file t.namespace path in
+  Fdata.session_close fd ~rank ~time;
+  Lockmgr.release_client t.lockmgr ~file:path ~client:rank
+
+let read t ~time ~rank path ~off ~len =
+  let fd = Namespace.lookup_file t.namespace path in
+  if len > 0 then
+    account_lock t ~file:path ~rank Lockmgr.Read (Interval.of_len off len);
+  let result =
+    Fdata.read ~local_order:t.local_order fd ~semantics:t.semantics ~rank
+      ~time ~off ~len
+  in
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + Bytes.length result.Fdata.data;
+  if result.Fdata.stale_bytes > 0 then begin
+    t.stale_reads <- t.stale_reads + 1;
+    t.stale_bytes <- t.stale_bytes + result.Fdata.stale_bytes
+  end;
+  Namespace.touch_atime t.namespace ~time path;
+  result
+
+let write t ~time ~rank path ~off data =
+  let fd = Namespace.lookup_file t.namespace path in
+  let len = Bytes.length data in
+  if len > 0 then
+    account_lock t ~file:path ~rank Lockmgr.Write (Interval.of_len off len);
+  Fdata.write fd ~rank ~time ~off data;
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + len;
+  Namespace.touch_mtime t.namespace ~time path
+
+let fsync t ~time ~rank path =
+  let fd = Namespace.lookup_file t.namespace path in
+  Fdata.commit fd ~rank ~time
+
+let laminate t ~time path =
+  Fdata.laminate (Namespace.lookup_file t.namespace path) ~time
+
+let truncate t ~time path len =
+  let fd = Namespace.lookup_file t.namespace path in
+  Fdata.truncate fd ~time len;
+  Namespace.touch_mtime t.namespace ~time path
+
+let file_size t path = Fdata.size (Namespace.lookup_file t.namespace path)
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  stale_reads : int;
+  stale_bytes : int;
+  locks : Lockmgr.counters;
+}
+
+let stats (t : t) =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    bytes_read = t.bytes_read;
+    bytes_written = t.bytes_written;
+    stale_reads = t.stale_reads;
+    stale_bytes = t.stale_bytes;
+    locks = Lockmgr.counters t.lockmgr;
+  }
+
+let reset_stats (t : t) =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.stale_reads <- 0;
+  t.stale_bytes <- 0;
+  Lockmgr.reset t.lockmgr
+
+let observer_rank = -1
+
+let read_back t ~time path =
+  let fd = Namespace.lookup_file t.namespace path in
+  Fdata.session_open fd ~rank:observer_rank ~time;
+  Fdata.read ~local_order:t.local_order fd ~semantics:t.semantics
+    ~rank:observer_rank ~time:(time + 1) ~off:0 ~len:(Fdata.size fd)

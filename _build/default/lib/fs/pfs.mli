@@ -1,0 +1,66 @@
+(** The parallel file system simulator.
+
+    Combines the namespace, per-file write histories, a consistency engine
+    and the lock-manager cost model behind one façade.  The POSIX layer
+    (lib/posix) drives it; the validation experiments run the same
+    application against different {!Consistency.t} values and compare what
+    reads observe.
+
+    The module is time-agnostic: callers pass logical timestamps (from
+    [Sched.tick]) so the library stays usable on replayed traces too. *)
+
+type t
+
+val create :
+  ?stripe:Stripe.t -> ?lock_granularity:int -> ?local_order:bool ->
+  Consistency.t -> t
+(** [lock_granularity] (default 1 MiB) is used only under strong
+    semantics, where accesses are accounted against the lock manager.
+    [local_order] (default true) is the single-process write-ordering
+    guarantee; disable it to model BurstFS (Section 3.5). *)
+
+val semantics : t -> Consistency.t
+val namespace : t -> Namespace.t
+val stripe : t -> Stripe.t
+
+val open_file :
+  t -> time:int -> rank:int -> ?create:bool -> ?trunc:bool -> string -> int
+(** Open a file, recording the start of a session for [rank]; returns its
+    current size (after truncation).  Raises [Namespace.Not_found_path]
+    when the file does not exist and [create] is false. *)
+
+val close_file : t -> time:int -> rank:int -> string -> unit
+(** Record the end of [rank]'s session (which also commits its writes) and
+    release its locks. *)
+
+val read : t -> time:int -> rank:int -> string -> off:int -> len:int -> Fdata.read_result
+val write : t -> time:int -> rank:int -> string -> off:int -> bytes -> unit
+
+val fsync : t -> time:int -> rank:int -> string -> unit
+(** The commit operation of commit semantics. *)
+
+val laminate : t -> time:int -> string -> unit
+(** UnifyFS lamination: publish the file to every process and make it
+    permanently read-only. *)
+
+val truncate : t -> time:int -> string -> int -> unit
+
+val file_size : t -> string -> int
+
+type stats = {
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  stale_reads : int;  (** Reads that returned at least one stale byte. *)
+  stale_bytes : int;  (** Total stale bytes returned. *)
+  locks : Lockmgr.counters;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val read_back : t -> time:int -> string -> Fdata.read_result
+(** Read a file's full contents as a fresh observer that opens after every
+    writer has closed — what a post-run validation pass (or the next job in
+    a workflow) would see.  Uses a synthetic rank that never wrote. *)

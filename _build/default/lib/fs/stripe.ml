@@ -1,0 +1,41 @@
+module Interval = Hpcfs_util.Interval
+
+type t = { stripe_size : int; server_count : int }
+
+let create ~stripe_size ~server_count =
+  if stripe_size <= 0 || server_count <= 0 then
+    invalid_arg "Stripe.create: parameters must be positive";
+  { stripe_size; server_count }
+
+let server_of_offset t off = off / t.stripe_size mod t.server_count
+
+let split_extent t iv =
+  let rec go lo acc =
+    if lo >= iv.Interval.hi then List.rev acc
+    else begin
+      let stripe_end = ((lo / t.stripe_size) + 1) * t.stripe_size in
+      let hi = min stripe_end iv.Interval.hi in
+      go hi ((server_of_offset t lo, Interval.make lo hi) :: acc)
+    end
+  in
+  go iv.Interval.lo []
+
+let server_load t extents =
+  let load = Array.make t.server_count 0 in
+  List.iter
+    (fun iv ->
+      List.iter
+        (fun (s, piece) -> load.(s) <- load.(s) + Interval.length piece)
+        (split_extent t iv))
+    extents;
+  load
+
+let requests_per_server t extents =
+  let reqs = Array.make t.server_count 0 in
+  List.iter
+    (fun iv ->
+      let touched = Array.make t.server_count false in
+      List.iter (fun (s, _) -> touched.(s) <- true) (split_extent t iv);
+      Array.iteri (fun s hit -> if hit then reqs.(s) <- reqs.(s) + 1) touched)
+    extents;
+  reqs

@@ -1,0 +1,23 @@
+(** File striping across data servers (Lustre-style layout model).
+
+    Used by the benchmark harness to report how an application's extents
+    spread over object storage targets — the server-side counterpart of the
+    paper's "global access pattern" discussion. *)
+
+type t = { stripe_size : int; server_count : int }
+
+val create : stripe_size:int -> server_count:int -> t
+(** Raises [Invalid_argument] unless both parameters are positive. *)
+
+val server_of_offset : t -> int -> int
+(** Data server holding the given byte. *)
+
+val split_extent : t -> Hpcfs_util.Interval.t -> (int * Hpcfs_util.Interval.t) list
+(** Decompose an extent into per-server pieces, in offset order. *)
+
+val server_load : t -> Hpcfs_util.Interval.t list -> int array
+(** Bytes landing on each server for a set of extents. *)
+
+val requests_per_server : t -> Hpcfs_util.Interval.t list -> int array
+(** Number of (sub-)requests each server receives — each extent contributes
+    one request to every server it touches. *)

@@ -1,0 +1,1 @@
+lib/hdf5/hdf5.ml: Array Bytes Char Hashtbl Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Hpcfs_sim Hpcfs_trace List Printf

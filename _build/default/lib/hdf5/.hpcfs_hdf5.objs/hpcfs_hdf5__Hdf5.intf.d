@@ -1,0 +1,1 @@
+lib/hdf5/hdf5.mli: Hpcfs_mpiio Hpcfs_posix

@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Array Hashtbl Hpcfs_sim List Queue

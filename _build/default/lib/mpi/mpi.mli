@@ -1,0 +1,74 @@
+(** Simulated MPI: communicators, point-to-point messages and collectives.
+
+    This is the communication substrate the application models run on.  It
+    provides just enough of MPI for the I/O study: ranks, barriers, typed
+    point-to-point messages, and the collectives that parallel I/O libraries
+    use for aggregation.  Every operation records an event in the
+    communicator's event log, from which the analysis reconstructs the
+    happens-before order (matching sends to receives and collective
+    invocations, as in the paper's validation of its timestamp-order
+    assumption).
+
+    All calls must be made from inside a {!Sched.run} process body. *)
+
+type payload =
+  | P_unit
+  | P_int of int
+  | P_ints of int array
+  | P_bytes of bytes
+      (** Message contents.  A small closed universe keeps the simulator
+          type-safe without functorizing every application over a message
+          type. *)
+
+type event =
+  | E_send of { src : int; dst : int; tag : int; time : int }
+  | E_recv of { src : int; dst : int; tag : int; time : int }
+  | E_barrier of { rank : int; gen : int; enter : int; exit : int }
+  | E_coll of { rank : int; name : string; seq : int; enter : int; exit : int }
+      (** Communication events, timestamped with the logical clock. *)
+
+type comm
+(** A communicator over all ranks of the running simulation. *)
+
+val world : unit -> comm
+(** Create the world communicator.  Must be created once, before
+    [Sched.run], and shared by all ranks (it holds the mailboxes). *)
+
+val rank : comm -> int
+val size : comm -> int
+
+val wtime : unit -> int
+(** Current logical time (alias for [Sched.now]). *)
+
+val barrier : comm -> unit
+(** Block until every rank of the communicator has entered the barrier. *)
+
+val send : comm -> dst:int -> tag:int -> payload -> unit
+(** Asynchronous (buffered) send. *)
+
+val recv : comm -> src:int -> tag:int -> payload
+(** Blocking receive of the oldest matching message. *)
+
+val bcast : comm -> root:int -> payload -> payload
+(** Every rank passes its local value; all return the root's value. *)
+
+val gather : comm -> root:int -> payload -> payload array option
+(** Root returns [Some values] indexed by rank; others return [None]. *)
+
+val allgather : comm -> payload -> payload array
+(** Every rank returns the values of all ranks, indexed by rank. *)
+
+type reduce_op = Sum | Max | Min
+
+val reduce : comm -> root:int -> reduce_op -> int -> int option
+(** Integer reduction to the root. *)
+
+val allreduce : comm -> reduce_op -> int -> int
+(** Integer reduction, result on every rank. *)
+
+val scatter : comm -> root:int -> payload array option -> payload
+(** Root supplies [Some values] (one per rank); every rank returns its own. *)
+
+val events : comm -> event list
+(** All recorded events, in increasing logical-time order.  Only meaningful
+    after [Sched.run] returns. *)

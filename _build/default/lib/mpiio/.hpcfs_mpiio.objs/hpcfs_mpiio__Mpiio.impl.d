@@ -1,0 +1,1 @@
+lib/mpiio/mpiio.ml: Array Bytes Fun Hashtbl Hpcfs_mpi Hpcfs_posix Hpcfs_sim Hpcfs_trace Hpcfs_util List Option

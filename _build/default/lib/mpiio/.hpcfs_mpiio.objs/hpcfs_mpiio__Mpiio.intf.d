@@ -1,0 +1,1 @@
+lib/mpiio/mpiio.mli: Hpcfs_mpi Hpcfs_posix Hpcfs_trace

@@ -1,0 +1,1 @@
+lib/posix/posix.ml: Bytes Hashtbl Hpcfs_fs Hpcfs_sim Hpcfs_trace List String

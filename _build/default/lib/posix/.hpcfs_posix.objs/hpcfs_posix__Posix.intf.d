@@ -1,0 +1,1 @@
+lib/posix/posix.mli: Hpcfs_fs Hpcfs_trace

@@ -1,0 +1,99 @@
+(** Instrumented POSIX I/O API over the PFS simulator.
+
+    This is the interposition point of the study: every call allocates a
+    logical timestamp, emits a {!Hpcfs_trace.Record.t} into the run's
+    collector (tagged with the software layer that issued it) and then
+    performs the operation against {!Hpcfs_fs.Pfs}.  The surface mirrors
+    the calls Recorder hooks: the data operations, the stdio variants, and
+    the metadata/utility operations of the paper's footnote 3.
+
+    All calls must run inside a [Sched.run] process body; rank identity is
+    taken from the scheduler. *)
+
+type ctx
+(** Shared state of one traced run: the PFS, the trace collector, and the
+    per-rank descriptor tables. *)
+
+val make_ctx : Hpcfs_fs.Pfs.t -> Hpcfs_trace.Collector.t -> ctx
+
+val pfs : ctx -> Hpcfs_fs.Pfs.t
+val collector : ctx -> Hpcfs_trace.Collector.t
+
+exception Posix_error of { func : string; path : string; msg : string }
+
+type flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND
+
+type origin = Hpcfs_trace.Record.origin
+
+(** {1 Data operations} *)
+
+val openf : ctx -> ?origin:origin -> string -> flag list -> int
+(** [openf ctx path flags] returns a new file descriptor.  Raises
+    {!Posix_error} when the file is absent and [O_CREAT] was not given. *)
+
+val close : ctx -> ?origin:origin -> int -> unit
+val read : ctx -> ?origin:origin -> int -> int -> bytes
+val write : ctx -> ?origin:origin -> int -> bytes -> int
+val pread : ctx -> ?origin:origin -> int -> off:int -> int -> bytes
+val pwrite : ctx -> ?origin:origin -> int -> off:int -> bytes -> int
+
+type whence = SEEK_SET | SEEK_CUR | SEEK_END
+
+val lseek : ctx -> ?origin:origin -> int -> int -> whence -> int
+(** Returns the new file position. *)
+
+val fsync : ctx -> ?origin:origin -> int -> unit
+val fdatasync : ctx -> ?origin:origin -> int -> unit
+
+(** {1 stdio variants}
+
+    Thin wrappers over the same descriptors that trace under the stdio
+    function names ([fopen], [fwrite], ...), since applications in the study
+    (especially Fortran codes) appear in traces through stdio. *)
+
+val fopen : ctx -> ?origin:origin -> string -> string -> int
+(** [fopen ctx path mode] with mode one of "r", "r+", "w", "w+", "a", "a+". *)
+
+val fclose : ctx -> ?origin:origin -> int -> unit
+val fread : ctx -> ?origin:origin -> int -> int -> bytes
+val fwrite : ctx -> ?origin:origin -> int -> bytes -> int
+val fseek : ctx -> ?origin:origin -> int -> int -> whence -> unit
+val fflush : ctx -> ?origin:origin -> int -> unit
+
+(** {1 Metadata and utility operations (footnote 3)} *)
+
+val stat : ctx -> ?origin:origin -> string -> Hpcfs_fs.Namespace.stat
+val lstat : ctx -> ?origin:origin -> string -> Hpcfs_fs.Namespace.stat
+val fstat : ctx -> ?origin:origin -> int -> Hpcfs_fs.Namespace.stat
+val access : ctx -> ?origin:origin -> string -> bool
+val mkdir : ctx -> ?origin:origin -> string -> unit
+val rmdir : ctx -> ?origin:origin -> string -> unit
+val unlink : ctx -> ?origin:origin -> string -> unit
+val rename : ctx -> ?origin:origin -> string -> string -> unit
+val getcwd : ctx -> ?origin:origin -> unit -> string
+val chdir : ctx -> ?origin:origin -> string -> unit
+val truncate : ctx -> ?origin:origin -> string -> int -> unit
+val ftruncate : ctx -> ?origin:origin -> int -> int -> unit
+val dup : ctx -> ?origin:origin -> int -> int
+val dup2 : ctx -> ?origin:origin -> int -> int -> int
+val fcntl : ctx -> ?origin:origin -> int -> string -> int
+val umask : ctx -> ?origin:origin -> int -> int
+val fileno : ctx -> ?origin:origin -> int -> int
+val opendir : ctx -> ?origin:origin -> string -> string list
+(** Emits [opendir]/[readdir]/[closedir] records and returns the entries,
+    modelling the usual scan loop in one call. *)
+
+val mmap : ctx -> ?origin:origin -> int -> len:int -> unit
+val msync : ctx -> ?origin:origin -> int -> unit
+val readlink : ctx -> ?origin:origin -> string -> string
+val chmod : ctx -> ?origin:origin -> string -> int -> unit
+val utime : ctx -> ?origin:origin -> string -> unit
+val remove : ctx -> ?origin:origin -> string -> unit
+
+(** {1 Introspection} *)
+
+val fd_path : ctx -> int -> string
+(** Path a descriptor was opened on (for tests and I/O libraries). *)
+
+val fd_pos : ctx -> int -> int
+(** Current file position of a descriptor. *)

@@ -1,0 +1,121 @@
+open Effect
+open Effect.Deep
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Wait : (unit -> bool) -> unit Effect.t
+
+type proc =
+  | Fresh of (unit -> unit)
+  | Runnable of (unit, unit) continuation
+  | Waiting of (unit -> bool) * (unit, unit) continuation
+  | Finished
+
+type state = {
+  procs : proc array;
+  mutable clock : int;
+  mutable current : int;
+}
+
+let current_sim : state option ref = ref None
+
+let get_sim what =
+  match !current_sim with
+  | Some s -> s
+  | None -> invalid_arg (what ^ ": no simulation running")
+
+let self () = (get_sim "Sched.self").current
+let nprocs () = Array.length (get_sim "Sched.nprocs").procs
+
+let tick () =
+  let s = get_sim "Sched.tick" in
+  s.clock <- s.clock + 1;
+  s.clock
+
+let now () = (get_sim "Sched.now").clock
+
+let yield () = perform Yield
+let wait_until pred = perform (Wait pred)
+
+(* Run one process until it yields, blocks or finishes; record the resulting
+   proc state back into the array.
+
+   The deep handler is installed once, when the fiber first starts; every
+   subsequent suspension is caught by that same handler (deep semantics),
+   which stores the continuation and lets control return to the scheduler at
+   the point of the [continue] that resumed the fiber. *)
+let step s r =
+  let handler =
+    {
+      retc = (fun () -> s.procs.(r) <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) -> s.procs.(r) <- Runnable k)
+          | Wait pred ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                s.procs.(r) <- Waiting (pred, k))
+          | _ -> None);
+    }
+  in
+  s.current <- r;
+  match s.procs.(r) with
+  | Fresh body -> match_with body () handler
+  | Runnable k -> continue k ()
+  | Waiting (pred, k) -> if pred () then continue k ()
+  | Finished -> ()
+
+let run ~nprocs body =
+  if nprocs <= 0 then invalid_arg "Sched.run: nprocs must be positive";
+  if !current_sim <> None then invalid_arg "Sched.run: already running";
+  let s =
+    {
+      procs = Array.init nprocs (fun r -> Fresh (fun () -> body r));
+      clock = 0;
+      current = 0;
+    }
+  in
+  current_sim := Some s;
+  let all_finished () =
+    Array.for_all (function Finished -> true | _ -> false) s.procs
+  in
+  let finish () = current_sim := None in
+  let rec loop () =
+    if all_finished () then ()
+    else begin
+      let clock_before = s.clock in
+      let progressed = ref false in
+      for r = 0 to nprocs - 1 do
+        let before = s.procs.(r) in
+        step s r;
+        (match (before, s.procs.(r)) with
+        | Waiting _, Waiting _ -> ()
+        | Finished, Finished -> ()
+        | _, _ -> progressed := true)
+      done;
+      if (not !progressed) && s.clock = clock_before && not (all_finished ())
+      then begin
+        let blocked =
+          Array.to_list s.procs
+          |> List.mapi (fun r p ->
+                 match p with Waiting _ -> Some r | _ -> None)
+          |> List.filter_map Fun.id
+          |> List.map string_of_int
+          |> String.concat ","
+        in
+        raise (Deadlock (Printf.sprintf "ranks blocked: %s" blocked))
+      end;
+      loop ()
+    end
+  in
+  match loop () with
+  | () -> finish ()
+  | exception e ->
+    finish ();
+    raise e

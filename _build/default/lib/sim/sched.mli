@@ -1,0 +1,46 @@
+(** Deterministic cooperative scheduler for simulated MPI ranks.
+
+    Each simulated process (rank) is an OCaml effect-handler coroutine.  The
+    scheduler runs them round-robin: a process executes until it yields or
+    blocks on a predicate, at which point control passes to the next runnable
+    process.  A global logical clock advances on every traced operation
+    ([tick]); because a blocked process only resumes after the operation that
+    unblocked it has executed, the resulting timestamps respect the
+    happens-before order induced by inter-process synchronization — the very
+    property Section 5.2 of the paper establishes for its adjusted wall-clock
+    timestamps.
+
+    The scheduler is not reentrant: only one simulation may run at a time.
+    [self], [tick], [now], [yield] and [wait_until] must only be called from
+    inside a process body during [run]. *)
+
+exception Deadlock of string
+(** Raised when no process can make progress but some are unfinished. *)
+
+val run : nprocs:int -> (int -> unit) -> unit
+(** [run ~nprocs body] starts [nprocs] processes, process [r] executing
+    [body r], and schedules them to completion.  Exceptions escaping a
+    process body are re-raised to the caller.  Raises [Deadlock] when every
+    remaining process is blocked on a false predicate. *)
+
+val self : unit -> int
+(** Rank of the currently executing process. *)
+
+val nprocs : unit -> int
+(** Number of processes of the running simulation. *)
+
+val yield : unit -> unit
+(** Voluntarily pass control to the next runnable process. *)
+
+val wait_until : (unit -> bool) -> unit
+(** [wait_until pred] blocks the calling process until [pred ()] is true.
+    The predicate must be monotone (once true, stays true until the process
+    resumes) for the simulation to be deterministic. *)
+
+val tick : unit -> int
+(** Advance the logical clock and return its new value.  Every traced I/O or
+    communication operation calls this exactly once, so clock values are
+    unique and totally ordered by execution. *)
+
+val now : unit -> int
+(** Current clock value without advancing it. *)

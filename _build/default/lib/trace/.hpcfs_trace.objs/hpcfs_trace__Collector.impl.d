@@ -1,0 +1,1 @@
+lib/trace/collector.ml: Array List Record

@@ -1,0 +1,1 @@
+lib/trace/opclass.ml: Hashtbl List

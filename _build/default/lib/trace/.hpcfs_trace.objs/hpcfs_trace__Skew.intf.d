@@ -1,0 +1,1 @@
+lib/trace/skew.mli: Record

@@ -1,0 +1,1 @@
+lib/trace/tracefile.ml: Buffer Fun In_channel List Printf Record String

@@ -1,0 +1,27 @@
+type t = { mutable records : Record.t list; mutable count : int }
+
+let create () = { records = []; count = 0 }
+
+let emit t r =
+  t.records <- r :: t.records;
+  t.count <- t.count + 1
+
+(* Records are emitted with monotonically increasing logical timestamps, so
+   reversing the accumulation list restores time order without sorting. *)
+let records t = List.rev t.records
+
+let by_rank t =
+  let max_rank =
+    List.fold_left (fun acc r -> max acc r.Record.rank) (-1) t.records
+  in
+  let buckets = Array.make (max_rank + 1) [] in
+  List.iter
+    (fun r -> buckets.(r.Record.rank) <- r :: buckets.(r.Record.rank))
+    t.records;
+  buckets
+
+let count t = t.count
+
+let clear t =
+  t.records <- [];
+  t.count <- 0

@@ -1,0 +1,18 @@
+(** In-memory trace sink shared by every instrumented I/O layer of one run. *)
+
+type t
+
+val create : unit -> t
+
+val emit : t -> Record.t -> unit
+
+val records : t -> Record.t list
+(** All records in increasing timestamp order. *)
+
+val by_rank : t -> Record.t list array
+(** Records split per rank (index = rank), each in timestamp order.
+    The array is sized by the largest rank seen. *)
+
+val count : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,38 @@
+type t =
+  | Data_read
+  | Data_write
+  | Open
+  | Close
+  | Commit
+  | Seek
+  | Metadata
+  | Other
+
+let monitored_metadata_ops =
+  [
+    "mmap"; "mmap64"; "msync"; "stat"; "stat64"; "lstat"; "lstat64"; "fstat";
+    "fstat64"; "getcwd"; "mkdir"; "rmdir"; "chdir"; "link"; "linkat";
+    "unlink"; "symlink"; "symlinkat"; "readlink"; "readlinkat"; "rename";
+    "chmod"; "chown"; "lchown"; "utime"; "opendir"; "readdir"; "closedir";
+    "rewinddir"; "mknod"; "mknodat"; "fcntl"; "dup"; "dup2"; "pipe";
+    "mkfifo"; "umask"; "fileno"; "access"; "faccessat"; "tmpfile"; "remove";
+    "truncate"; "ftruncate";
+  ]
+
+let metadata_set = Hashtbl.create 64
+
+let () =
+  List.iter (fun f -> Hashtbl.replace metadata_set f ()) monitored_metadata_ops
+
+let classify = function
+  | "read" | "pread" | "pread64" | "fread" | "readv" -> Data_read
+  | "write" | "pwrite" | "pwrite64" | "fwrite" | "writev" -> Data_write
+  | "open" | "open64" | "fopen" | "fopen64" | "creat" -> Open
+  | "close" | "fclose" -> Close
+  | "fsync" | "fdatasync" | "fflush" -> Commit
+  | "lseek" | "lseek64" | "fseek" | "fseeko" -> Seek
+  | f -> if Hashtbl.mem metadata_set f then Metadata else Other
+
+let is_commit_for_conflicts = function
+  | "fsync" | "fdatasync" | "fflush" | "fclose" | "close" -> true
+  | _ -> false

@@ -1,0 +1,27 @@
+(** Classification of traced POSIX functions.
+
+    Mirrors the paper's operational taxonomy: data reads and writes drive
+    the conflict analysis; [fsync]/[fdatasync]/[fflush]/[close]/[fclose]
+    count as commit operations (footnote 2); and footnote 3's list of
+    metadata and utility operations feeds the Figure 3 inventory. *)
+
+type t =
+  | Data_read
+  | Data_write
+  | Open
+  | Close
+  | Commit  (** fsync / fdatasync / fflush — commit without closing. *)
+  | Seek
+  | Metadata  (** Footnote 3 operations: stat, mkdir, unlink, ... *)
+  | Other
+
+val classify : string -> t
+(** Classify a POSIX-layer function name. *)
+
+val monitored_metadata_ops : string list
+(** The footnote-3 list, in the paper's order: operations whose usage
+    Figure 3 inventories. *)
+
+val is_commit_for_conflicts : string -> bool
+(** True for the functions the paper treats as commits when testing commit
+    semantics: fsync, fdatasync, fflush, fclose, close. *)

@@ -1,0 +1,132 @@
+type layer = L_posix | L_mpiio | L_hdf5
+
+type origin = O_app | O_mpi | O_hdf5 | O_netcdf | O_adios | O_silo
+
+type t = {
+  time : int;
+  rank : int;
+  layer : layer;
+  origin : origin;
+  func : string;
+  file : string option;
+  fd : int option;
+  offset : int option;
+  count : int option;
+  args : (string * string) list;
+}
+
+let layer_name = function
+  | L_posix -> "POSIX"
+  | L_mpiio -> "MPI-IO"
+  | L_hdf5 -> "HDF5"
+
+let origin_name = function
+  | O_app -> "app"
+  | O_mpi -> "mpi"
+  | O_hdf5 -> "hdf5"
+  | O_netcdf -> "netcdf"
+  | O_adios -> "adios"
+  | O_silo -> "silo"
+
+let layer_of_name = function
+  | "POSIX" -> Some L_posix
+  | "MPI-IO" -> Some L_mpiio
+  | "HDF5" -> Some L_hdf5
+  | _ -> None
+
+let origin_of_name = function
+  | "app" -> Some O_app
+  | "mpi" -> Some O_mpi
+  | "hdf5" -> Some O_hdf5
+  | "netcdf" -> Some O_netcdf
+  | "adios" -> Some O_adios
+  | "silo" -> Some O_silo
+  | _ -> None
+
+let make ~time ~rank ~layer ~origin ~func ?file ?fd ?offset ?count ?(args = [])
+    () =
+  { time; rank; layer; origin; func; file; fd; offset; count; args }
+
+let arg t key = List.assoc_opt key t.args
+
+let opt_str f = function None -> "-" | Some v -> f v
+
+let to_line t =
+  let fields =
+    [
+      string_of_int t.time;
+      string_of_int t.rank;
+      layer_name t.layer;
+      origin_name t.origin;
+      t.func;
+      opt_str Fun.id t.file;
+      opt_str string_of_int t.fd;
+      opt_str string_of_int t.offset;
+      opt_str string_of_int t.count;
+    ]
+    @ List.map (fun (k, v) -> k ^ "=" ^ v) t.args
+  in
+  String.concat "\t" fields
+
+let parse_opt f = function "-" -> Ok None | s -> Result.map Option.some (f s)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "not an integer: %S" s)
+
+let of_line line =
+  match String.split_on_char '\t' line with
+  | time :: rank :: layer :: origin :: func :: file :: fd :: offset :: count
+    :: args -> (
+    let ( let* ) = Result.bind in
+    let* time = parse_int time in
+    let* rank = parse_int rank in
+    let* layer =
+      Option.to_result ~none:("bad layer: " ^ layer) (layer_of_name layer)
+    in
+    let* origin =
+      Option.to_result ~none:("bad origin: " ^ origin) (origin_of_name origin)
+    in
+    let* file = parse_opt (fun s -> Ok s) file in
+    let* fd = parse_opt parse_int fd in
+    let* offset = parse_opt parse_int offset in
+    let* count = parse_opt parse_int count in
+    let* args =
+      List.fold_left
+        (fun acc kv ->
+          let* acc = acc in
+          match String.index_opt kv '=' with
+          | Some i ->
+            Ok
+              ((String.sub kv 0 i,
+                String.sub kv (i + 1) (String.length kv - i - 1))
+              :: acc)
+          | None -> Error ("bad key=value pair: " ^ kv))
+        (Ok []) args
+    in
+    Ok { time; rank; layer; origin; func; file; fd; offset; count;
+         args = List.rev args })
+  | _ -> Error "too few fields"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%d r%d %s/%s %s%a%a%a%a@]" t.time t.rank
+    (layer_name t.layer) (origin_name t.origin) t.func
+    (fun ppf -> function
+      | Some f -> Format.fprintf ppf " %s" f
+      | None -> ())
+    t.file
+    (fun ppf -> function
+      | Some fd -> Format.fprintf ppf " fd=%d" fd
+      | None -> ())
+    t.fd
+    (fun ppf -> function
+      | Some o -> Format.fprintf ppf " off=%d" o
+      | None -> ())
+    t.offset
+    (fun ppf -> function
+      | Some c -> Format.fprintf ppf " cnt=%d" c
+      | None -> ())
+    t.count
+
+let compare_time a b = compare a.time b.time

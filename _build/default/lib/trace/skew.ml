@@ -1,0 +1,14 @@
+let align ~sync_point records =
+  List.map
+    (fun r -> { r with Record.time = r.Record.time - sync_point r.Record.rank })
+    records
+  |> List.stable_sort Record.compare_time
+
+let max_pairwise_skew ~sync_point ~ranks =
+  if ranks <= 0 then 0
+  else begin
+    let points = List.init ranks sync_point in
+    let lo = List.fold_left min (List.hd points) points in
+    let hi = List.fold_left max (List.hd points) points in
+    hi - lo
+  end

@@ -1,0 +1,18 @@
+(** Clock-skew adjustment (Section 5.2).
+
+    On a real cluster each rank's trace carries timestamps from its local
+    clock.  The paper aligns them by executing a barrier at startup and
+    shifting every rank's timestamps so that its barrier-exit time is zero.
+    Our simulator has a global clock and needs no adjustment, but the
+    methodology is part of the system: this module implements the shift and
+    is exercised by tests that inject artificial skews. *)
+
+val align : sync_point:(int -> int) -> Record.t list -> Record.t list
+(** [align ~sync_point records] subtracts [sync_point rank] from every
+    record of that rank (the rank's observed barrier-exit time), then
+    re-sorts by adjusted time.  Adjusted times may be negative for records
+    preceding the barrier. *)
+
+val max_pairwise_skew : sync_point:(int -> int) -> ranks:int -> int
+(** Largest difference between two ranks' sync points — the residual-skew
+    figure the paper reports (under 20 microseconds on Quartz). *)

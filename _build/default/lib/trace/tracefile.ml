@@ -1,0 +1,41 @@
+let header = "# hpcfs trace v1: time rank layer origin func file fd offset count args..."
+
+let to_string records =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Record.to_line r);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+      else begin
+        match Record.of_line line with
+        | Ok r -> go (lineno + 1) (r :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+      end
+  in
+  go 1 [] lines
+
+let save path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string records))
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,15 @@
+(** Text serialization of whole traces (one record per line).
+
+    Round-trips through {!Record.to_line}/{!Record.of_line}; the CLI uses it
+    to persist traces for later offline analysis, exactly as Recorder's
+    trace files decouple capture from analysis in the paper. *)
+
+val save : string -> Record.t list -> unit
+(** Write records to a file, one per line, preceded by a comment header. *)
+
+val load : string -> (Record.t list, string) result
+(** Read a trace back, skipping blank and ['#'] comment lines; reports the
+    first malformed line with its line number. *)
+
+val to_string : Record.t list -> string
+val of_string : string -> (Record.t list, string) result

@@ -1,0 +1,18 @@
+(** Small statistics helpers used by reports and benchmark output. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per equal-width bin over
+    the data range. Raises [Invalid_argument] if [bins <= 0] or [xs] empty. *)
+
+val pct : int -> int -> float
+(** [pct part whole] is [100 * part / whole] as a float; 0 when [whole = 0]. *)

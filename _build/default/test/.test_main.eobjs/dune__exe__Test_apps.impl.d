@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl Hpcfs_apps Hpcfs_core Hpcfs_fs List Option

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun Hpcfs_core Hpcfs_fs Hpcfs_mpi Hpcfs_trace Hpcfs_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Bytes Hpcfs_formats Hpcfs_fs Hpcfs_mpi Hpcfs_posix Hpcfs_sim Hpcfs_trace List String

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Bytes Char Hpcfs_fs Hpcfs_util List QCheck QCheck_alcotest

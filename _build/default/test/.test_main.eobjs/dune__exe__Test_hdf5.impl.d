@@ -1,0 +1,1 @@
+test/test_hdf5.ml: Alcotest Bytes Hpcfs_fs Hpcfs_hdf5 Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Hpcfs_sim Hpcfs_trace List Printf String

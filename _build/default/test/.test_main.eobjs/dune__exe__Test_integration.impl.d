@@ -1,0 +1,1 @@
+test/test_integration.ml: Bytes Fun Hpcfs_core Hpcfs_fs Hpcfs_posix Hpcfs_sim Hpcfs_trace Hpcfs_util List Printf QCheck QCheck_alcotest

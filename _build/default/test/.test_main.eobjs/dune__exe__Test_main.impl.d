@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_core Test_formats Test_fs Test_hdf5 Test_integration Test_mpiio Test_posix Test_sim Test_trace Test_util Test_validation

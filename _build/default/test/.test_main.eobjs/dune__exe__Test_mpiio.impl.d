@@ -1,0 +1,1 @@
+test/test_mpiio.ml: Alcotest Bytes Char Hpcfs_fs Hpcfs_mpi Hpcfs_mpiio Hpcfs_posix Hpcfs_sim Hpcfs_trace List Printf String

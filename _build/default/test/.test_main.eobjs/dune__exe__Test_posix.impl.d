@@ -1,0 +1,1 @@
+test/test_posix.ml: Alcotest Bytes Hpcfs_fs Hpcfs_posix Hpcfs_sim Hpcfs_trace List Option

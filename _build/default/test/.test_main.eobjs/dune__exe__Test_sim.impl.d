@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Hpcfs_mpi Hpcfs_sim List

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Hpcfs_trace List QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Bytes Hpcfs_apps Hpcfs_core Hpcfs_fs Hpcfs_mpi Hpcfs_posix Hpcfs_trace List

@@ -1,0 +1,147 @@
+(* Tests for the NetCDF / ADIOS / Silo format models: each must produce the
+   library-metadata behaviour the paper attributes to it. *)
+
+module Sched = Hpcfs_sim.Sched
+module Mpi = Hpcfs_mpi.Mpi
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Fdata = Hpcfs_fs.Fdata
+module Posix = Hpcfs_posix.Posix
+module Netcdf = Hpcfs_formats.Netcdf
+module Adios = Hpcfs_formats.Adios
+module Silo = Hpcfs_formats.Silo
+module Collector = Hpcfs_trace.Collector
+module Record = Hpcfs_trace.Record
+
+type harness = { pfs : Pfs.t; collector : Collector.t; posix : Posix.ctx }
+
+let make_harness () =
+  let pfs = Pfs.create Consistency.Strong in
+  let collector = Collector.create () in
+  let posix = Posix.make_ctx pfs collector in
+  { pfs; collector; posix }
+
+let overlapping_writes h file =
+  (* Count pairs of overlapping POSIX writes to [file]. *)
+  let writes =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.file = Some file
+           && (r.Record.func = "pwrite" || r.Record.func = "write"))
+  in
+  ignore writes;
+  List.length writes
+
+let test_netcdf_numrecs_overwrite () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let nc = Netcdf.create h.posix "/d.nc" ~header_bytes:128 in
+      Netcdf.append_record nc (Bytes.make 32 'r');
+      Netcdf.append_record nc (Bytes.make 32 'r');
+      Netcdf.sync nc;
+      Netcdf.close nc);
+  let header_writes =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.func = "pwrite" && r.Record.offset = Some 4)
+  in
+  Alcotest.(check int) "numrecs rewritten per record" 2
+    (List.length header_writes);
+  (* Records land consecutively after the header. *)
+  let size = Pfs.file_size h.pfs "/d.nc" in
+  Alcotest.(check int) "file size" (128 + 64) size
+
+let test_netcdf_bad_header () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      match Netcdf.create h.posix "/bad.nc" ~header_bytes:4 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected header-size failure")
+
+let test_adios_layout_and_idx () =
+  let h = make_harness () in
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:8 (fun _ ->
+      ignore (Mpi.size comm);
+      let bp = Adios.open_write h.posix comm "/out.bp" ~substreams:4 in
+      Adios.write_step bp (Bytes.make 16 's');
+      Adios.write_step bp (Bytes.make 16 's');
+      Adios.close bp);
+  (* Four substream data files plus md.0 and md.idx. *)
+  let files =
+    Hpcfs_fs.Namespace.all_files (Pfs.namespace h.pfs)
+    |> List.filter (fun f -> String.length f > 8 && String.sub f 0 8 = "/out.bp/")
+  in
+  Alcotest.(check int) "bp directory contents" 6 (List.length files);
+  (* Each substream file holds the payloads of its two ranks, per step. *)
+  Alcotest.(check int) "data.0 size" (16 * 2 * 2)
+    (Pfs.file_size h.pfs "/out.bp/data.0");
+  (* The single-byte step-counter overwrite in md.idx. *)
+  let byte_overwrites =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.file = Some "/out.bp/md.idx"
+           && r.Record.func = "pwrite" && r.Record.count = Some 1)
+  in
+  Alcotest.(check int) "one-byte idx overwrite per step" 2
+    (List.length byte_overwrites)
+
+let test_adios_substream_mapping () =
+  let h = make_harness () in
+  let comm = Mpi.world () in
+  let checked = ref 0 in
+  Sched.run ~nprocs:8 (fun _ ->
+      let bp = Adios.open_write h.posix comm "/map.bp" ~substreams:4 in
+      if Mpi.rank comm = 0 then begin
+        Alcotest.(check int) "rank0 -> sub0" 0 (Adios.substream_of_rank bp 0);
+        Alcotest.(check int) "rank7 -> sub3" 3 (Adios.substream_of_rank bp 7);
+        incr checked
+      end;
+      Adios.close bp);
+  Alcotest.(check int) "assertions ran" 1 !checked
+
+let test_silo_baton_and_toc () =
+  let h = make_harness () in
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:8 (fun _ ->
+      let silo = Silo.create h.posix comm ~nfiles:2 ~basename:"/silo_out" in
+      Silo.write_blocks silo ~block:(Bytes.make 64 'b'));
+  (* Two group files, four ranks each: TOC + 4 blocks. *)
+  Alcotest.(check int) "group file size" (Silo.toc_bytes + (4 * 64))
+    (Pfs.file_size h.pfs "/silo_out/part.0.silo");
+  (* Every rank's turn rewrites the TOC twice: overlapping same-process
+     writes (MACSio's WAW-S), and each turn ends with a close, so the final
+     observer sees consistent contents even under session semantics. *)
+  let toc_writes =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.func = "pwrite" && r.Record.offset = Some 0
+           && r.Record.file = Some "/silo_out/part.0.silo")
+  in
+  Alcotest.(check int) "two TOC writes per rank turn" 8
+    (List.length toc_writes);
+  ignore (overlapping_writes h "/silo_out/part.0.silo")
+
+let test_silo_group_assignment () =
+  let h = make_harness () in
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:8 (fun _ ->
+      let silo = Silo.create h.posix comm ~nfiles:2 ~basename:"/silo_g" in
+      if Mpi.rank comm = 0 then begin
+        Alcotest.(check int) "rank0 group" 0 (Silo.group_of_rank silo 0);
+        Alcotest.(check int) "rank3 group" 0 (Silo.group_of_rank silo 3);
+        Alcotest.(check int) "rank4 group" 1 (Silo.group_of_rank silo 4);
+        Alcotest.(check int) "rank7 group" 1 (Silo.group_of_rank silo 7)
+      end;
+      Mpi.barrier comm)
+
+let suite =
+  [
+    Alcotest.test_case "netcdf numrecs overwrite" `Quick
+      test_netcdf_numrecs_overwrite;
+    Alcotest.test_case "netcdf bad header" `Quick test_netcdf_bad_header;
+    Alcotest.test_case "adios layout and idx" `Quick test_adios_layout_and_idx;
+    Alcotest.test_case "adios substreams" `Quick test_adios_substream_mapping;
+    Alcotest.test_case "silo baton and toc" `Quick test_silo_baton_and_toc;
+    Alcotest.test_case "silo groups" `Quick test_silo_group_assignment;
+  ]

@@ -1,0 +1,435 @@
+(* Tests for the PFS substrate: extents, visibility, namespace, striping,
+   lock accounting. *)
+
+module Interval = Hpcfs_util.Interval
+module Consistency = Hpcfs_fs.Consistency
+module Fdata = Hpcfs_fs.Fdata
+module Namespace = Hpcfs_fs.Namespace
+module Stripe = Hpcfs_fs.Stripe
+module Lockmgr = Hpcfs_fs.Lockmgr
+module Pfs = Hpcfs_fs.Pfs
+
+let b s = Bytes.of_string s
+
+let read_str fd ~semantics ~rank ~time ~off ~len =
+  Bytes.to_string (Fdata.read fd ~semantics ~rank ~time ~off ~len).Fdata.data
+
+(* Fdata ------------------------------------------------------------------ *)
+
+let test_fdata_write_read_strong () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "hello");
+  Alcotest.(check string) "read back" "hello"
+    (read_str fd ~semantics:Consistency.Strong ~rank:1 ~time:2 ~off:0 ~len:5);
+  Alcotest.(check int) "size" 5 (Fdata.size fd)
+
+let test_fdata_overwrite_order () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "aaaa");
+  Fdata.write fd ~rank:1 ~time:2 ~off:2 (b "bb");
+  Alcotest.(check string) "later write wins" "aabb"
+    (read_str fd ~semantics:Consistency.Strong ~rank:2 ~time:3 ~off:0 ~len:4)
+
+let test_fdata_unwritten_is_zero () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:4 (b "x");
+  let s =
+    read_str fd ~semantics:Consistency.Strong ~rank:0 ~time:2 ~off:0 ~len:5
+  in
+  Alcotest.(check string) "hole is zero" "\000\000\000\000x" s
+
+let test_fdata_read_own_writes_any_semantics () =
+  List.iter
+    (fun semantics ->
+      let fd = Fdata.create () in
+      Fdata.write fd ~rank:3 ~time:1 ~off:0 (b "mine");
+      Alcotest.(check string) "own write visible" "mine"
+        (read_str fd ~semantics ~rank:3 ~time:2 ~off:0 ~len:4))
+    [ Consistency.Strong; Consistency.Commit; Consistency.Session;
+      Consistency.Eventual { delay = 1000 } ]
+
+let test_fdata_commit_visibility () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "data");
+  let before =
+    Fdata.read fd ~semantics:Consistency.Commit ~rank:1 ~time:2 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "stale before commit" 4 before.Fdata.stale_bytes;
+  Fdata.commit fd ~rank:0 ~time:3;
+  let after =
+    Fdata.read fd ~semantics:Consistency.Commit ~rank:1 ~time:4 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "visible after commit" 0 after.Fdata.stale_bytes;
+  Alcotest.(check string) "contents" "data" (Bytes.to_string after.Fdata.data)
+
+let test_fdata_session_visibility () =
+  let fd = Fdata.create () in
+  Fdata.session_open fd ~rank:0 ~time:0;
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "data");
+  Fdata.session_close fd ~rank:0 ~time:2;
+  (* Reader whose open precedes the writer's close: not visible. *)
+  Fdata.session_open fd ~rank:1 ~time:1;
+  let stale =
+    Fdata.read fd ~semantics:Consistency.Session ~rank:1 ~time:3 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "open-before-close: stale" 4 stale.Fdata.stale_bytes;
+  (* Reader that re-opens after the close: visible. *)
+  Fdata.session_open fd ~rank:1 ~time:4;
+  let fresh =
+    Fdata.read fd ~semantics:Consistency.Session ~rank:1 ~time:5 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "close-to-open: visible" 0 fresh.Fdata.stale_bytes
+
+let test_fdata_session_fsync_not_enough () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "data");
+  Fdata.commit fd ~rank:0 ~time:2;
+  Fdata.session_open fd ~rank:1 ~time:3;
+  let r =
+    Fdata.read fd ~semantics:Consistency.Session ~rank:1 ~time:4 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "fsync does not publish under session" 4
+    r.Fdata.stale_bytes
+
+let test_fdata_eventual_delay () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:10 ~off:0 (b "x");
+  let early =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 5 }) ~rank:1
+      ~time:12 ~off:0 ~len:1
+  in
+  Alcotest.(check int) "not yet propagated" 1 early.Fdata.stale_bytes;
+  let late =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 5 }) ~rank:1
+      ~time:15 ~off:0 ~len:1
+  in
+  Alcotest.(check int) "propagated" 0 late.Fdata.stale_bytes
+
+let test_fdata_waw_reorder_under_session () =
+  let fd = Fdata.create () in
+  (* Rank 5 writes first but closes last: under session semantics its stale
+     value takes effect after rank 2's newer write. *)
+  Fdata.write fd ~rank:5 ~time:1 ~off:0 (b "old");
+  Fdata.write fd ~rank:2 ~time:2 ~off:0 (b "new");
+  Fdata.session_close fd ~rank:2 ~time:3;
+  Fdata.session_close fd ~rank:5 ~time:4;
+  Fdata.session_open fd ~rank:9 ~time:5;
+  let r =
+    Fdata.read fd ~semantics:Consistency.Session ~rank:9 ~time:6 ~off:0 ~len:3
+  in
+  Alcotest.(check string) "close order wins" "old" (Bytes.to_string r.Fdata.data);
+  Alcotest.(check bool) "reorder flagged stale" true (r.Fdata.stale_bytes > 0);
+  (* The same history under strong semantics returns the newest write. *)
+  let strong =
+    Fdata.read fd ~semantics:Consistency.Strong ~rank:9 ~time:6 ~off:0 ~len:3
+  in
+  Alcotest.(check string) "strong keeps issue order" "new"
+    (Bytes.to_string strong.Fdata.data)
+
+let test_fdata_truncate () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "abcdef");
+  Fdata.truncate fd ~time:2 3;
+  Alcotest.(check int) "size after truncate" 3 (Fdata.size fd);
+  Alcotest.(check string) "kept prefix" "abc"
+    (read_str fd ~semantics:Consistency.Strong ~rank:0 ~time:3 ~off:0 ~len:10);
+  Fdata.truncate fd ~time:4 0;
+  Alcotest.(check int) "empty" 0 (Fdata.size fd);
+  Alcotest.(check int) "no writes left" 0 (Fdata.write_count fd)
+
+let test_fdata_lamination () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "pub");
+  (* Not visible under commit semantics (no commit)... *)
+  let before =
+    Fdata.read fd ~semantics:Consistency.Commit ~rank:1 ~time:2 ~off:0 ~len:3
+  in
+  Alcotest.(check int) "hidden before lamination" 3 before.Fdata.stale_bytes;
+  (* ...but lamination publishes everything at once. *)
+  Fdata.laminate fd ~time:3;
+  Alcotest.(check bool) "laminated" true (Fdata.is_laminated fd);
+  let after =
+    Fdata.read fd ~semantics:Consistency.Commit ~rank:1 ~time:4 ~off:0 ~len:3
+  in
+  Alcotest.(check int) "visible after lamination" 0 after.Fdata.stale_bytes;
+  Alcotest.(check string) "content" "pub" (Bytes.to_string after.Fdata.data);
+  (* The file is now permanently read-only. *)
+  Alcotest.check_raises "write after lamination"
+    (Invalid_argument "Fdata.write: file is laminated") (fun () ->
+      Fdata.write fd ~rank:0 ~time:5 ~off:0 (b "x"))
+
+let test_fdata_lamination_restores_issue_order () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:5 ~time:1 ~off:0 (b "old");
+  Fdata.write fd ~rank:2 ~time:2 ~off:0 (b "new");
+  Fdata.laminate fd ~time:3;
+  let r =
+    Fdata.read fd ~semantics:Consistency.Session ~rank:9 ~time:4 ~off:0 ~len:3
+  in
+  Alcotest.(check string) "issue order after lamination" "new"
+    (Bytes.to_string r.Fdata.data)
+
+let test_pfs_laminate () =
+  let pfs = Pfs.create (Consistency.Eventual { delay = 1_000_000 }) in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "xy");
+  Pfs.laminate pfs ~time:3 "/f";
+  let r = Pfs.read pfs ~time:4 ~rank:1 "/f" ~off:0 ~len:2 in
+  Alcotest.(check int) "published despite the delay" 0 r.Fdata.stale_bytes
+
+let test_fdata_burstfs_no_local_order () =
+  let fd = Fdata.create () in
+  (* Two same-process writes between commits: BurstFS may apply either
+     last; the model applies them adversarially (reversed). *)
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "first");
+  Fdata.write fd ~rank:0 ~time:2 ~off:0 (b "secnd");
+  Fdata.commit fd ~rank:0 ~time:3;
+  let ordered =
+    Fdata.read fd ~semantics:Consistency.Commit ~rank:1 ~time:4 ~off:0 ~len:5
+  in
+  Alcotest.(check string) "ordered PFS returns the newest" "secnd"
+    (Bytes.to_string ordered.Fdata.data);
+  let burst =
+    Fdata.read ~local_order:false fd ~semantics:Consistency.Commit ~rank:1
+      ~time:4 ~off:0 ~len:5
+  in
+  Alcotest.(check string) "BurstFS-like returns the other" "first"
+    (Bytes.to_string burst.Fdata.data);
+  Alcotest.(check bool) "flagged stale" true (burst.Fdata.stale_bytes > 0)
+
+let test_pfs_burstfs_mode () =
+  let pfs = Pfs.create ~local_order:false Consistency.Commit in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "aa");
+  Pfs.write pfs ~time:3 ~rank:0 "/f" ~off:0 (b "bb");
+  Pfs.close_file pfs ~time:4 ~rank:0 "/f";
+  let r = Pfs.read_back pfs ~time:10 "/f" in
+  Alcotest.(check string) "reordered final state" "aa"
+    (Bytes.to_string r.Fdata.data)
+
+(* Namespace -------------------------------------------------------------- *)
+
+let test_namespace_tree () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/a";
+  Namespace.mkdir ns ~time:2 "/a/b";
+  ignore (Namespace.create_file ns ~time:3 "/a/b/f");
+  Alcotest.(check bool) "file exists" true (Namespace.exists ns "/a/b/f");
+  Alcotest.(check bool) "dir check" true (Namespace.is_dir ns "/a/b");
+  Alcotest.(check (list string)) "readdir" [ "b" ] (Namespace.readdir ns "/a");
+  Alcotest.(check (list string)) "all files" [ "/a/b/f" ]
+    (Namespace.all_files ns)
+
+let test_namespace_errors () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/d";
+  Alcotest.check_raises "mkdir exists" (Namespace.Exists "/d") (fun () ->
+      Namespace.mkdir ns ~time:2 "/d");
+  Alcotest.check_raises "lookup missing" (Namespace.Not_found_path "/nope")
+    (fun () -> ignore (Namespace.lookup_file ns "/nope"));
+  ignore (Namespace.create_file ns ~time:3 "/d/f");
+  Alcotest.check_raises "rmdir non-empty" (Namespace.Not_empty "/d") (fun () ->
+      Namespace.rmdir ns "/d");
+  Namespace.unlink ns "/d/f";
+  Namespace.rmdir ns "/d";
+  Alcotest.(check bool) "gone" false (Namespace.exists ns "/d")
+
+let test_namespace_rename () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/x";
+  let fd = Namespace.create_file ns ~time:2 "/x/old" in
+  Fdata.write fd ~rank:0 ~time:3 ~off:0 (b "keep");
+  Namespace.rename ns ~time:4 "/x/old" "/x/new";
+  Alcotest.(check bool) "old gone" false (Namespace.exists ns "/x/old");
+  let fd' = Namespace.lookup_file ns "/x/new" in
+  Alcotest.(check int) "payload moved" 4 (Fdata.size fd')
+
+let test_namespace_stat () =
+  let ns = Namespace.create () in
+  let fd = Namespace.create_file ns ~time:5 "/f" in
+  Fdata.write fd ~rank:0 ~time:6 ~off:0 (b "123");
+  Namespace.touch_mtime ns ~time:7 "/f";
+  let st = Namespace.stat ns "/f" in
+  Alcotest.(check int) "size" 3 st.Namespace.st_size;
+  Alcotest.(check int) "mtime" 7 st.Namespace.st_mtime;
+  Alcotest.(check bool) "regular" true (st.Namespace.st_kind = Namespace.Regular)
+
+(* Stripe ------------------------------------------------------------------ *)
+
+let test_stripe_layout () =
+  let s = Stripe.create ~stripe_size:10 ~server_count:4 in
+  Alcotest.(check int) "first stripe" 0 (Stripe.server_of_offset s 9);
+  Alcotest.(check int) "second stripe" 1 (Stripe.server_of_offset s 10);
+  Alcotest.(check int) "wraps" 0 (Stripe.server_of_offset s 40);
+  let pieces = Stripe.split_extent s (Interval.make 5 25) in
+  Alcotest.(check int) "three pieces" 3 (List.length pieces);
+  let load = Stripe.server_load s [ Interval.make 0 40 ] in
+  Alcotest.(check (array int)) "even load" [| 10; 10; 10; 10 |] load
+
+let test_stripe_requests () =
+  let s = Stripe.create ~stripe_size:10 ~server_count:2 in
+  let reqs = Stripe.requests_per_server s [ Interval.make 0 20; Interval.make 0 5 ] in
+  Alcotest.(check (array int)) "request counts" [| 2; 1 |] reqs
+
+(* Lock manager ------------------------------------------------------------ *)
+
+let test_lockmgr_accounting () =
+  let lm = Lockmgr.create ~granularity:10 in
+  Lockmgr.access lm ~file:"f" ~client:0 Lockmgr.Write (Interval.make 0 10);
+  Lockmgr.access lm ~file:"f" ~client:0 Lockmgr.Write (Interval.make 0 10);
+  let c = Lockmgr.counters lm in
+  Alcotest.(check int) "one acquisition" 1 c.Lockmgr.acquisitions;
+  Alcotest.(check int) "one hit" 1 c.Lockmgr.hits;
+  Lockmgr.access lm ~file:"f" ~client:1 Lockmgr.Write (Interval.make 0 10);
+  let c = Lockmgr.counters lm in
+  Alcotest.(check int) "revocation on conflict" 1 c.Lockmgr.revocations
+
+let test_lockmgr_shared_readers () =
+  let lm = Lockmgr.create ~granularity:10 in
+  Lockmgr.access lm ~file:"f" ~client:0 Lockmgr.Read (Interval.make 0 10);
+  Lockmgr.access lm ~file:"f" ~client:1 Lockmgr.Read (Interval.make 0 10);
+  let c = Lockmgr.counters lm in
+  Alcotest.(check int) "readers share" 0 c.Lockmgr.revocations;
+  Lockmgr.access lm ~file:"f" ~client:2 Lockmgr.Write (Interval.make 0 10);
+  let c = Lockmgr.counters lm in
+  Alcotest.(check int) "writer revokes both readers" 2 c.Lockmgr.revocations
+
+let test_lockmgr_release () =
+  let lm = Lockmgr.create ~granularity:10 in
+  Lockmgr.access lm ~file:"f" ~client:0 Lockmgr.Write (Interval.make 0 10);
+  Lockmgr.release_client lm ~file:"f" ~client:0;
+  Lockmgr.access lm ~file:"f" ~client:1 Lockmgr.Write (Interval.make 0 10);
+  let c = Lockmgr.counters lm in
+  Alcotest.(check int) "no revocation after release" 0 c.Lockmgr.revocations
+
+(* Pfs --------------------------------------------------------------------- *)
+
+let test_pfs_end_to_end () =
+  let pfs = Pfs.create Consistency.Strong in
+  Hpcfs_fs.Namespace.mkdir (Pfs.namespace pfs) ~time:0 "/d";
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/d/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/d/f" ~off:0 (b "payload");
+  Pfs.close_file pfs ~time:3 ~rank:0 "/d/f";
+  let r = Pfs.read pfs ~time:4 ~rank:1 "/d/f" ~off:0 ~len:7 in
+  Alcotest.(check string) "read" "payload" (Bytes.to_string r.Fdata.data);
+  let st = Pfs.stats pfs in
+  Alcotest.(check int) "one write" 1 st.Pfs.writes;
+  Alcotest.(check int) "one read" 1 st.Pfs.reads;
+  Alcotest.(check int) "bytes written" 7 st.Pfs.bytes_written;
+  Alcotest.(check int) "no stale reads" 0 st.Pfs.stale_reads
+
+let test_pfs_stale_accounting () =
+  let pfs = Pfs.create Consistency.Commit in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "abc");
+  let _ = Pfs.read pfs ~time:3 ~rank:1 "/f" ~off:0 ~len:3 in
+  let st = Pfs.stats pfs in
+  Alcotest.(check int) "stale read counted" 1 st.Pfs.stale_reads;
+  Alcotest.(check int) "stale bytes counted" 3 st.Pfs.stale_bytes
+
+let test_pfs_lock_stats_only_strong () =
+  let run semantics =
+    let pfs = Pfs.create semantics in
+    ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+    Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "abc");
+    (Pfs.stats pfs).Pfs.locks.Lockmgr.acquisitions
+  in
+  Alcotest.(check bool) "strong acquires locks" true (run Consistency.Strong > 0);
+  Alcotest.(check int) "session acquires none" 0 (run Consistency.Session)
+
+let test_pfs_read_back () =
+  let pfs = Pfs.create Consistency.Session in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "xyz");
+  Pfs.close_file pfs ~time:3 ~rank:0 "/f";
+  let r = Pfs.read_back pfs ~time:10 "/f" in
+  Alcotest.(check string) "observer sees closed data" "xyz"
+    (Bytes.to_string r.Fdata.data);
+  Alcotest.(check int) "nothing stale" 0 r.Fdata.stale_bytes
+
+(* Consistency table ------------------------------------------------------- *)
+
+let test_consistency_strength_order () =
+  let open Consistency in
+  Alcotest.(check bool) "strong > commit" true
+    (compare_strength Strong Commit > 0);
+  Alcotest.(check bool) "commit > session" true
+    (compare_strength Commit Session > 0);
+  Alcotest.(check bool) "session > eventual" true
+    (compare_strength Session (Eventual { delay = 0 }) > 0)
+
+let test_consistency_table1 () =
+  Alcotest.(check int) "four categories" 4 (List.length Consistency.table1);
+  Alcotest.(check bool) "lustre is strong" true
+    (Consistency.category_of_pfs "Lustre" = Some Consistency.Strong);
+  Alcotest.(check bool) "unifyfs is commit" true
+    (Consistency.category_of_pfs "UnifyFS" = Some Consistency.Commit);
+  Alcotest.(check bool) "nfs is session" true
+    (Consistency.category_of_pfs "NFS" = Some Consistency.Session);
+  Alcotest.(check bool) "unknown fs" true
+    (Consistency.category_of_pfs "ext4" = None)
+
+let qcheck_fdata_strong_matches_flat =
+  (* Under strong semantics, replaying random writes into Fdata must match a
+     flat byte-array model. *)
+  QCheck.Test.make ~name:"fdata strong equals flat array model" ~count:200
+    QCheck.(small_list (tup3 (int_bound 3) (int_bound 50) (int_bound 20)))
+    (fun ops ->
+      let fd = Fdata.create () in
+      let flat = Bytes.make 100 '\000' in
+      let maxhi = ref 0 in
+      List.iteri
+        (fun i (rank, off, len) ->
+          let len = max 1 len in
+          let data = Bytes.make len (Char.chr (65 + (i mod 26))) in
+          Fdata.write fd ~rank ~time:(i + 1) ~off data;
+          Bytes.blit data 0 flat off len;
+          maxhi := max !maxhi (off + len))
+        ops;
+      let r =
+        Fdata.read fd ~semantics:Consistency.Strong ~rank:9 ~time:1000 ~off:0
+          ~len:!maxhi
+      in
+      Bytes.to_string r.Fdata.data = Bytes.sub_string flat 0 !maxhi)
+
+let suite =
+  [
+    Alcotest.test_case "fdata write/read strong" `Quick test_fdata_write_read_strong;
+    Alcotest.test_case "fdata overwrite order" `Quick test_fdata_overwrite_order;
+    Alcotest.test_case "fdata holes read zero" `Quick test_fdata_unwritten_is_zero;
+    Alcotest.test_case "fdata read-your-writes" `Quick
+      test_fdata_read_own_writes_any_semantics;
+    Alcotest.test_case "fdata commit visibility" `Quick test_fdata_commit_visibility;
+    Alcotest.test_case "fdata session visibility" `Quick test_fdata_session_visibility;
+    Alcotest.test_case "fdata fsync is not close-to-open" `Quick
+      test_fdata_session_fsync_not_enough;
+    Alcotest.test_case "fdata eventual delay" `Quick test_fdata_eventual_delay;
+    Alcotest.test_case "fdata WAW reorder under session" `Quick
+      test_fdata_waw_reorder_under_session;
+    Alcotest.test_case "fdata truncate" `Quick test_fdata_truncate;
+    Alcotest.test_case "fdata lamination" `Quick test_fdata_lamination;
+    Alcotest.test_case "fdata lamination ordering" `Quick
+      test_fdata_lamination_restores_issue_order;
+    Alcotest.test_case "pfs laminate" `Quick test_pfs_laminate;
+    Alcotest.test_case "fdata BurstFS mode" `Quick
+      test_fdata_burstfs_no_local_order;
+    Alcotest.test_case "pfs BurstFS mode" `Quick test_pfs_burstfs_mode;
+    Alcotest.test_case "namespace tree" `Quick test_namespace_tree;
+    Alcotest.test_case "namespace errors" `Quick test_namespace_errors;
+    Alcotest.test_case "namespace rename" `Quick test_namespace_rename;
+    Alcotest.test_case "namespace stat" `Quick test_namespace_stat;
+    Alcotest.test_case "stripe layout" `Quick test_stripe_layout;
+    Alcotest.test_case "stripe requests" `Quick test_stripe_requests;
+    Alcotest.test_case "lockmgr accounting" `Quick test_lockmgr_accounting;
+    Alcotest.test_case "lockmgr shared readers" `Quick test_lockmgr_shared_readers;
+    Alcotest.test_case "lockmgr release" `Quick test_lockmgr_release;
+    Alcotest.test_case "pfs end to end" `Quick test_pfs_end_to_end;
+    Alcotest.test_case "pfs stale accounting" `Quick test_pfs_stale_accounting;
+    Alcotest.test_case "pfs locks only under strong" `Quick
+      test_pfs_lock_stats_only_strong;
+    Alcotest.test_case "pfs read_back" `Quick test_pfs_read_back;
+    Alcotest.test_case "consistency strength order" `Quick
+      test_consistency_strength_order;
+    Alcotest.test_case "consistency table 1" `Quick test_consistency_table1;
+    QCheck_alcotest.to_alcotest qcheck_fdata_strong_matches_flat;
+  ]

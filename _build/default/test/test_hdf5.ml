@@ -1,0 +1,240 @@
+(* Tests for the HDF5 model: layout, metadata cache behaviour, collective
+   metadata mode, and the conflict-generating flush pattern. *)
+
+module Sched = Hpcfs_sim.Sched
+module Mpi = Hpcfs_mpi.Mpi
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Posix = Hpcfs_posix.Posix
+module Mpiio = Hpcfs_mpiio.Mpiio
+module Hdf5 = Hpcfs_hdf5.Hdf5
+module Collector = Hpcfs_trace.Collector
+module Record = Hpcfs_trace.Record
+
+type harness = {
+  pfs : Pfs.t;
+  collector : Collector.t;
+  posix : Posix.ctx;
+  mpiio : Mpiio.ctx;
+}
+
+let make_harness () =
+  Hdf5.reset_registries ();
+  let pfs = Pfs.create Consistency.Strong in
+  let collector = Collector.create () in
+  let posix = Posix.make_ctx pfs collector in
+  let comm = Mpi.world () in
+  let mpiio = Mpiio.make_ctx ~cb_nodes:2 posix comm in
+  { pfs; collector; posix; mpiio }
+
+let posix_writes h =
+  Collector.records h.collector
+  |> List.filter (fun r ->
+         r.Record.layer = Record.L_posix
+         && (r.Record.func = "pwrite" || r.Record.func = "write"))
+
+let test_serial_dataset_roundtrip () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/file.h5" in
+      let ds = Hdf5.create_dataset f "data" ~nbytes:1024 in
+      Hdf5.write_independent ds ~off:0 (Bytes.make 1024 'v');
+      let back = Hdf5.read ds ~off:100 24 in
+      Alcotest.(check string) "readback" (String.make 24 'v')
+        (Bytes.to_string back);
+      Hdf5.close f)
+
+let test_data_above_metadata_region () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/file.h5" in
+      let a = Hdf5.create_dataset f "a" ~nbytes:100 in
+      let b = Hdf5.create_dataset f "b" ~nbytes:100 in
+      Alcotest.(check bool) "a above metadata" true
+        (Hdf5.dataset_offset a >= Hdf5.metadata_region_size);
+      Alcotest.(check bool) "b above a" true
+        (Hdf5.dataset_offset b > Hdf5.dataset_offset a);
+      Hdf5.close f)
+
+let test_metadata_written_once_without_flush () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/once.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:64 in
+      Hdf5.write_independent ds ~off:0 (Bytes.make 64 'q');
+      Hdf5.close f);
+  (* Superblock written exactly once (at close): no same-file overlap. *)
+  let sb_writes =
+    posix_writes h
+    |> List.filter (fun r -> r.Record.offset = Some 0)
+  in
+  Alcotest.(check int) "superblock written once" 1 (List.length sb_writes)
+
+let test_flush_rewrites_metadata () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/multi.h5" in
+      for i = 0 to 2 do
+        let ds =
+          Hdf5.create_dataset f (Printf.sprintf "d%d" i) ~nbytes:64
+        in
+        Hdf5.write_independent ds ~off:0 (Bytes.make 64 'w');
+        Hdf5.flush f
+      done;
+      Hdf5.close f);
+  let sb_writes =
+    posix_writes h |> List.filter (fun r -> r.Record.offset = Some 0)
+  in
+  (* One superblock write per flush (the close flush has nothing dirty if
+     nothing changed after the last explicit flush). *)
+  Alcotest.(check int) "superblock written per flush" 3 (List.length sb_writes)
+
+let test_open_reads_superblock_and_header () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/r.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:64 in
+      Hdf5.write_independent ds ~off:0 (Bytes.make 64 'r');
+      Hdf5.close f;
+      let f2 = Hdf5.open_ (Hdf5.B_posix h.posix) "/r.h5" in
+      let ds2 = Hdf5.open_dataset f2 "d" in
+      let back = Hdf5.read ds2 ~off:0 64 in
+      Alcotest.(check string) "cross-instance read" (String.make 64 'r')
+        (Bytes.to_string back);
+      Hdf5.close f2);
+  let reads =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.layer = Record.L_posix && r.Record.func = "pread")
+  in
+  (* Superblock read at open + header read at H5Dopen + data read. *)
+  Alcotest.(check bool) "low-offset metadata reads" true
+    (List.exists (fun r -> r.Record.offset = Some 0) reads
+    && List.length reads >= 3)
+
+let test_attributes () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/attr.h5" in
+      Hdf5.write_attribute f "Time" (Bytes.of_string "12345");
+      let v = Hdf5.read_attribute f "Time" 5 in
+      Alcotest.(check string) "attribute roundtrip" "12345" (Bytes.to_string v);
+      Hdf5.close f)
+
+let test_parallel_metadata_participants () =
+  let h = make_harness () in
+  Sched.run ~nprocs:8 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_mpiio h.mpiio) "/par.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:(8 * 64) in
+      Hdf5.write_independent ds ~off:(Mpi.rank (Mpiio.comm h.mpiio) * 64)
+        (Bytes.make 64 'p');
+      Hdf5.flush f;
+      Hdf5.close f);
+  let meta_writer_ranks =
+    posix_writes h
+    |> List.filter (fun r ->
+           match r.Record.offset with
+           | Some off -> off < Hdf5.metadata_region_size
+           | None -> false)
+    |> List.map (fun r -> r.Record.rank)
+    |> List.sort_uniq compare
+  in
+  (* Half the ranks participate in metadata writes (the paper's ~30/64). *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "participants are even ranks" 0 (r mod 2))
+    meta_writer_ranks;
+  Alcotest.(check bool) "more than one metadata writer" true
+    (List.length meta_writer_ranks > 1)
+
+let test_collective_metadata_mode () =
+  let h = make_harness () in
+  Sched.run ~nprocs:8 (fun _ ->
+      let f =
+        Hdf5.create ~collective_metadata:true (Hdf5.B_mpiio h.mpiio) "/cm.h5"
+      in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:(8 * 64) in
+      Hdf5.write_independent ds ~off:(Mpi.rank (Mpiio.comm h.mpiio) * 64)
+        (Bytes.make 64 'c');
+      Hdf5.flush f;
+      Hdf5.close f);
+  let meta_writer_ranks =
+    posix_writes h
+    |> List.filter (fun r ->
+           match r.Record.offset with
+           | Some off -> off < Hdf5.metadata_region_size
+           | None -> false)
+    |> List.map (fun r -> r.Record.rank)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "rank 0 writes all metadata" [ 0 ]
+    meta_writer_ranks
+
+let test_hdf5_layer_records () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/rec.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:10 in
+      Hdf5.write_independent ds ~off:0 (Bytes.make 10 'x');
+      Hdf5.flush f;
+      Hdf5.close f);
+  let hdf5_funcs =
+    Collector.records h.collector
+    |> List.filter (fun r -> r.Record.layer = Record.L_hdf5)
+    |> List.map (fun r -> r.Record.func)
+  in
+  Alcotest.(check (list string)) "API calls in order"
+    [ "H5Fcreate"; "H5Dcreate"; "H5Dwrite"; "H5Fflush"; "H5Fclose" ]
+    hdf5_funcs
+
+let test_figure3_probe_ops () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/probe.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:10 in
+      Hdf5.write_independent ds ~off:0 (Bytes.make 10 'x');
+      Hdf5.close f;
+      let f2 = Hdf5.open_ (Hdf5.B_posix h.posix) "/probe.h5" in
+      Hdf5.close f2);
+  let hdf5_posix_funcs =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.layer = Record.L_posix && r.Record.origin = Record.O_hdf5)
+    |> List.map (fun r -> r.Record.func)
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (op ^ " issued by HDF5") true
+        (List.mem op hdf5_posix_funcs))
+    [ "getcwd"; "lstat"; "fstat"; "ftruncate"; "access" ]
+
+let test_dataset_bounds () =
+  let h = make_harness () in
+  Sched.run ~nprocs:1 (fun _ ->
+      let f = Hdf5.create (Hdf5.B_posix h.posix) "/bounds.h5" in
+      let ds = Hdf5.create_dataset f "d" ~nbytes:10 in
+      (match Hdf5.write_independent ds ~off:8 (Bytes.make 4 'x') with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "expected out-of-bounds failure");
+      Hdf5.close f)
+
+let suite =
+  [
+    Alcotest.test_case "serial roundtrip" `Quick test_serial_dataset_roundtrip;
+    Alcotest.test_case "layout" `Quick test_data_above_metadata_region;
+    Alcotest.test_case "metadata once without flush" `Quick
+      test_metadata_written_once_without_flush;
+    Alcotest.test_case "flush rewrites metadata" `Quick
+      test_flush_rewrites_metadata;
+    Alcotest.test_case "open reads metadata" `Quick
+      test_open_reads_superblock_and_header;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "parallel metadata participants" `Quick
+      test_parallel_metadata_participants;
+    Alcotest.test_case "collective metadata mode" `Quick
+      test_collective_metadata_mode;
+    Alcotest.test_case "hdf5 layer records" `Quick test_hdf5_layer_records;
+    Alcotest.test_case "figure 3 probe ops" `Quick test_figure3_probe_ops;
+    Alcotest.test_case "dataset bounds" `Quick test_dataset_bounds;
+  ]

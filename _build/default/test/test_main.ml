@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "hpcfs"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("fs", Test_fs.suite);
+      ("trace", Test_trace.suite);
+      ("posix", Test_posix.suite);
+      ("mpiio", Test_mpiio.suite);
+      ("hdf5", Test_hdf5.suite);
+      ("formats", Test_formats.suite);
+      ("core", Test_core.suite);
+      ("apps", Test_apps.suite);
+      ("integration", Test_integration.suite);
+      ("validation", Test_validation.suite);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for the MPI-IO layer, especially two-phase collective buffering. *)
+
+module Sched = Hpcfs_sim.Sched
+module Mpi = Hpcfs_mpi.Mpi
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Fdata = Hpcfs_fs.Fdata
+module Posix = Hpcfs_posix.Posix
+module Mpiio = Hpcfs_mpiio.Mpiio
+module Collector = Hpcfs_trace.Collector
+module Record = Hpcfs_trace.Record
+
+type harness = {
+  pfs : Pfs.t;
+  collector : Collector.t;
+  mpiio : Mpiio.ctx;
+}
+
+let make_harness ?(cb_nodes = 3) () =
+  let pfs = Pfs.create Consistency.Strong in
+  let collector = Collector.create () in
+  let posix = Posix.make_ctx pfs collector in
+  let comm = Mpi.world () in
+  let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+  { pfs; collector; mpiio }
+
+let run ?(nprocs = 8) h body = Sched.run ~nprocs (fun _ -> body h.mpiio)
+
+let file_contents h path =
+  Bytes.to_string (Pfs.read_back h.pfs ~time:(1 lsl 40) path).Fdata.data
+
+let test_open_write_at_close () =
+  let h = make_harness () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/shared" Mpiio.mode_rdwr_create in
+      let r = Mpi.rank (Mpiio.comm m) in
+      Mpiio.write_at m fh ~off:(r * 4) (Bytes.make 4 (Char.chr (65 + r)));
+      Mpiio.file_close m fh);
+  Alcotest.(check string) "tiled content" "AAAABBBBCCCCDDDDEEEEFFFFGGGGHHHH"
+    (file_contents h "/shared")
+
+let test_write_at_all_content () =
+  let h = make_harness () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/coll" Mpiio.mode_rdwr_create in
+      let r = Mpi.rank (Mpiio.comm m) in
+      Mpiio.write_at_all m fh ~off:(r * 4) (Bytes.make 4 (Char.chr (97 + r)));
+      Mpiio.file_close m fh);
+  Alcotest.(check string) "collective content"
+    "aaaabbbbccccddddeeeeffffgggghhhh" (file_contents h "/coll")
+
+let test_write_at_all_only_aggregators_write () =
+  let h = make_harness ~cb_nodes:3 () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/agg" Mpiio.mode_rdwr_create in
+      let r = Mpi.rank (Mpiio.comm m) in
+      Mpiio.write_at_all m fh ~off:(r * 100) (Bytes.make 100 'x');
+      Mpiio.file_close m fh);
+  let writers =
+    Collector.records h.collector
+    |> List.filter (fun r ->
+           r.Record.layer = Record.L_posix
+           && r.Record.func = "pwrite")
+    |> List.map (fun r -> r.Record.rank)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "exactly the aggregators"
+    (List.sort compare (Mpiio.aggregators h.mpiio))
+    writers
+
+let test_read_at_all () =
+  let h = make_harness () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/rall" Mpiio.mode_rdwr_create in
+      let r = Mpi.rank (Mpiio.comm m) in
+      Mpiio.write_at_all m fh ~off:(r * 4) (Bytes.make 4 (Char.chr (48 + r)));
+      Mpiio.file_sync m fh;
+      let mine = Mpiio.read_at_all m fh ~off:(r * 4) 4 in
+      Alcotest.(check string) "read own tile"
+        (String.make 4 (Char.chr (48 + r)))
+        (Bytes.to_string mine);
+      let other = Mpiio.read_at_all m fh ~off:(((r + 1) mod 8) * 4) 4 in
+      Alcotest.(check string) "read neighbour tile"
+        (String.make 4 (Char.chr (48 + ((r + 1) mod 8))))
+        (Bytes.to_string other);
+      Mpiio.file_close m fh)
+
+let test_collective_with_empty_contribution () =
+  let h = make_harness () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/sparse" Mpiio.mode_rdwr_create in
+      let r = Mpi.rank (Mpiio.comm m) in
+      (* Odd ranks contribute nothing. *)
+      let data = if r mod 2 = 0 then Bytes.make 4 'e' else Bytes.create 0 in
+      Mpiio.write_at_all m fh ~off:(r * 4) data;
+      Mpiio.file_close m fh);
+  Alcotest.(check string) "only even tiles"
+    "eeee\000\000\000\000eeee\000\000\000\000eeee\000\000\000\000eeee"
+    (String.sub (file_contents h "/sparse") 0 28)
+
+let test_all_empty_collective () =
+  let h = make_harness () in
+  run h (fun m ->
+      let fh = Mpiio.file_open m "/empty" Mpiio.mode_rdwr_create in
+      Mpiio.write_at_all m fh ~off:0 (Bytes.create 0);
+      Mpiio.file_close m fh);
+  Alcotest.(check string) "nothing written" "" (file_contents h "/empty")
+
+let test_solo_open () =
+  let h = make_harness () in
+  run h (fun m ->
+      let r = Mpi.rank (Mpiio.comm m) in
+      let fh =
+        Mpiio.file_open_self m
+          (Printf.sprintf "/solo.%d" r)
+          Mpiio.mode_wronly_create
+      in
+      Mpiio.write_at m fh ~off:0 (Bytes.make 2 (Char.chr (65 + r)));
+      Mpiio.file_close m fh);
+  Alcotest.(check string) "per-rank file" "CC" (file_contents h "/solo.2")
+
+let test_layer_records () =
+  let h = make_harness () in
+  run h ~nprocs:4 (fun m ->
+      let fh = Mpiio.file_open m "/layers" Mpiio.mode_rdwr_create in
+      Mpiio.write_at m fh ~off:0 (Bytes.make 1 'z');
+      Mpiio.file_close m fh);
+  let records = Collector.records h.collector in
+  let mpiio_funcs =
+    records
+    |> List.filter (fun r -> r.Record.layer = Record.L_mpiio)
+    |> List.map (fun r -> r.Record.func)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list string)) "MPI-IO layer calls"
+    [ "MPI_File_close"; "MPI_File_open"; "MPI_File_write_at" ]
+    mpiio_funcs;
+  (* The POSIX calls underneath must be tagged as MPI-issued. *)
+  List.iter
+    (fun r ->
+      if r.Record.layer = Record.L_posix then
+        Alcotest.(check bool) "posix origin is mpi" true
+          (r.Record.origin = Record.O_mpi))
+    records
+
+let test_aggregator_selection () =
+  let h = make_harness ~cb_nodes:4 () in
+  run h ~nprocs:16 (fun m ->
+      if Mpi.rank (Mpiio.comm m) = 0 then begin
+        Alcotest.(check (list int)) "evenly spaced" [ 0; 4; 8; 12 ]
+          (Mpiio.aggregators m);
+        Alcotest.(check bool) "rank0 is aggregator" true (Mpiio.is_aggregator m)
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "independent write_at" `Quick test_open_write_at_close;
+    Alcotest.test_case "collective content" `Quick test_write_at_all_content;
+    Alcotest.test_case "aggregators do the writes" `Quick
+      test_write_at_all_only_aggregators_write;
+    Alcotest.test_case "collective read" `Quick test_read_at_all;
+    Alcotest.test_case "sparse collective" `Quick
+      test_collective_with_empty_contribution;
+    Alcotest.test_case "all-empty collective" `Quick test_all_empty_collective;
+    Alcotest.test_case "solo open" `Quick test_solo_open;
+    Alcotest.test_case "layer records" `Quick test_layer_records;
+    Alcotest.test_case "aggregator selection" `Quick test_aggregator_selection;
+  ]

@@ -1,0 +1,208 @@
+(* Tests for the instrumented POSIX layer: semantics of the calls and the
+   trace records they emit. *)
+
+module Sched = Hpcfs_sim.Sched
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Posix = Hpcfs_posix.Posix
+module Collector = Hpcfs_trace.Collector
+module Record = Hpcfs_trace.Record
+
+(* Run [body] as a single simulated rank and return (value, trace). *)
+let with_ctx body =
+  let pfs = Pfs.create Consistency.Strong in
+  let collector = Collector.create () in
+  let ctx = Posix.make_ctx pfs collector in
+  let result = ref None in
+  Sched.run ~nprocs:1 (fun _ -> result := Some (body ctx));
+  (Option.get !result, Collector.records collector)
+
+let funcs records = List.map (fun r -> r.Record.func) records
+
+let test_open_write_read_close () =
+  let (), records =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/f" [ Posix.O_RDWR; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.of_string "hello"));
+        ignore (Posix.lseek ctx fd 0 Posix.SEEK_SET);
+        let data = Posix.read ctx fd 5 in
+        Alcotest.(check string) "read back" "hello" (Bytes.to_string data);
+        Posix.close ctx fd)
+  in
+  Alcotest.(check (list string)) "trace functions"
+    [ "open"; "write"; "lseek"; "read"; "close" ]
+    (funcs records)
+
+let test_offsets_advance () =
+  let (), _ =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/f" [ Posix.O_RDWR; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.make 10 'a'));
+        Alcotest.(check int) "pos after write" 10 (Posix.fd_pos ctx fd);
+        ignore (Posix.pwrite ctx fd ~off:100 (Bytes.make 5 'b'));
+        Alcotest.(check int) "pwrite does not move pos" 10 (Posix.fd_pos ctx fd);
+        ignore (Posix.lseek ctx fd (-3) Posix.SEEK_END);
+        Alcotest.(check int) "seek_end" 102 (Posix.fd_pos ctx fd);
+        ignore (Posix.lseek ctx fd 2 Posix.SEEK_CUR);
+        Alcotest.(check int) "seek_cur" 104 (Posix.fd_pos ctx fd))
+  in
+  ()
+
+let test_append_mode () =
+  let (), _ =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/log" [ Posix.O_WRONLY; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.make 8 'x'));
+        Posix.close ctx fd;
+        let fd = Posix.openf ctx "/log" [ Posix.O_WRONLY; Posix.O_APPEND ] in
+        ignore (Posix.write ctx fd (Bytes.make 4 'y'));
+        Alcotest.(check int) "appended at end" 12 (Posix.fd_pos ctx fd);
+        Posix.close ctx fd)
+  in
+  ()
+
+let test_trunc_flag () =
+  let (), _ =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/t" [ Posix.O_WRONLY; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.make 100 'z'));
+        Posix.close ctx fd;
+        let fd = Posix.openf ctx "/t" [ Posix.O_WRONLY; Posix.O_TRUNC ] in
+        let st = Posix.fstat ctx fd in
+        Alcotest.(check int) "truncated" 0 st.Hpcfs_fs.Namespace.st_size;
+        Posix.close ctx fd)
+  in
+  ()
+
+let test_short_read_at_eof () =
+  let (), records =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/s" [ Posix.O_RDWR; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.make 6 'q'));
+        ignore (Posix.lseek ctx fd 0 Posix.SEEK_SET);
+        let data = Posix.read ctx fd 100 in
+        Alcotest.(check int) "short read" 6 (Bytes.length data);
+        Posix.close ctx fd)
+  in
+  (* The read record must carry the transferred count, not the request. *)
+  let read_rec =
+    List.find (fun r -> r.Record.func = "read") records
+  in
+  Alcotest.(check (option int)) "recorded transfer" (Some 6) read_rec.Record.count
+
+let test_errors () =
+  let (), _ =
+    with_ctx (fun ctx ->
+        (match Posix.openf ctx "/missing" [ Posix.O_RDONLY ] with
+        | exception Posix.Posix_error { func = "open"; _ } -> ()
+        | _ -> Alcotest.fail "expected ENOENT");
+        (match Posix.read ctx 99 4 with
+        | exception Posix.Posix_error { msg = "bad file descriptor"; _ } -> ()
+        | _ -> Alcotest.fail "expected EBADF");
+        let fd = Posix.openf ctx "/ro" [ Posix.O_RDONLY; Posix.O_CREAT ] in
+        match Posix.write ctx fd (Bytes.make 1 'x') with
+        | exception Posix.Posix_error _ -> ()
+        | _ -> Alcotest.fail "expected not-writable")
+  in
+  ()
+
+let test_stdio_variants () =
+  let (), records =
+    with_ctx (fun ctx ->
+        let fd = Posix.fopen ctx "/std" "w+" in
+        ignore (Posix.fwrite ctx fd (Bytes.make 4 'a'));
+        Posix.fflush ctx fd;
+        Posix.fseek ctx fd 0 Posix.SEEK_SET;
+        ignore (Posix.fread ctx fd 4);
+        Posix.fclose ctx fd)
+  in
+  Alcotest.(check (list string)) "stdio trace"
+    [ "fopen"; "fwrite"; "fflush"; "fseek"; "fread"; "fclose" ]
+    (funcs records)
+
+let test_metadata_ops_traced () =
+  let (), records =
+    with_ctx (fun ctx ->
+        Posix.mkdir ctx "/dir";
+        ignore (Posix.access ctx "/dir");
+        ignore (Posix.getcwd ctx ());
+        Posix.chdir ctx "/dir";
+        let fd = Posix.openf ctx "file" [ Posix.O_WRONLY; Posix.O_CREAT ] in
+        ignore (Posix.write ctx fd (Bytes.make 10 'c'));
+        ignore (Posix.fstat ctx fd);
+        Posix.ftruncate ctx fd 5;
+        Posix.close ctx fd;
+        let st = Posix.stat ctx "/dir/file" in
+        Alcotest.(check int) "relative path resolved + truncated" 5
+          st.Hpcfs_fs.Namespace.st_size;
+        Posix.rename ctx "/dir/file" "/dir/file2";
+        ignore (Posix.opendir ctx "/dir");
+        Posix.unlink ctx "/dir/file2";
+        Posix.rmdir ctx "/dir")
+  in
+  let fs = funcs records in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " traced") true (List.mem f fs))
+    [ "mkdir"; "access"; "getcwd"; "chdir"; "fstat"; "ftruncate"; "stat";
+      "rename"; "opendir"; "readdir"; "closedir"; "unlink"; "rmdir" ]
+
+let test_dup_and_misc () =
+  let (), _ =
+    with_ctx (fun ctx ->
+        let fd = Posix.openf ctx "/d" [ Posix.O_RDWR; Posix.O_CREAT ] in
+        let fd2 = Posix.dup ctx fd in
+        Alcotest.(check string) "same file" (Posix.fd_path ctx fd)
+          (Posix.fd_path ctx fd2);
+        Alcotest.(check int) "fileno identity" fd (Posix.fileno ctx fd);
+        Alcotest.(check int) "fcntl returns 0" 0 (Posix.fcntl ctx fd "F_GETFL");
+        let old = Posix.umask ctx 0o077 in
+        Alcotest.(check int) "default umask" 0o022 old;
+        Posix.mmap ctx fd ~len:128;
+        Posix.msync ctx fd;
+        Posix.close ctx fd)
+  in
+  ()
+
+let test_open_record_has_fd_and_flags () =
+  let fd, records =
+    with_ctx (fun ctx ->
+        Posix.openf ctx "/x" [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_APPEND ])
+  in
+  let open_rec = List.hd records in
+  Alcotest.(check (option int)) "fd recorded" (Some fd) open_rec.Record.fd;
+  Alcotest.(check (option string)) "flags recorded"
+    (Some "O_WRONLY|O_CREAT|O_APPEND")
+    (Record.arg open_rec "flags")
+
+let test_origin_tagging () =
+  let (), records =
+    with_ctx (fun ctx ->
+        let fd =
+          Posix.openf ctx ~origin:Record.O_hdf5 "/h5"
+            [ Posix.O_WRONLY; Posix.O_CREAT ]
+        in
+        ignore (Posix.write ctx ~origin:Record.O_hdf5 fd (Bytes.make 1 'a'));
+        Posix.close ctx ~origin:Record.O_hdf5 fd)
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "origin is hdf5" true
+        (r.Record.origin = Record.O_hdf5))
+    records
+
+let suite =
+  [
+    Alcotest.test_case "open/write/read/close" `Quick test_open_write_read_close;
+    Alcotest.test_case "offsets advance" `Quick test_offsets_advance;
+    Alcotest.test_case "append mode" `Quick test_append_mode;
+    Alcotest.test_case "O_TRUNC" `Quick test_trunc_flag;
+    Alcotest.test_case "short read at EOF" `Quick test_short_read_at_eof;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "stdio variants" `Quick test_stdio_variants;
+    Alcotest.test_case "metadata ops traced" `Quick test_metadata_ops_traced;
+    Alcotest.test_case "dup and misc" `Quick test_dup_and_misc;
+    Alcotest.test_case "open record fd+flags" `Quick
+      test_open_record_has_fd_and_flags;
+    Alcotest.test_case "origin tagging" `Quick test_origin_tagging;
+  ]

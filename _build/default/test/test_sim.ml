@@ -1,0 +1,223 @@
+(* Tests for the cooperative scheduler and the MPI model. *)
+
+module Sched = Hpcfs_sim.Sched
+module Mpi = Hpcfs_mpi.Mpi
+
+let test_run_all_ranks () =
+  let seen = Array.make 4 false in
+  Sched.run ~nprocs:4 (fun r -> seen.(r) <- true);
+  Alcotest.(check (array bool)) "all ranks ran" [| true; true; true; true |]
+    seen
+
+let test_self_and_nprocs () =
+  Sched.run ~nprocs:3 (fun r ->
+      Alcotest.(check int) "self" r (Sched.self ());
+      Alcotest.(check int) "nprocs" 3 (Sched.nprocs ()))
+
+let test_tick_monotone_unique () =
+  let times = ref [] in
+  Sched.run ~nprocs:4 (fun _ ->
+      for _ = 1 to 10 do
+        times := Sched.tick () :: !times;
+        Sched.yield ()
+      done);
+  let ts = List.sort compare !times in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "all timestamps unique" true (distinct ts);
+  Alcotest.(check int) "count" 40 (List.length ts)
+
+let test_wait_until () =
+  let flag = ref false in
+  let order = ref [] in
+  Sched.run ~nprocs:2 (fun r ->
+      if r = 0 then begin
+        Sched.wait_until (fun () -> !flag);
+        order := "waiter" :: !order
+      end
+      else begin
+        Sched.yield ();
+        flag := true;
+        order := "setter" :: !order
+      end);
+  Alcotest.(check (list string)) "setter ran before waiter"
+    [ "waiter"; "setter" ] !order
+
+let test_deadlock_detected () =
+  Alcotest.check_raises "deadlock raises"
+    (Sched.Deadlock "ranks blocked: 0,1") (fun () ->
+      Sched.run ~nprocs:2 (fun _ -> Sched.wait_until (fun () -> false)))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "body exception escapes" Exit (fun () ->
+      Sched.run ~nprocs:2 (fun r -> if r = 1 then raise Exit))
+
+let test_not_reentrant_outside () =
+  Alcotest.check_raises "self outside run"
+    (Invalid_argument "Sched.self: no simulation running") (fun () ->
+      ignore (Sched.self ()))
+
+let test_barrier_synchronizes () =
+  let comm = Mpi.world () in
+  let phase = Array.make 8 0 in
+  Sched.run ~nprocs:8 (fun r ->
+      phase.(r) <- 1;
+      Mpi.barrier comm;
+      (* After the barrier, every rank must have completed phase 1. *)
+      Array.iter (fun p -> Alcotest.(check int) "phase complete" 1 p) phase;
+      ignore r)
+
+let test_barrier_repeated () =
+  let comm = Mpi.world () in
+  let counter = ref 0 in
+  Sched.run ~nprocs:4 (fun _ ->
+      for _ = 1 to 5 do
+        incr counter;
+        Mpi.barrier comm
+      done);
+  Alcotest.(check int) "all iterations" 20 !counter
+
+let test_send_recv () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:2 (fun r ->
+      if r = 0 then Mpi.send comm ~dst:1 ~tag:7 (Mpi.P_int 99)
+      else begin
+        match Mpi.recv comm ~src:0 ~tag:7 with
+        | Mpi.P_int v -> Alcotest.(check int) "payload" 99 v
+        | _ -> Alcotest.fail "wrong payload"
+      end)
+
+let test_send_recv_fifo_per_channel () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:2 (fun r ->
+      if r = 0 then
+        for i = 1 to 10 do
+          Mpi.send comm ~dst:1 ~tag:0 (Mpi.P_int i)
+        done
+      else
+        for i = 1 to 10 do
+          match Mpi.recv comm ~src:0 ~tag:0 with
+          | Mpi.P_int v -> Alcotest.(check int) "fifo order" i v
+          | _ -> Alcotest.fail "wrong payload"
+        done)
+
+let test_bcast () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:6 (fun r ->
+      let v = if r = 2 then Mpi.P_int 1234 else Mpi.P_unit in
+      match Mpi.bcast comm ~root:2 v with
+      | Mpi.P_int x -> Alcotest.(check int) "bcast value" 1234 x
+      | _ -> Alcotest.fail "wrong payload")
+
+let test_gather () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:5 (fun r ->
+      match Mpi.gather comm ~root:0 (Mpi.P_int (r * r)) with
+      | Some values ->
+        Alcotest.(check int) "root is rank 0" 0 r;
+        Array.iteri
+          (fun i p ->
+            match p with
+            | Mpi.P_int v -> Alcotest.(check int) "gathered" (i * i) v
+            | _ -> Alcotest.fail "wrong payload")
+          values
+      | None -> Alcotest.(check bool) "non-root gets None" true (r <> 0))
+
+let test_allgather () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:4 (fun r ->
+      let values = Mpi.allgather comm (Mpi.P_int (100 + r)) in
+      Array.iteri
+        (fun i p ->
+          match p with
+          | Mpi.P_int v -> Alcotest.(check int) "allgathered" (100 + i) v
+          | _ -> Alcotest.fail "wrong payload")
+        values)
+
+let test_reduce_allreduce () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:4 (fun r ->
+      (match Mpi.reduce comm ~root:0 Mpi.Sum (r + 1) with
+      | Some total -> Alcotest.(check int) "reduce sum" 10 total
+      | None -> ());
+      let m = Mpi.allreduce comm Mpi.Max r in
+      Alcotest.(check int) "allreduce max" 3 m;
+      let s = Mpi.allreduce comm Mpi.Sum 1 in
+      Alcotest.(check int) "allreduce count" 4 s;
+      let mn = Mpi.allreduce comm Mpi.Min (10 - r) in
+      Alcotest.(check int) "allreduce min" 7 mn)
+
+let test_scatter () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:3 (fun r ->
+      let values =
+        if r = 0 then Some (Array.init 3 (fun i -> Mpi.P_int (i * 7)))
+        else None
+      in
+      match Mpi.scatter comm ~root:0 values with
+      | Mpi.P_int v -> Alcotest.(check int) "scattered" (r * 7) v
+      | _ -> Alcotest.fail "wrong payload")
+
+let test_events_recorded () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:2 (fun r ->
+      if r = 0 then Mpi.send comm ~dst:1 ~tag:3 Mpi.P_unit
+      else ignore (Mpi.recv comm ~src:0 ~tag:3);
+      Mpi.barrier comm);
+  let events = Mpi.events comm in
+  let sends =
+    List.filter (function Mpi.E_send _ -> true | _ -> false) events
+  in
+  let recvs =
+    List.filter (function Mpi.E_recv _ -> true | _ -> false) events
+  in
+  let barriers =
+    List.filter (function Mpi.E_barrier _ -> true | _ -> false) events
+  in
+  Alcotest.(check int) "one send" 1 (List.length sends);
+  Alcotest.(check int) "one recv" 1 (List.length recvs);
+  Alcotest.(check int) "two barrier records" 2 (List.length barriers);
+  (* The send must timestamp before the matching receive completes. *)
+  match (sends, recvs) with
+  | [ Mpi.E_send s ], [ Mpi.E_recv r ] ->
+    Alcotest.(check bool) "send before recv" true (s.time < r.time)
+  | _ -> Alcotest.fail "unexpected events"
+
+let test_send_happens_before_recv_many_ranks () =
+  let comm = Mpi.world () in
+  Sched.run ~nprocs:8 (fun r ->
+      (* Ring: each rank sends to its successor. *)
+      let next = (r + 1) mod 8 and prev = (r + 7) mod 8 in
+      Mpi.send comm ~dst:next ~tag:1 (Mpi.P_int r);
+      match Mpi.recv comm ~src:prev ~tag:1 with
+      | Mpi.P_int v -> Alcotest.(check int) "ring value" prev v
+      | _ -> Alcotest.fail "wrong payload");
+  List.iter
+    (fun e ->
+      match e with
+      | Mpi.E_recv _ | Mpi.E_send _ | Mpi.E_barrier _ | Mpi.E_coll _ -> ())
+    (Mpi.events comm)
+
+let suite =
+  [
+    Alcotest.test_case "run all ranks" `Quick test_run_all_ranks;
+    Alcotest.test_case "self/nprocs" `Quick test_self_and_nprocs;
+    Alcotest.test_case "tick unique" `Quick test_tick_monotone_unique;
+    Alcotest.test_case "wait_until" `Quick test_wait_until;
+    Alcotest.test_case "deadlock detection" `Quick test_deadlock_detected;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "no ambient outside run" `Quick test_not_reentrant_outside;
+    Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+    Alcotest.test_case "barrier repeated" `Quick test_barrier_repeated;
+    Alcotest.test_case "send/recv" `Quick test_send_recv;
+    Alcotest.test_case "fifo per channel" `Quick test_send_recv_fifo_per_channel;
+    Alcotest.test_case "bcast" `Quick test_bcast;
+    Alcotest.test_case "gather" `Quick test_gather;
+    Alcotest.test_case "allgather" `Quick test_allgather;
+    Alcotest.test_case "reduce/allreduce" `Quick test_reduce_allreduce;
+    Alcotest.test_case "scatter" `Quick test_scatter;
+    Alcotest.test_case "events recorded" `Quick test_events_recorded;
+    Alcotest.test_case "ring exchange" `Quick test_send_happens_before_recv_many_ranks;
+  ]

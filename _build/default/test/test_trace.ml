@@ -1,0 +1,201 @@
+(* Tests for the trace substrate: records, serialization, classification,
+   clock-skew adjustment. *)
+
+module Record = Hpcfs_trace.Record
+module Collector = Hpcfs_trace.Collector
+module Opclass = Hpcfs_trace.Opclass
+module Tracefile = Hpcfs_trace.Tracefile
+module Skew = Hpcfs_trace.Skew
+
+let sample ?(time = 1) ?(rank = 0) ?(func = "write") ?file ?fd ?offset ?count
+    ?(args = []) () =
+  Record.make ~time ~rank ~layer:Record.L_posix ~origin:Record.O_app ~func
+    ?file ?fd ?offset ?count ~args ()
+
+let test_roundtrip_line () =
+  let r =
+    sample ~time:42 ~rank:7 ~func:"pwrite" ~file:"/out/data" ~fd:5 ~offset:100
+      ~count:512
+      ~args:[ ("flags", "O_CREAT|O_TRUNC") ]
+      ()
+  in
+  match Record.of_line (Record.to_line r) with
+  | Ok r' ->
+    Alcotest.(check int) "time" r.Record.time r'.Record.time;
+    Alcotest.(check int) "rank" r.Record.rank r'.Record.rank;
+    Alcotest.(check string) "func" r.Record.func r'.Record.func;
+    Alcotest.(check (option string)) "file" r.Record.file r'.Record.file;
+    Alcotest.(check (option int)) "fd" r.Record.fd r'.Record.fd;
+    Alcotest.(check (option int)) "offset" r.Record.offset r'.Record.offset;
+    Alcotest.(check (option int)) "count" r.Record.count r'.Record.count;
+    Alcotest.(check (option string)) "args" (Record.arg r "flags")
+      (Record.arg r' "flags")
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_none_fields () =
+  let r = sample ~func:"getcwd" () in
+  match Record.of_line (Record.to_line r) with
+  | Ok r' ->
+    Alcotest.(check (option string)) "no file" None r'.Record.file;
+    Alcotest.(check (option int)) "no fd" None r'.Record.fd
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  (match Record.of_line "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error");
+  match Record.of_line "x\t0\tPOSIX\tapp\twrite\t-\t-\t-\t-" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected integer error"
+
+let test_layer_origin_names () =
+  List.iter
+    (fun layer ->
+      Alcotest.(check bool) "layer roundtrip" true
+        (Record.layer_of_name (Record.layer_name layer) = Some layer))
+    [ Record.L_posix; Record.L_mpiio; Record.L_hdf5 ];
+  List.iter
+    (fun origin ->
+      Alcotest.(check bool) "origin roundtrip" true
+        (Record.origin_of_name (Record.origin_name origin) = Some origin))
+    [ Record.O_app; Record.O_mpi; Record.O_hdf5; Record.O_netcdf;
+      Record.O_adios; Record.O_silo ]
+
+let test_collector_order () =
+  let c = Collector.create () in
+  List.iter (fun t -> Collector.emit c (sample ~time:t ())) [ 1; 2; 3; 4 ];
+  let times = List.map (fun r -> r.Record.time) (Collector.records c) in
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4 ] times;
+  Alcotest.(check int) "count" 4 (Collector.count c);
+  Collector.clear c;
+  Alcotest.(check int) "cleared" 0 (Collector.count c)
+
+let test_collector_by_rank () =
+  let c = Collector.create () in
+  Collector.emit c (sample ~time:1 ~rank:2 ());
+  Collector.emit c (sample ~time:2 ~rank:0 ());
+  Collector.emit c (sample ~time:3 ~rank:2 ());
+  let buckets = Collector.by_rank c in
+  Alcotest.(check int) "three buckets" 3 (Array.length buckets);
+  Alcotest.(check int) "rank2 has two" 2 (List.length buckets.(2));
+  Alcotest.(check int) "rank1 empty" 0 (List.length buckets.(1))
+
+let test_opclass () =
+  Alcotest.(check bool) "read" true (Opclass.classify "pread" = Opclass.Data_read);
+  Alcotest.(check bool) "write" true (Opclass.classify "fwrite" = Opclass.Data_write);
+  Alcotest.(check bool) "open" true (Opclass.classify "fopen" = Opclass.Open);
+  Alcotest.(check bool) "close" true (Opclass.classify "fclose" = Opclass.Close);
+  Alcotest.(check bool) "commit" true (Opclass.classify "fdatasync" = Opclass.Commit);
+  Alcotest.(check bool) "seek" true (Opclass.classify "lseek" = Opclass.Seek);
+  Alcotest.(check bool) "metadata" true (Opclass.classify "mkdir" = Opclass.Metadata);
+  Alcotest.(check bool) "other" true (Opclass.classify "frobnicate" = Opclass.Other)
+
+let test_opclass_footnote3_complete () =
+  Alcotest.(check int) "44 monitored ops" 44
+    (List.length Opclass.monitored_metadata_ops);
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (op ^ " is metadata") true
+        (Opclass.classify op = Opclass.Metadata))
+    Opclass.monitored_metadata_ops
+
+let test_opclass_commits () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " commits") true
+        (Opclass.is_commit_for_conflicts f))
+    [ "fsync"; "fdatasync"; "fflush"; "fclose"; "close" ];
+  Alcotest.(check bool) "write is not a commit" false
+    (Opclass.is_commit_for_conflicts "write")
+
+let test_tracefile_roundtrip () =
+  let records =
+    [
+      sample ~time:1 ~func:"open" ~file:"/f" ~fd:3 ~args:[ ("flags", "O_CREAT") ] ();
+      sample ~time:2 ~func:"write" ~file:"/f" ~fd:3 ~count:100 ();
+      sample ~time:3 ~func:"close" ~file:"/f" ~fd:3 ();
+    ]
+  in
+  match Tracefile.of_string (Tracefile.to_string records) with
+  | Ok parsed ->
+    Alcotest.(check int) "count" 3 (List.length parsed);
+    List.iter2
+      (fun a b -> Alcotest.(check string) "line" (Record.to_line a) (Record.to_line b))
+      records parsed
+  | Error e -> Alcotest.fail e
+
+let test_tracefile_save_load () =
+  let path = Filename.temp_file "hpcfs" ".trace" in
+  let records = [ sample ~time:9 ~func:"fsync" ~file:"/f" ~fd:4 () ] in
+  Tracefile.save path records;
+  (match Tracefile.load path with
+  | Ok [ r ] -> Alcotest.(check int) "time survives" 9 r.Record.time
+  | Ok _ -> Alcotest.fail "wrong count"
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_tracefile_bad_line () =
+  match Tracefile.of_string "# header\nnot a record\n" with
+  | Error msg ->
+    Alcotest.(check bool) "mentions line 2" true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_skew_alignment () =
+  (* Rank r's clock is shifted by 10*r; aligning on the barrier exit should
+     restore cross-rank order. *)
+  let sync_point r = 10 * r in
+  let records =
+    [
+      sample ~time:12 ~rank:1 ~func:"write" ();
+      sample ~time:5 ~rank:0 ~func:"write" ();
+    ]
+  in
+  let aligned = Skew.align ~sync_point records in
+  let times = List.map (fun r -> (r.Record.rank, r.Record.time)) aligned in
+  Alcotest.(check (list (pair int int))) "aligned order" [ (1, 2); (0, 5) ] times
+
+let test_skew_max () =
+  Alcotest.(check int) "max pairwise" 30
+    (Skew.max_pairwise_skew ~sync_point:(fun r -> 10 * r) ~ranks:4);
+  Alcotest.(check int) "no ranks" 0
+    (Skew.max_pairwise_skew ~sync_point:(fun _ -> 0) ~ranks:0)
+
+let qcheck_record_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let* time = int_bound 100000 in
+      let* rank = int_bound 1024 in
+      let* func = oneofl [ "read"; "write"; "open"; "stat"; "lseek" ] in
+      let* off = opt (int_bound 1_000_000) in
+      let* count = opt (int_bound 1_000_000) in
+      return (time, rank, func, off, count))
+  in
+  QCheck.Test.make ~name:"record line roundtrip" ~count:300
+    (QCheck.make gen) (fun (time, rank, func, off, count) ->
+      let r =
+        Record.make ~time ~rank ~layer:Record.L_posix ~origin:Record.O_mpi
+          ~func ?offset:off ?count ()
+      in
+      match Record.of_line (Record.to_line r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "line roundtrip" `Quick test_roundtrip_line;
+    Alcotest.test_case "none fields" `Quick test_roundtrip_none_fields;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "layer/origin names" `Quick test_layer_origin_names;
+    Alcotest.test_case "collector order" `Quick test_collector_order;
+    Alcotest.test_case "collector by rank" `Quick test_collector_by_rank;
+    Alcotest.test_case "opclass basics" `Quick test_opclass;
+    Alcotest.test_case "footnote 3 complete" `Quick test_opclass_footnote3_complete;
+    Alcotest.test_case "commit ops" `Quick test_opclass_commits;
+    Alcotest.test_case "tracefile roundtrip" `Quick test_tracefile_roundtrip;
+    Alcotest.test_case "tracefile save/load" `Quick test_tracefile_save_load;
+    Alcotest.test_case "tracefile bad line" `Quick test_tracefile_bad_line;
+    Alcotest.test_case "skew alignment" `Quick test_skew_alignment;
+    Alcotest.test_case "skew max" `Quick test_skew_max;
+    QCheck_alcotest.to_alcotest qcheck_record_roundtrip;
+  ]

@@ -1,0 +1,143 @@
+(* Unit and property tests for lib/util. *)
+
+module Prng = Hpcfs_util.Prng
+module Interval = Hpcfs_util.Interval
+module Table = Hpcfs_util.Table
+module Stats = Hpcfs_util.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let w = Prng.int_in g 5 9 in
+    Alcotest.(check bool) "in closed range" true (w >= 5 && w <= 9)
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create 1 in
+  let h = Prng.split g in
+  let a = Prng.bits64 g and b = Prng.bits64 h in
+  Alcotest.(check bool) "split streams differ" true (a <> b)
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_interval_basics () =
+  let i = Interval.of_len 10 5 in
+  Alcotest.(check int) "length" 5 (Interval.length i);
+  Alcotest.(check bool) "contains lo" true (Interval.contains i 10);
+  Alcotest.(check bool) "excludes hi" false (Interval.contains i 15);
+  Alcotest.(check bool) "empty" true (Interval.is_empty (Interval.make 3 3))
+
+let test_interval_overlap () =
+  let a = Interval.make 0 10 and b = Interval.make 5 15 in
+  Alcotest.(check bool) "overlap" true (Interval.overlaps a b);
+  let c = Interval.make 10 20 in
+  Alcotest.(check bool) "touching intervals do not overlap" false
+    (Interval.overlaps a c)
+
+let test_interval_subtract () =
+  let a = Interval.make 0 10 in
+  (match Interval.subtract a (Interval.make 3 7) with
+  | [ l; r ] ->
+    Alcotest.(check int) "left hi" 3 l.Interval.hi;
+    Alcotest.(check int) "right lo" 7 r.Interval.lo
+  | _ -> Alcotest.fail "expected two pieces");
+  Alcotest.(check int) "covering subtract empties" 0
+    (List.length (Interval.subtract a (Interval.make 0 10)))
+
+let test_interval_invalid () =
+  Alcotest.check_raises "make rejects hi < lo"
+    (Invalid_argument "Interval.make: hi < lo") (fun () ->
+      ignore (Interval.make 5 4))
+
+let prop_intersect_commutes =
+  QCheck.Test.make ~name:"interval intersect commutes" ~count:500
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let i1 = Interval.make (min a b) (max a b) in
+      let i2 = Interval.make (min c d) (max c d) in
+      Interval.intersect i1 i2 = Interval.intersect i2 i1)
+
+let prop_subtract_disjoint =
+  QCheck.Test.make ~name:"subtract pieces never overlap subtrahend" ~count:500
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      let i1 = Interval.make (min a b) (max a b) in
+      let i2 = Interval.make (min c d) (max c d) in
+      List.for_all
+        (fun piece ->
+          Interval.is_empty piece || not (Interval.overlaps piece i2))
+        (Interval.subtract i1 i2))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "n" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && contains_sub s "name" && contains_sub s "alpha")
+
+let test_table_pads_short_rows () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "x" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_stats_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-9)) "stddev of constant" 0.0
+    (Stats.stddev [| 5.; 5.; 5. |]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean [||])
+
+let test_stats_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs 100.0)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 h in
+  Alcotest.(check int) "all samples binned" 4 total
+
+let test_stats_pct () =
+  Alcotest.(check (float 1e-9)) "half" 50.0 (Stats.pct 1 2);
+  Alcotest.(check (float 1e-9)) "zero whole" 0.0 (Stats.pct 1 0)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutation;
+    Alcotest.test_case "interval basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval overlap" `Quick test_interval_overlap;
+    Alcotest.test_case "interval subtract" `Quick test_interval_subtract;
+    Alcotest.test_case "interval invalid" `Quick test_interval_invalid;
+    QCheck_alcotest.to_alcotest prop_intersect_commutes;
+    QCheck_alcotest.to_alcotest prop_subtract_disjoint;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table pads" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+    Alcotest.test_case "stats pct" `Quick test_stats_pct;
+  ]

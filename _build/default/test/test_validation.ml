@@ -1,0 +1,129 @@
+(* Tests for the end-to-end validation harness and for the clock-skew
+   methodology applied to whole traces. *)
+
+module Mpi = Hpcfs_mpi.Mpi
+module Posix = Hpcfs_posix.Posix
+module Consistency = Hpcfs_fs.Consistency
+module Runner = Hpcfs_apps.Runner
+module Validation = Hpcfs_apps.Validation
+module Report = Hpcfs_core.Report
+module Conflict = Hpcfs_core.Conflict
+module Skew = Hpcfs_trace.Skew
+module Record = Hpcfs_trace.Record
+
+(* A deliberately session-unsafe application: rank 0 writes, rank 1 reads
+   the same bytes after a barrier but without any close/open in between. *)
+let session_unsafe (env : Runner.env) =
+  let posix = env.Runner.posix in
+  let rank = Mpi.rank env.Runner.comm in
+  if rank = 0 then begin
+    Posix.close posix
+      (Posix.openf posix "/x" [ Posix.O_WRONLY; Posix.O_CREAT ])
+  end;
+  Mpi.barrier env.Runner.comm;
+  let fd = Posix.openf posix "/x" [ Posix.O_RDWR ] in
+  if rank = 0 then ignore (Posix.write posix fd (Bytes.make 64 'v'));
+  Mpi.barrier env.Runner.comm;
+  if rank = 1 then ignore (Posix.read posix fd 64);
+  Posix.close posix fd
+
+(* The same application made commit-safe by an fsync before the barrier. *)
+let commit_safe (env : Runner.env) =
+  let posix = env.Runner.posix in
+  let rank = Mpi.rank env.Runner.comm in
+  if rank = 0 then
+    Posix.close posix
+      (Posix.openf posix "/x" [ Posix.O_WRONLY; Posix.O_CREAT ]);
+  Mpi.barrier env.Runner.comm;
+  let fd = Posix.openf posix "/x" [ Posix.O_RDWR ] in
+  if rank = 0 then begin
+    ignore (Posix.write posix fd (Bytes.make 64 'v'));
+    Posix.fsync posix fd
+  end;
+  Mpi.barrier env.Runner.comm;
+  if rank = 1 then ignore (Posix.read posix fd 64);
+  Posix.close posix fd
+
+let outcome_for outcomes model =
+  List.find (fun o -> o.Validation.semantics = model) outcomes
+
+let test_validation_detects_stale_session_read () =
+  let outcomes = Validation.validate ~nprocs:2 session_unsafe in
+  Alcotest.(check bool) "strong ok" true
+    (Validation.correct (outcome_for outcomes Consistency.Strong));
+  Alcotest.(check bool) "commit fails (no fsync)" false
+    (Validation.correct (outcome_for outcomes Consistency.Commit));
+  Alcotest.(check bool) "session fails" false
+    (Validation.correct (outcome_for outcomes Consistency.Session))
+
+let test_validation_commit_heals_with_fsync () =
+  let outcomes = Validation.validate ~nprocs:2 commit_safe in
+  Alcotest.(check bool) "commit ok with fsync" true
+    (Validation.correct (outcome_for outcomes Consistency.Commit));
+  Alcotest.(check bool) "session still fails" false
+    (Validation.correct (outcome_for outcomes Consistency.Session))
+
+let test_analysis_agrees_with_validation () =
+  (* The trace analysis must predict exactly what validation observes. *)
+  let result = Runner.run ~nprocs:2 session_unsafe in
+  let report = Report.analyze ~nprocs:2 result.Runner.records in
+  let session = Report.session_summary report in
+  let commit = Report.commit_summary report in
+  Alcotest.(check bool) "RAW-D predicted under session" true
+    (session.Conflict.raw_d > 0);
+  Alcotest.(check bool) "RAW-D predicted under commit" true
+    (commit.Conflict.raw_d > 0);
+  let result = Runner.run ~nprocs:2 commit_safe in
+  let report = Report.analyze ~nprocs:2 result.Runner.records in
+  Alcotest.(check int) "commit clean with fsync" 0
+    (Report.commit_summary report).Conflict.raw_d;
+  Alcotest.(check bool) "session still conflicting" true
+    ((Report.session_summary report).Conflict.raw_d > 0)
+
+let test_eventual_delay_sweep () =
+  (* With a zero delay eventual consistency behaves like strong; with a
+     huge delay the cross-rank read goes stale. *)
+  let outcome delay =
+    List.hd
+      (Validation.validate ~nprocs:2
+         ~semantics:[ Consistency.Eventual { delay } ]
+         session_unsafe)
+  in
+  Alcotest.(check bool) "zero delay behaves strongly" true
+    (Validation.correct (outcome 0));
+  Alcotest.(check bool) "large delay goes stale" false
+    (Validation.correct (outcome 1_000_000))
+
+let test_skew_adjustment_restores_conflict_order () =
+  (* Inject per-rank clock skew into a real trace, then verify that the
+     barrier-based adjustment (Section 5.2) restores the conflict pair's
+     order: the analysis on adjusted timestamps matches the unskewed one. *)
+  let result = Runner.run ~nprocs:2 session_unsafe in
+  let baseline = Report.analyze ~nprocs:2 result.Runner.records in
+  let skew rank = 1_000_000 * rank in
+  let skewed =
+    List.map
+      (fun r -> { r with Record.time = r.Record.time + skew r.Record.rank })
+      result.Runner.records
+  in
+  let adjusted = Skew.align ~sync_point:skew skewed in
+  let report = Report.analyze ~nprocs:2 adjusted in
+  let base = Report.session_summary baseline in
+  let adj = Report.session_summary report in
+  Alcotest.(check bool) "same conflict summary after adjustment" true
+    (base = adj);
+  Alcotest.(check int) "skew magnitude" 1_000_000
+    (Skew.max_pairwise_skew ~sync_point:skew ~ranks:2)
+
+let suite =
+  [
+    Alcotest.test_case "stale session read detected" `Quick
+      test_validation_detects_stale_session_read;
+    Alcotest.test_case "fsync heals commit semantics" `Quick
+      test_validation_commit_heals_with_fsync;
+    Alcotest.test_case "analysis agrees with validation" `Quick
+      test_analysis_agrees_with_validation;
+    Alcotest.test_case "eventual delay sweep" `Quick test_eventual_delay_sweep;
+    Alcotest.test_case "skew adjustment" `Quick
+      test_skew_adjustment_restores_conflict_order;
+  ]
