@@ -22,6 +22,7 @@ let experiments =
     ("locks", "lock-traffic ablation", Bench_validate.locks);
     ("meta", "metadata-conflict extension", Bench_validate.meta);
     ("burstfs", "BurstFS same-process ordering exception", Bench_validate.burstfs);
+    ("bb", "burst-buffer tier drain-policy comparison", Bench_bb.bb);
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
     ("ablation", "conflict-condition ablation", Bench_perf.perf_tables_vs_annotated);
     ("scaling", "Algorithm 1 scaling", Bench_perf.scaling);

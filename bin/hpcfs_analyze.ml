@@ -17,12 +17,43 @@ module Access = Hpcfs_core.Access
 module Tracefile = Hpcfs_trace.Tracefile
 module Consistency = Hpcfs_fs.Consistency
 module Table = Hpcfs_util.Table
+module Tier = Hpcfs_bb.Tier
+module Drain = Hpcfs_bb.Drain
 
 open Cmdliner
 
 let ranks_arg =
   let doc = "Number of simulated MPI ranks." in
   Arg.(value & opt int 64 & info [ "r"; "ranks" ] ~docv:"N" ~doc)
+
+let tier_arg =
+  let doc =
+    "Route data operations through a burst-buffer tier with the given drain \
+     policy: $(b,none) (direct PFS, the default), $(b,sync-close), \
+     $(b,async) or $(b,laminate)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("none", None);
+             ("sync-close", Some Drain.Sync_on_close);
+             ("async", Some Drain.default_async);
+             ("laminate", Some Drain.On_laminate);
+           ])
+        None
+    & info [ "tier" ] ~docv:"POLICY" ~doc)
+
+let ranks_per_node_arg =
+  let doc = "Ranks sharing one burst-buffer node (with $(b,--tier))." in
+  Arg.(value & opt int 4 & info [ "ranks-per-node" ] ~docv:"N" ~doc)
+
+let tier_config policy ranks_per_node =
+  Option.map
+    (fun policy ->
+      { Tier.default_config with Tier.policy; ranks_per_node })
+    policy
 
 let app_arg =
   let doc = "Application configuration (see $(b,list))." in
@@ -68,14 +99,21 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run app ranks trace_path =
+  let run app ranks trace_path tier ranks_per_node =
     exits_of_result
       (Result.map
          (fun entry ->
-           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           let tier = tier_config tier ranks_per_node in
+           let result = Runner.run ~nprocs:ranks ?tier entry.Registry.body in
            Printf.printf "ran %s on %d ranks: %d trace records\n"
              (Registry.label entry) ranks
              (List.length result.Runner.records);
+           Option.iter
+             (fun t ->
+               Format.printf "burst-buffer tier (%s):@.%a@."
+                 (Drain.name (Tier.config t).Tier.policy)
+                 Tier.pp_stats (Tier.stats t))
+             result.Runner.tier;
            match trace_path with
            | Some path ->
              Tracefile.save path result.Runner.records;
@@ -86,7 +124,10 @@ let run_cmd =
          (find_app app))
   in
   let doc = "Run an application model and capture (or analyze) its trace." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ app_arg $ ranks_arg $ trace_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_arg $ ranks_arg $ trace_arg $ tier_arg
+      $ ranks_per_node_arg)
 
 (* analyze ------------------------------------------------------------------ *)
 
@@ -185,11 +226,19 @@ let profile_cmd =
 (* validate ------------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run app ranks =
+  let run app ranks tier ranks_per_node =
     exits_of_result
       (Result.map
          (fun entry ->
-           let outcomes = Validation.validate ~nprocs:ranks entry.Registry.body in
+           let tier = tier_config tier ranks_per_node in
+           Option.iter
+             (fun c ->
+               Format.printf "burst-buffer tier: %a, %d ranks/node@."
+                 Drain.pp c.Tier.policy c.Tier.ranks_per_node)
+             tier;
+           let outcomes =
+             Validation.validate ~nprocs:ranks ?tier entry.Registry.body
+           in
            let t =
              Table.create
                [ "semantics"; "stale reads"; "corrupted files"; "verdict" ]
@@ -210,9 +259,11 @@ let validate_cmd =
   in
   let doc =
     "Run a configuration under each consistency model on the PFS simulator \
-     and compare against strong consistency."
+     and compare against strong consistency, optionally through a \
+     burst-buffer tier."
   in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ app_arg $ ranks_arg)
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg)
 
 (* main ----------------------------------------------------------------------- *)
 

@@ -1,0 +1,108 @@
+(* Burst-buffer demo: the FLASH metadata-rewrite hazard on a direct
+   session-semantics PFS, and what a node-local burst-buffer tier does to
+   it.
+
+   FLASH's failure under session semantics (Section 6.3) comes from shared
+   metadata regions being rewritten by different ranks whose sessions
+   overlap: visibility follows *close* order, which can invert the issue
+   order of the rewrites, so a later reader sees the older metadata win.
+
+   The same four operations run three ways here:
+
+     1. directly against a session-semantics PFS      -> corrupted header
+     2. through a bb tier that drains on close        -> same corruption
+        (the tier is a faithful shim: it changes where bytes wait, not
+        what the PFS semantics decide)
+     3. through a bb tier with On_laminate draining   -> correct header
+        (stage_out publishes the file by lamination, which freezes the
+        issue-order composition — the UnifyFS recipe for this hazard)
+
+     dune exec examples/burst_buffer_demo.exe *)
+
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Fdata = Hpcfs_fs.Fdata
+module Tier = Hpcfs_bb.Tier
+module Drain = Hpcfs_bb.Drain
+
+let strong_reference = "META-v2 DATA1111"
+
+(* Timeline: both ranks open; rank 0 writes the initial header; rank 1
+   appends its data block and then rewrites the header (the per-dataset
+   metadata update).  Rank 1 closes first, rank 0 last — so under session
+   semantics rank 0's *older* header write takes effect *later*. *)
+let scenario ~open_file ~write ~close ~finish ~observe =
+  open_file ~time:1 ~rank:0 ~create:true "/chk";
+  open_file ~time:1 ~rank:1 ~create:false "/chk";
+  write ~time:2 ~rank:0 "/chk" ~off:0 (Bytes.of_string "META-v1 ");
+  write ~time:3 ~rank:1 "/chk" ~off:8 (Bytes.of_string "DATA1111");
+  write ~time:4 ~rank:1 "/chk" ~off:0 (Bytes.of_string "META-v2 ");
+  close ~time:5 ~rank:1 "/chk";
+  close ~time:6 ~rank:0 "/chk";
+  finish ~time:7 "/chk";
+  observe ~time:8 ~rank:2 "/chk"
+
+let report label (r : Fdata.read_result) =
+  let s = Bytes.to_string r.Fdata.data in
+  Printf.printf "  %-42s %S  -> %s\n" label s
+    (if s = strong_reference then "correct" else "CORRUPTED header")
+
+let direct () =
+  let pfs = Pfs.create Consistency.Session in
+  scenario
+    ~open_file:(fun ~time ~rank ~create p ->
+      ignore (Pfs.open_file pfs ~time ~rank ~create p))
+    ~write:(fun ~time ~rank p ~off data -> Pfs.write pfs ~time ~rank p ~off data)
+    ~close:(fun ~time ~rank p -> Pfs.close_file pfs ~time ~rank p)
+    ~finish:(fun ~time:_ _ -> ())
+    ~observe:(fun ~time ~rank p ->
+      ignore (Pfs.open_file pfs ~time ~rank p);
+      report "direct session PFS:"
+        (Pfs.read pfs ~time:(time + 1) ~rank p ~off:0 ~len:16))
+
+let tiered policy ~stage_out_at_end =
+  let pfs = Pfs.create Consistency.Session in
+  let config =
+    { Tier.default_config with Tier.policy; ranks_per_node = 1 }
+  in
+  let tier = Tier.create ~config pfs in
+  scenario
+    ~open_file:(fun ~time ~rank ~create p ->
+      ignore (Tier.open_file tier ~time ~rank ~create p))
+    ~write:(fun ~time ~rank p ~off data ->
+      Tier.write tier ~time ~rank p ~off data)
+    ~close:(fun ~time ~rank p -> Tier.close_file tier ~time ~rank p)
+    ~finish:(fun ~time p ->
+      if stage_out_at_end then begin
+        Printf.printf
+          "  (stage_out: %d B of backlog drained, file laminated)\n"
+          (Tier.occupancy tier);
+        Tier.stage_out tier ~time p
+      end
+      else ignore (Tier.drain_all tier))
+    ~observe:(fun ~time ~rank p ->
+      ignore (Tier.open_file tier ~time ~rank p);
+      report
+        (Printf.sprintf "bb tier (%s):" (Drain.name policy))
+        (Tier.read tier ~time:(time + 1) ~rank p ~off:0 ~len:16))
+
+let () =
+  Printf.printf
+    "FLASH-style metadata rewrite: rank 0 writes \"META-v1 \", rank 1\n\
+     overwrites it with \"META-v2 \" but closes first.  Strong reference:\n\
+     %S.\n\n" strong_reference;
+  direct ();
+  tiered Drain.Sync_on_close ~stage_out_at_end:false;
+  tiered Drain.On_laminate ~stage_out_at_end:true;
+  print_newline ();
+  print_endline
+    "Reading guide:\n\
+     - direct: session semantics orders the header rewrites by close time\n\
+    \  (rank 1 closed first), so the OLDER header wins — the paper's FLASH\n\
+    \  failure;\n\
+     - sync-close tier: staged writes drain at close with their original\n\
+    \  issue timestamps, so the PFS decides visibility exactly as before —\n\
+    \  a burst buffer alone does not change the semantics;\n\
+     - laminate tier: nothing drains until stage_out publishes the file;\n\
+    \  lamination freezes the issue-order composition, healing the hazard\n\
+    \  when the application stages out between its write and read phases."

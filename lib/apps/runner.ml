@@ -5,12 +5,14 @@ module Posix = Hpcfs_posix.Posix
 module Mpiio = Hpcfs_mpiio.Mpiio
 module Collector = Hpcfs_trace.Collector
 module Prng = Hpcfs_util.Prng
+module Tier = Hpcfs_bb.Tier
 
 type result = {
   records : Hpcfs_trace.Record.t list;
   events : Mpi.event list;
   stats : Pfs.stats;
   pfs : Pfs.t;
+  tier : Tier.t option;
   nprocs : int;
 }
 
@@ -18,28 +20,38 @@ type env = {
   comm : Mpi.comm;
   posix : Posix.ctx;
   mpiio : Mpiio.ctx;
+  tier : Tier.t option;
   nprocs : int;
   seed : int;
 }
 
 let run ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
-    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) body =
+    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?tier body =
   Hpcfs_hdf5.Hdf5.reset_registries ();
   let pfs = Pfs.create ~local_order semantics in
   let collector = Collector.create () in
-  let posix = Posix.make_ctx pfs collector in
+  let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
+  let posix =
+    match tier with
+    | None -> Posix.make_ctx pfs collector
+    | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
+  in
   let comm = Mpi.world () in
   let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
-  let env = { comm; posix; mpiio; nprocs; seed } in
+  let env = { comm; posix; mpiio; tier; nprocs; seed } in
   Sched.run ~nprocs (fun _rank ->
       Mpi.barrier comm;
       body env;
       Mpi.barrier comm);
+  (* End of job: whatever is still buffered reaches the PFS, as a real
+     burst buffer's epilogue stage-out would ensure. *)
+  Option.iter (fun t -> ignore (Tier.drain_all t)) tier;
   {
     records = Collector.records collector;
     events = Mpi.events comm;
     stats = Pfs.stats pfs;
     pfs;
+    tier;
     nprocs;
   }
 

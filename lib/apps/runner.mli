@@ -7,6 +7,8 @@ type result = {
   events : Hpcfs_mpi.Mpi.event list;  (** Communication log. *)
   stats : Hpcfs_fs.Pfs.stats;
   pfs : Hpcfs_fs.Pfs.t;  (** The file system after the run. *)
+  tier : Hpcfs_bb.Tier.t option;
+      (** The burst-buffer tier the run went through, if any. *)
   nprocs : int;
 }
 
@@ -14,6 +16,9 @@ type env = {
   comm : Hpcfs_mpi.Mpi.comm;
   posix : Hpcfs_posix.Posix.ctx;
   mpiio : Hpcfs_mpiio.Mpiio.ctx;
+  tier : Hpcfs_bb.Tier.t option;
+      (** Set when the run is tiered; app models that stage files
+          explicitly (stage_in/stage_out) reach the tier through this. *)
   nprocs : int;
   seed : int;
 }
@@ -25,12 +30,18 @@ val run :
   ?nprocs:int ->
   ?seed:int ->
   ?cb_nodes:int ->
+  ?tier:Hpcfs_bb.Tier.config ->
   (env -> unit) ->
   result
 (** [run body] executes [body] on every rank (default 64 ranks, strong
     semantics, seed 42, 6 collective-buffering aggregators).  A barrier is
     executed before and after the body, mirroring the paper's
-    clock-alignment barrier. *)
+    clock-alignment barrier.
+
+    With [?tier], all POSIX-level data operations route through a
+    burst-buffer {!Hpcfs_bb.Tier.t} staged over the PFS instead of hitting
+    the PFS directly; any backlog left at the end of the job is drained
+    before the result is returned. *)
 
 val rank_prng : env -> Hpcfs_util.Prng.t
 (** Deterministic per-rank generator (distinct stream per rank and seed). *)

@@ -2,6 +2,7 @@ module Consistency = Hpcfs_fs.Consistency
 module Pfs = Hpcfs_fs.Pfs
 module Namespace = Hpcfs_fs.Namespace
 module Fdata = Hpcfs_fs.Fdata
+module Tier = Hpcfs_bb.Tier
 
 type outcome = {
   semantics : Consistency.t;
@@ -24,8 +25,9 @@ let final_digests result =
       (path, Digest.bytes r.Fdata.data))
     files
 
-let run_against ~reference_digests ~nprocs ?(local_order = true) model body =
-  let result = Runner.run ~semantics:model ~local_order ~nprocs body in
+let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier model
+    body =
+  let result = Runner.run ~semantics:model ~local_order ~nprocs ?tier body in
   let digests = final_digests result in
   let corrupted =
     List.fold_left2
@@ -34,19 +36,27 @@ let run_against ~reference_digests ~nprocs ?(local_order = true) model body =
         if digest_a = digest_b then acc else acc + 1)
       0 reference_digests digests
   in
+  (* In a tiered run the application observes the tier's composite reads,
+     not the raw PFS reads underneath them, so staleness is the tier's. *)
+  let stale_reads =
+    match result.Runner.tier with
+    | Some t -> (Tier.stats t).Tier.stale_reads
+    | None -> result.Runner.stats.Pfs.stale_reads
+  in
   {
     semantics = model;
-    stale_reads = result.Runner.stats.Pfs.stale_reads;
+    stale_reads;
     corrupted_files = corrupted;
     files = List.length digests;
   }
 
 let validate ?(nprocs = 64)
     ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
-    body =
+    ?tier body =
   let reference = Runner.run ~semantics:Consistency.Strong ~nprocs body in
   let reference_digests = final_digests reference in
-  List.map (fun model -> run_against ~reference_digests ~nprocs model body)
+  List.map
+    (fun model -> run_against ~reference_digests ~nprocs ?tier model body)
     semantics
 
 let validate_burstfs ?(nprocs = 64) body =

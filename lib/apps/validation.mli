@@ -23,11 +23,18 @@ val correct : outcome -> bool
 val validate :
   ?nprocs:int ->
   ?semantics:Hpcfs_fs.Consistency.t list ->
+  ?tier:Hpcfs_bb.Tier.config ->
   (Runner.env -> unit) ->
   outcome list
 (** Run the body once per semantics model (default: strong, commit,
     session) and compare against the strong run.  The body must be
-    deterministic and must not branch on data read back from files. *)
+    deterministic and must not branch on data read back from files.
+
+    With [?tier], the candidate runs route their data operations through a
+    burst-buffer tier over a PFS with the given semantics; the reference
+    run stays a direct strong run, so the comparison shows whether the
+    tier preserves correctness end to end.  [stale_reads] then counts the
+    tier's composite reads that disagreed with the strong ground truth. *)
 
 val validate_burstfs : ?nprocs:int -> (Runner.env -> unit) -> outcome
 (** Run under commit semantics {e without} the single-process

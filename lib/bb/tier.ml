@@ -1,0 +1,494 @@
+module Pfs = Hpcfs_fs.Pfs
+module Fdata = Hpcfs_fs.Fdata
+module Backend = Hpcfs_fs.Backend
+module Namespace = Hpcfs_fs.Namespace
+module Interval = Hpcfs_util.Interval
+
+type config = {
+  ranks_per_node : int;
+  policy : Drain.t;
+  capacity_per_node : int option;
+}
+
+let default_config =
+  { ranks_per_node = 4; policy = Drain.Sync_on_close; capacity_per_node = None }
+
+(* One staged write.  The record is shared between the owning node's log,
+   the global backlog and the per-file queue, so its lifecycle is a mutable
+   state: [`Staged] (dirty, node-local only), [`Drained] (replayed into the
+   PFS, retained as node-local cache until the next open invalidates it)
+   and [`Dropped] (truncated or invalidated — ignore everywhere). *)
+type extent = {
+  x_file : string;
+  x_node : int;
+  x_rank : int;
+  x_time : int;
+  mutable x_iv : Interval.t;
+  mutable x_data : bytes;
+  mutable x_state : [ `Staged | `Drained | `Dropped ];
+}
+
+type node = {
+  n_id : int;
+  mutable n_log : extent list; (* newest first *)
+  n_snapshots : (string, bytes) Hashtbl.t; (* stage_in read caches *)
+  mutable n_undrained : int; (* dirty bytes buffered on this node *)
+}
+
+type t = {
+  pfs : Pfs.t;
+  config : config;
+  nodes : (int, node) Hashtbl.t;
+  backlog : extent Queue.t; (* global staging order, for async drains *)
+  per_file : (string, extent Queue.t) Hashtbl.t; (* staging order per file *)
+  hw : (string, int) Hashtbl.t; (* staged size high-water per file *)
+  mutable last_drain : int;
+  mutable occupancy : int;
+  (* statistics *)
+  mutable s_writes : int;
+  mutable s_reads : int;
+  mutable s_bytes_written : int;
+  mutable s_bytes_read : int;
+  mutable s_staged : int;
+  mutable s_drained : int;
+  mutable s_stage_in : int;
+  mutable s_stage_out : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_stalls : int;
+  mutable s_stalled_bytes : int;
+  mutable s_peak : int;
+  mutable s_stale_reads : int;
+  mutable s_stale_bytes : int;
+}
+
+let create ?(config = default_config) pfs =
+  {
+    pfs;
+    config;
+    nodes = Hashtbl.create 16;
+    backlog = Queue.create ();
+    per_file = Hashtbl.create 16;
+    hw = Hashtbl.create 16;
+    last_drain = 0;
+    occupancy = 0;
+    s_writes = 0;
+    s_reads = 0;
+    s_bytes_written = 0;
+    s_bytes_read = 0;
+    s_staged = 0;
+    s_drained = 0;
+    s_stage_in = 0;
+    s_stage_out = 0;
+    s_hits = 0;
+    s_misses = 0;
+    s_stalls = 0;
+    s_stalled_bytes = 0;
+    s_peak = 0;
+    s_stale_reads = 0;
+    s_stale_bytes = 0;
+  }
+
+let pfs t = t.pfs
+let config t = t.config
+let occupancy t = t.occupancy
+
+let node_of_rank t rank =
+  if rank < 0 then rank else rank / max 1 t.config.ranks_per_node
+
+let get_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None ->
+    let n =
+      { n_id = id; n_log = []; n_snapshots = Hashtbl.create 8; n_undrained = 0 }
+    in
+    Hashtbl.add t.nodes id n;
+    n
+
+let file_queue t path =
+  match Hashtbl.find_opt t.per_file path with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.per_file path q;
+    q
+
+let hw_size t path = Option.value ~default:0 (Hashtbl.find_opt t.hw path)
+
+let file_size t path = max (Pfs.file_size t.pfs path) (hw_size t path)
+
+(* Draining ---------------------------------------------------------------- *)
+
+(* Replaying a staged extent into the PFS with its original issue timestamp
+   and rank means the backing file ends up with exactly the write history a
+   direct run would have produced; only the arrival moment differs.  The
+   extent stays in its node's log as a read cache until invalidated. *)
+let drain_extent t x =
+  match x.x_state with
+  | `Drained | `Dropped -> 0
+  | `Staged ->
+    Pfs.write t.pfs ~time:x.x_time ~rank:x.x_rank x.x_file
+      ~off:x.x_iv.Interval.lo x.x_data;
+    x.x_state <- `Drained;
+    let len = Interval.length x.x_iv in
+    let node = get_node t x.x_node in
+    node.n_undrained <- node.n_undrained - len;
+    t.occupancy <- t.occupancy - len;
+    t.s_drained <- t.s_drained + len;
+    len
+
+(* Drain a file's staged extents in staging order — every node's, or one
+   node's — compacting the per-file queue as we go. *)
+let drain_for_file t ?node path =
+  match Hashtbl.find_opt t.per_file path with
+  | None -> 0
+  | Some q ->
+    let keep = Queue.create () in
+    let drained = ref 0 in
+    Queue.iter
+      (fun x ->
+        if x.x_state = `Staged then
+          match node with
+          | Some n when x.x_node <> n -> Queue.add x keep
+          | _ -> drained := !drained + drain_extent t x)
+      q;
+    Queue.clear q;
+    Queue.transfer keep q;
+    !drained
+
+(* Drain up to [budget] backlog bytes, oldest extents first.  The last
+   extent is never split: real drains move whole log records. *)
+let drain_backlog t budget =
+  let remaining = ref budget in
+  let total = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && not (Queue.is_empty t.backlog) do
+    let x = Queue.peek t.backlog in
+    if x.x_state <> `Staged then ignore (Queue.pop t.backlog)
+    else if !remaining <= 0 then continue_ := false
+    else begin
+      let len = drain_extent t x in
+      ignore (Queue.pop t.backlog);
+      remaining := !remaining - len;
+      total := !total + len
+    end
+  done;
+  !total
+
+let maybe_async_drain t ~time =
+  match t.config.policy with
+  | Drain.Async { bandwidth_bytes_per_tick; drain_interval } ->
+    if time - t.last_drain >= drain_interval then begin
+      let budget = bandwidth_bytes_per_tick * (time - t.last_drain) in
+      t.last_drain <- max t.last_drain time;
+      ignore (drain_backlog t budget)
+    end
+  | Drain.Sync_on_close | Drain.On_laminate -> ()
+
+let stall t bytes =
+  if bytes > 0 then begin
+    t.s_stalls <- t.s_stalls + 1;
+    t.s_stalled_bytes <- t.s_stalled_bytes + bytes
+  end
+
+(* The synchronous flush a close or fsync performs for the caller's node,
+   according to the policy. *)
+let flush_for_commit t ~node path =
+  match t.config.policy with
+  | Drain.Sync_on_close | Drain.Async _ ->
+    stall t (drain_for_file t ~node path)
+  | Drain.On_laminate -> ()
+
+(* Data surface ------------------------------------------------------------- *)
+
+let truncate_staged t path len =
+  Hashtbl.iter
+    (fun _ node ->
+      List.iter
+        (fun x ->
+          if x.x_file = path && x.x_state <> `Dropped then
+            if x.x_iv.Interval.lo >= len then begin
+              if x.x_state = `Staged then begin
+                let l = Interval.length x.x_iv in
+                node.n_undrained <- node.n_undrained - l;
+                t.occupancy <- t.occupancy - l
+              end;
+              x.x_state <- `Dropped
+            end
+            else if x.x_iv.Interval.hi > len then begin
+              let removed = x.x_iv.Interval.hi - len in
+              x.x_data <- Bytes.sub x.x_data 0 (len - x.x_iv.Interval.lo);
+              x.x_iv <- Interval.make x.x_iv.Interval.lo len;
+              if x.x_state = `Staged then begin
+                node.n_undrained <- node.n_undrained - removed;
+                t.occupancy <- t.occupancy - removed
+              end
+            end)
+        node.n_log;
+      match Hashtbl.find_opt node.n_snapshots path with
+      | Some snap when Bytes.length snap > len ->
+        Hashtbl.replace node.n_snapshots path (Bytes.sub snap 0 len)
+      | _ -> ())
+    t.nodes;
+  Hashtbl.replace t.hw path (min (hw_size t path) len)
+
+let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
+  maybe_async_drain t ~time;
+  let node = get_node t (node_of_rank t rank) in
+  (* Close-to-open cache invalidation: the opening node drops its clean
+     (drained) cached extents and any stage-in snapshot, so it re-reads
+     whatever the PFS makes visible.  Dirty (undrained) extents stay. *)
+  Hashtbl.remove node.n_snapshots path;
+  node.n_log <-
+    List.filter
+      (fun x -> not (x.x_file = path && x.x_state <> `Staged))
+      node.n_log;
+  ignore (Pfs.open_file t.pfs ~time ~rank ~create ~trunc path);
+  if trunc then truncate_staged t path 0;
+  file_size t path
+
+let close_file t ~time ~rank path =
+  maybe_async_drain t ~time;
+  flush_for_commit t ~node:(node_of_rank t rank) path;
+  Pfs.close_file t.pfs ~time ~rank path
+
+let fsync t ~time ~rank path =
+  maybe_async_drain t ~time;
+  flush_for_commit t ~node:(node_of_rank t rank) path;
+  Pfs.fsync t.pfs ~time ~rank path
+
+let is_laminated t path =
+  Fdata.is_laminated (Namespace.lookup_file (Pfs.namespace t.pfs) path)
+
+let write t ~time ~rank path ~off data =
+  maybe_async_drain t ~time;
+  let len = Bytes.length data in
+  t.s_writes <- t.s_writes + 1;
+  t.s_bytes_written <- t.s_bytes_written + len;
+  if len > 0 then begin
+    if is_laminated t path then invalid_arg "Tier.write: file is laminated";
+    let node = get_node t (node_of_rank t rank) in
+    (* Make room first: capacity eviction drains the node's oldest dirty
+       extents synchronously — the stall burst buffers hit when the
+       compute phase outruns the drain. *)
+    (match t.config.capacity_per_node with
+    | Some cap when node.n_undrained + len > cap ->
+      let forced = ref 0 in
+      List.iter
+        (fun x ->
+          if x.x_state = `Staged && node.n_undrained + len > cap then
+            forced := !forced + drain_extent t x)
+        (List.rev node.n_log);
+      stall t !forced
+    | _ -> ());
+    let x =
+      {
+        x_file = path;
+        x_node = node.n_id;
+        x_rank = rank;
+        x_time = time;
+        x_iv = Interval.of_len off len;
+        x_data = Bytes.copy data;
+        x_state = `Staged;
+      }
+    in
+    node.n_log <- x :: node.n_log;
+    Queue.add x t.backlog;
+    Queue.add x (file_queue t path);
+    node.n_undrained <- node.n_undrained + len;
+    t.occupancy <- t.occupancy + len;
+    t.s_staged <- t.s_staged + len;
+    if t.occupancy > t.s_peak then t.s_peak <- t.occupancy;
+    Hashtbl.replace t.hw path (max (hw_size t path) (off + len))
+  end
+
+let paint ~off buf x =
+  match
+    Interval.intersect (Interval.of_len off (Bytes.length buf)) x.x_iv
+  with
+  | None -> ()
+  | Some inter ->
+    Bytes.blit x.x_data
+      (inter.Interval.lo - x.x_iv.Interval.lo)
+      buf
+      (inter.Interval.lo - off)
+      (Interval.length inter)
+
+let fully_covered req ivs =
+  let rest =
+    List.fold_left
+      (fun rest iv -> List.concat_map (fun r -> Interval.subtract r iv) rest)
+      [ req ] ivs
+  in
+  List.for_all Interval.is_empty rest
+
+(* What a strongly-consistent stack would return: the PFS oracle plus every
+   still-undrained extent of the file, in issue order.  This is the same
+   ground truth Fdata reads are measured against, extended to data that has
+   not reached the PFS yet. *)
+let ground_truth t path ~off ~len =
+  let buf = Bytes.make len '\000' in
+  let oracle = Pfs.read_oracle t.pfs path ~off ~len in
+  Bytes.blit oracle 0 buf 0 (Bytes.length oracle);
+  (match Hashtbl.find_opt t.per_file path with
+  | None -> ()
+  | Some q ->
+    (* Queue order is staging order, which is issue-time order. *)
+    Queue.iter (fun x -> if x.x_state = `Staged then paint ~off buf x) q);
+  buf
+
+let read t ~time ~rank path ~off ~len =
+  maybe_async_drain t ~time;
+  let size = file_size t path in
+  let n = max 0 (min len (max 0 (size - off))) in
+  let node = get_node t (node_of_rank t rank) in
+  let overlay =
+    List.rev
+      (List.filter
+         (fun x -> x.x_file = path && x.x_state <> `Dropped)
+         node.n_log)
+  in
+  let req = Interval.of_len off n in
+  let served_locally =
+    n = 0 || fully_covered req (List.map (fun x -> x.x_iv) overlay)
+  in
+  let snapshot = Hashtbl.find_opt node.n_snapshots path in
+  let data =
+    if served_locally then begin
+      let buf = Bytes.make n '\000' in
+      List.iter (paint ~off buf) overlay;
+      t.s_hits <- t.s_hits + 1;
+      buf
+    end
+    else
+      match snapshot with
+      | Some snap when off + n <= Bytes.length snap ->
+        let buf = Bytes.sub snap off n in
+        List.iter (paint ~off buf) overlay;
+        t.s_hits <- t.s_hits + 1;
+        buf
+      | _ ->
+        let base = Pfs.read t.pfs ~time ~rank path ~off ~len:n in
+        let buf = Bytes.make n '\000' in
+        Bytes.blit base.Fdata.data 0 buf 0 (Bytes.length base.Fdata.data);
+        List.iter (paint ~off buf) overlay;
+        t.s_misses <- t.s_misses + 1;
+        buf
+  in
+  let truth = ground_truth t path ~off ~len:n in
+  let stale = ref 0 in
+  for i = 0 to n - 1 do
+    if Bytes.get data i <> Bytes.get truth i then incr stale
+  done;
+  t.s_reads <- t.s_reads + 1;
+  t.s_bytes_read <- t.s_bytes_read + n;
+  if !stale > 0 then begin
+    t.s_stale_reads <- t.s_stale_reads + 1;
+    t.s_stale_bytes <- t.s_stale_bytes + !stale
+  end;
+  { Fdata.data; stale_bytes = !stale }
+
+let truncate t ~time path len =
+  Pfs.truncate t.pfs ~time path len;
+  truncate_staged t path len
+
+(* Staging and publication -------------------------------------------------- *)
+
+let stage_in t ~time ~rank path =
+  let size = Pfs.file_size t.pfs path in
+  let r = Pfs.read t.pfs ~time ~rank path ~off:0 ~len:size in
+  let node = get_node t (node_of_rank t rank) in
+  Hashtbl.replace node.n_snapshots path r.Fdata.data;
+  let n = Bytes.length r.Fdata.data in
+  t.s_stage_in <- t.s_stage_in + n;
+  n
+
+let laminate t ~time path =
+  ignore (drain_for_file t path);
+  Pfs.laminate t.pfs ~time path
+
+let stage_out t ~time path =
+  let b = drain_for_file t path in
+  t.s_stage_out <- t.s_stage_out + b;
+  Pfs.laminate t.pfs ~time path
+
+let drain_file t path = drain_for_file t path
+
+let drain_all t =
+  let total = ref 0 in
+  while not (Queue.is_empty t.backlog) do
+    let x = Queue.pop t.backlog in
+    total := !total + drain_extent t x
+  done;
+  !total
+
+(* Backend ------------------------------------------------------------------ *)
+
+let backend t =
+  {
+    Backend.pfs = t.pfs;
+    open_file =
+      (fun ~time ~rank ~create ~trunc path ->
+        open_file t ~time ~rank ~create ~trunc path);
+    close_file = (fun ~time ~rank path -> close_file t ~time ~rank path);
+    read = (fun ~time ~rank path ~off ~len -> read t ~time ~rank path ~off ~len);
+    write =
+      (fun ~time ~rank path ~off data -> write t ~time ~rank path ~off data);
+    fsync = (fun ~time ~rank path -> fsync t ~time ~rank path);
+    truncate = (fun ~time path len -> truncate t ~time path len);
+    file_size = (fun path -> file_size t path);
+  }
+
+(* Statistics --------------------------------------------------------------- *)
+
+type stats = {
+  writes : int;
+  reads : int;
+  bytes_written : int;
+  bytes_read : int;
+  staged_bytes : int;
+  drained_bytes : int;
+  stage_in_bytes : int;
+  stage_out_bytes : int;
+  cache_hits : int;
+  cache_misses : int;
+  drain_stalls : int;
+  stalled_bytes : int;
+  peak_occupancy : int;
+  stale_reads : int;
+  stale_bytes : int;
+}
+
+let stats t =
+  {
+    writes = t.s_writes;
+    reads = t.s_reads;
+    bytes_written = t.s_bytes_written;
+    bytes_read = t.s_bytes_read;
+    staged_bytes = t.s_staged;
+    drained_bytes = t.s_drained;
+    stage_in_bytes = t.s_stage_in;
+    stage_out_bytes = t.s_stage_out;
+    cache_hits = t.s_hits;
+    cache_misses = t.s_misses;
+    drain_stalls = t.s_stalls;
+    stalled_bytes = t.s_stalled_bytes;
+    peak_occupancy = t.s_peak;
+    stale_reads = t.s_stale_reads;
+    stale_bytes = t.s_stale_bytes;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>writes: %d (%d B)  reads: %d (%d B)@,\
+     staged: %d B  drained: %d B  backlog never drained: %d B@,\
+     stage-in: %d B  stage-out: %d B@,\
+     cache hits/misses: %d/%d  drain stalls: %d (%d B)  peak occupancy: %d B@,\
+     stale reads: %d (%d B)@]"
+    s.writes s.bytes_written s.reads s.bytes_read s.staged_bytes
+    s.drained_bytes
+    (s.staged_bytes - s.drained_bytes)
+    s.stage_in_bytes s.stage_out_bytes s.cache_hits s.cache_misses
+    s.drain_stalls s.stalled_bytes s.peak_occupancy s.stale_reads
+    s.stale_bytes

@@ -1,0 +1,139 @@
+(** The burst-buffer storage tier: a per-node write-back shim between the
+    I/O layers and the backing PFS.
+
+    Ranks map to nodes through a configurable ranks-per-node layout.  Each
+    node owns an append-log of staged write extents: a write lands in the
+    writing node's log (cheap, node-local) and is {e drained} — replayed
+    into the backing {!Hpcfs_fs.Pfs.t} with its original issue timestamp
+    and rank — according to the configured {!Drain.t} policy.  Reads
+    compose the backing PFS's answer (under the PFS's own consistency
+    semantics) with the reading node's log, giving read-your-writes for
+    everything the node staged; a read fully served by the node log or by
+    a {!stage_in} snapshot never touches the PFS at all.
+
+    Because draining preserves issue timestamps, the backing PFS ends up
+    in exactly the state a direct run would have produced — the tier
+    changes {e when} data arrives and what in-flight reads observe, not
+    the final composition.  Staleness is accounted against the strong
+    ground truth ({!Hpcfs_fs.Pfs.read_oracle} plus all undrained extents),
+    so the end-to-end validation harness can compare tiered runs against
+    direct ones.
+
+    Like {!Hpcfs_fs.Pfs}, the module is time-agnostic: callers pass
+    logical timestamps.  Metadata operations are not interposed — they go
+    straight to the backing namespace, which stays strongly consistent. *)
+
+type config = {
+  ranks_per_node : int;  (** Ranks sharing one node-local buffer. *)
+  policy : Drain.t;
+  capacity_per_node : int option;
+      (** Buffer bytes per node; staging beyond it forces a synchronous
+          drain of the node's oldest extents (a stall).  [None] =
+          unbounded. *)
+}
+
+val default_config : config
+(** 4 ranks per node, {!Drain.Sync_on_close}, unbounded buffers. *)
+
+type t
+
+val create : ?config:config -> Hpcfs_fs.Pfs.t -> t
+(** A tier staging onto [pfs].  The tier does not own the PFS: callers may
+    keep reading it directly (e.g. for post-run validation). *)
+
+val pfs : t -> Hpcfs_fs.Pfs.t
+val config : t -> config
+
+val node_of_rank : t -> int -> int
+(** The node a rank's writes are staged on. *)
+
+val backend : t -> Hpcfs_fs.Backend.t
+(** The tier as a POSIX-layer backend: lib/posix routes through this
+    record exactly as it would through a bare PFS. *)
+
+(** {1 The PFS-shaped data surface} *)
+
+val open_file :
+  t -> time:int -> rank:int -> ?create:bool -> ?trunc:bool -> string -> int
+(** Opens pass through to the PFS (sessions are recorded there).  Opening
+    also invalidates the node's {e drained} cached extents and stage-in
+    snapshot for the file — the close-to-open cache invalidation burst
+    buffers perform — while undrained (dirty) extents are kept. *)
+
+val close_file : t -> time:int -> rank:int -> string -> unit
+(** Applies the drain policy for the closing node's staged extents of the
+    file, then records the close on the PFS. *)
+
+val read :
+  t -> time:int -> rank:int -> string -> off:int -> len:int ->
+  Hpcfs_fs.Fdata.read_result
+(** The composite read described above.  [stale_bytes] counts bytes that
+    differ from the strong ground truth. *)
+
+val write : t -> time:int -> rank:int -> string -> off:int -> bytes -> unit
+(** Stage into the node log.  Raises [Invalid_argument] if the file is
+    laminated, like {!Hpcfs_fs.Fdata.write}. *)
+
+val fsync : t -> time:int -> rank:int -> string -> unit
+(** Under [Sync_on_close] and [Async], drains the node's staged extents
+    for the file (fsync is a commit — the data must reach the PFS) and
+    then commits on the PFS.  Under [On_laminate] only the PFS commit is
+    recorded; staged data stays local. *)
+
+val truncate : t -> time:int -> string -> int -> unit
+val file_size : t -> string -> int
+(** Size including staged-but-undrained extents. *)
+
+(** {1 Staging and publication} *)
+
+val stage_in : t -> time:int -> rank:int -> string -> int
+(** Prefetch the file's PFS-visible contents (as seen by [rank] at
+    [time]) into the rank's node read cache; returns the bytes staged.
+    Subsequent in-range reads by the node are served locally.  Call it
+    with the file open (session semantics otherwise show nothing). *)
+
+val stage_out : t -> time:int -> string -> unit
+(** Publish a completed output: drain every node's staged extents for the
+    file, then laminate it on the PFS (globally visible, read-only) —
+    the UnifyFS workflow for checkpoint outputs. *)
+
+val laminate : t -> time:int -> string -> unit
+(** Same draining and lamination as {!stage_out}, accounted as lamination
+    rather than explicit stage-out. *)
+
+val drain_file : t -> string -> int
+(** Force-drain every undrained extent of one file (all nodes, staging
+    order); returns the bytes drained.  No stall is accounted. *)
+
+val drain_all : t -> int
+(** Force-drain the whole backlog (e.g. at end of job); returns the bytes
+    drained. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  writes : int;
+  reads : int;
+  bytes_written : int;  (** Bytes the application wrote through the tier. *)
+  bytes_read : int;
+  staged_bytes : int;  (** Bytes that entered node logs. *)
+  drained_bytes : int;  (** Bytes replayed into the backing PFS. *)
+  stage_in_bytes : int;
+  stage_out_bytes : int;  (** Bytes drained by stage-out/lamination. *)
+  cache_hits : int;  (** Reads served without touching the PFS. *)
+  cache_misses : int;  (** Reads that needed a PFS read underneath. *)
+  drain_stalls : int;
+      (** Operations that had to drain synchronously before completing
+          (close/fsync flushes, capacity evictions). *)
+  stalled_bytes : int;  (** Bytes drained inside stalls. *)
+  peak_occupancy : int;
+      (** High-water mark of undrained bytes across all nodes. *)
+  stale_reads : int;  (** Reads returning at least one stale byte. *)
+  stale_bytes : int;
+}
+
+val stats : t -> stats
+val occupancy : t -> int
+(** Current undrained bytes across all nodes. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,27 @@
+type t = {
+  pfs : Pfs.t;
+  open_file : time:int -> rank:int -> create:bool -> trunc:bool -> string -> int;
+  close_file : time:int -> rank:int -> string -> unit;
+  read :
+    time:int -> rank:int -> string -> off:int -> len:int -> Fdata.read_result;
+  write : time:int -> rank:int -> string -> off:int -> bytes -> unit;
+  fsync : time:int -> rank:int -> string -> unit;
+  truncate : time:int -> string -> int -> unit;
+  file_size : string -> int;
+}
+
+let of_pfs pfs =
+  {
+    pfs;
+    open_file =
+      (fun ~time ~rank ~create ~trunc path ->
+        Pfs.open_file pfs ~time ~rank ~create ~trunc path);
+    close_file = (fun ~time ~rank path -> Pfs.close_file pfs ~time ~rank path);
+    read =
+      (fun ~time ~rank path ~off ~len -> Pfs.read pfs ~time ~rank path ~off ~len);
+    write =
+      (fun ~time ~rank path ~off data -> Pfs.write pfs ~time ~rank path ~off data);
+    fsync = (fun ~time ~rank path -> Pfs.fsync pfs ~time ~rank path);
+    truncate = (fun ~time path len -> Pfs.truncate pfs ~time path len);
+    file_size = (fun path -> Pfs.file_size pfs path);
+  }

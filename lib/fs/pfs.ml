@@ -131,6 +131,14 @@ let reset_stats (t : t) =
 
 let observer_rank = -1
 
+let read_oracle t path ~off ~len =
+  let fd = Namespace.lookup_file t.namespace path in
+  let r =
+    Fdata.read fd ~semantics:Consistency.Strong ~rank:observer_rank
+      ~time:max_int ~off ~len
+  in
+  r.Fdata.data
+
 let read_back t ~time path =
   let fd = Namespace.lookup_file t.namespace path in
   Fdata.session_open fd ~rank:observer_rank ~time;

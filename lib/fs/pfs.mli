@@ -64,3 +64,11 @@ val read_back : t -> time:int -> string -> Fdata.read_result
 (** Read a file's full contents as a fresh observer that opens after every
     writer has closed — what a post-run validation pass (or the next job in
     a workflow) would see.  Uses a synthetic rank that never wrote. *)
+
+val read_oracle : t -> string -> off:int -> len:int -> bytes
+(** Ground-truth contents of a byte range: what a strongly-consistent file
+    system would return, regardless of the configured semantics.  Performs
+    no session bookkeeping and touches no statistics — it exists so that
+    an external tier (lib/bb) can account staleness against the same
+    oracle {!Fdata.read} uses internally.  Reads past the current size
+    return the in-range prefix. *)

@@ -1,5 +1,6 @@
 module Sched = Hpcfs_sim.Sched
 module Pfs = Hpcfs_fs.Pfs
+module Backend = Hpcfs_fs.Backend
 module Namespace = Hpcfs_fs.Namespace
 module Record = Hpcfs_trace.Record
 module Collector = Hpcfs_trace.Collector
@@ -28,14 +29,18 @@ type rank_state = {
 }
 
 type ctx = {
-  pfs : Pfs.t;
+  backend : Backend.t;
   collector : Collector.t;
   ranks : (int, rank_state) Hashtbl.t;
 }
 
-let make_ctx pfs collector = { pfs; collector; ranks = Hashtbl.create 16 }
+let make_ctx_backend backend collector =
+  { backend; collector; ranks = Hashtbl.create 16 }
 
-let pfs ctx = ctx.pfs
+let make_ctx pfs collector = make_ctx_backend (Backend.of_pfs pfs) collector
+
+let pfs ctx = ctx.backend.Backend.pfs
+let backend ctx = ctx.backend
 let collector ctx = ctx.collector
 
 let rank_state ctx =
@@ -94,7 +99,9 @@ let openf ctx ?(origin = Record.O_app) path flags =
   let trunc = List.mem O_TRUNC flags in
   let append = List.mem O_APPEND flags in
   let size =
-    try Pfs.open_file ctx.pfs ~time ~rank:(Sched.self ()) ~create ~trunc abs
+    try
+      ctx.backend.Backend.open_file ~time ~rank:(Sched.self ()) ~create
+        ~trunc abs
     with Namespace.Not_found_path _ ->
       err "open" abs "no such file or directory"
   in
@@ -107,7 +114,7 @@ let openf ctx ?(origin = Record.O_app) path flags =
 let close_named ctx ~origin ~func fd =
   let f = lookup_fd ctx func fd in
   let time = emit ctx ~origin ~func ~file:f.path ~fd () in
-  Pfs.close_file ctx.pfs ~time ~rank:(Sched.self ()) f.path;
+  ctx.backend.Backend.close_file ~time ~rank:(Sched.self ()) f.path;
   Hashtbl.remove (rank_state ctx).fds fd
 
 let close ctx ?(origin = Record.O_app) fd = close_named ctx ~origin ~func:"close" fd
@@ -120,7 +127,7 @@ let read_named ctx ~origin ~func fd len =
   if not f.readable then err func f.path "not open for reading";
   let time = Sched.tick () in
   let result =
-    Pfs.read ctx.pfs ~time ~rank:(Sched.self ()) f.path ~off:f.pos ~len
+    ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off:f.pos ~len
   in
   let transferred = Bytes.length result.Hpcfs_fs.Fdata.data in
   Collector.emit ctx.collector
@@ -135,10 +142,10 @@ let read ctx ?(origin = Record.O_app) fd len =
 let write_named ctx ~origin ~func fd data =
   let f = lookup_fd ctx func fd in
   if not f.writable then err func f.path "not open for writing";
-  if f.append then f.pos <- Pfs.file_size ctx.pfs f.path;
+  if f.append then f.pos <- ctx.backend.Backend.file_size f.path;
   let len = Bytes.length data in
   let time = emit ctx ~origin ~func ~file:f.path ~fd ~count:len () in
-  Pfs.write ctx.pfs ~time ~rank:(Sched.self ()) f.path ~off:f.pos data;
+  ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off:f.pos data;
   f.pos <- f.pos + len;
   len
 
@@ -149,7 +156,9 @@ let pread ctx ?(origin = Record.O_app) fd ~off len =
   let f = lookup_fd ctx "pread" fd in
   if not f.readable then err "pread" f.path "not open for reading";
   let time = Sched.tick () in
-  let result = Pfs.read ctx.pfs ~time ~rank:(Sched.self ()) f.path ~off ~len in
+  let result =
+    ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off ~len
+  in
   let transferred = Bytes.length result.Hpcfs_fs.Fdata.data in
   Collector.emit ctx.collector
     (Record.make ~time ~rank:(Sched.self ()) ~layer:Record.L_posix ~origin
@@ -163,7 +172,7 @@ let pwrite ctx ?(origin = Record.O_app) fd ~off data =
   let time =
     emit ctx ~origin ~func:"pwrite" ~file:f.path ~fd ~offset:off ~count:len ()
   in
-  Pfs.write ctx.pfs ~time ~rank:(Sched.self ()) f.path ~off data;
+  ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off data;
   len
 
 let whence_name = function
@@ -180,7 +189,7 @@ let seek_named ctx ~origin ~func fd offset whence =
     match whence with
     | SEEK_SET -> 0
     | SEEK_CUR -> f.pos
-    | SEEK_END -> Pfs.file_size ctx.pfs f.path
+    | SEEK_END -> ctx.backend.Backend.file_size f.path
   in
   let target = base + offset in
   if target < 0 then err func f.path "negative seek";
@@ -193,7 +202,7 @@ let lseek ctx ?(origin = Record.O_app) fd offset whence =
 let sync_named ctx ~origin ~func fd =
   let f = lookup_fd ctx func fd in
   let time = emit ctx ~origin ~func ~file:f.path ~fd () in
-  Pfs.fsync ctx.pfs ~time ~rank:(Sched.self ()) f.path
+  ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path
 
 let fsync ctx ?(origin = Record.O_app) fd = sync_named ctx ~origin ~func:"fsync" fd
 
@@ -221,7 +230,9 @@ let fopen ctx ?(origin = Record.O_app) path mode =
     | m -> err "fopen" abs ("bad mode " ^ m)
   in
   let size =
-    try Pfs.open_file ctx.pfs ~time ~rank:(Sched.self ()) ~create ~trunc abs
+    try
+      ctx.backend.Backend.open_file ~time ~rank:(Sched.self ()) ~create
+        ~trunc abs
     with Namespace.Not_found_path _ ->
       err "fopen" abs "no such file or directory"
   in
@@ -249,7 +260,7 @@ let fflush ctx ?(origin = Record.O_app) fd =
 let stat_named ctx ~origin ~func path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func ~file:abs ());
-  try Namespace.stat (Pfs.namespace ctx.pfs) abs
+  try Namespace.stat (Pfs.namespace ctx.backend.Backend.pfs) abs
   with Namespace.Not_found_path _ -> err func abs "no such file or directory"
 
 let stat ctx ?(origin = Record.O_app) path = stat_named ctx ~origin ~func:"stat" path
@@ -260,30 +271,30 @@ let lstat ctx ?(origin = Record.O_app) path =
 let fstat ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "fstat" fd in
   ignore (emit ctx ~origin ~func:"fstat" ~file:f.path ~fd ());
-  Namespace.stat (Pfs.namespace ctx.pfs) f.path
+  Namespace.stat (Pfs.namespace ctx.backend.Backend.pfs) f.path
 
 let access ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"access" ~file:abs ());
-  Namespace.exists (Pfs.namespace ctx.pfs) abs
+  Namespace.exists (Pfs.namespace ctx.backend.Backend.pfs) abs
 
 let mkdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"mkdir" ~file:abs () in
-  try Namespace.mkdir (Pfs.namespace ctx.pfs) ~time abs
+  try Namespace.mkdir (Pfs.namespace ctx.backend.Backend.pfs) ~time abs
   with Namespace.Exists _ -> err "mkdir" abs "file exists"
 
 let rmdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"rmdir" ~file:abs ());
-  try Namespace.rmdir (Pfs.namespace ctx.pfs) abs with
+  try Namespace.rmdir (Pfs.namespace ctx.backend.Backend.pfs) abs with
   | Namespace.Not_found_path _ -> err "rmdir" abs "no such file or directory"
   | Namespace.Not_empty _ -> err "rmdir" abs "directory not empty"
 
 let unlink ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"unlink" ~file:abs ());
-  try Namespace.unlink (Pfs.namespace ctx.pfs) abs
+  try Namespace.unlink (Pfs.namespace ctx.backend.Backend.pfs) abs
   with Namespace.Not_found_path _ ->
     err "unlink" abs "no such file or directory"
 
@@ -292,7 +303,7 @@ let rename ctx ?(origin = Record.O_app) src dst =
   let time =
     emit ctx ~origin ~func:"rename" ~file:src ~args:[ ("dst", dst) ] ()
   in
-  try Namespace.rename (Pfs.namespace ctx.pfs) ~time src dst with
+  try Namespace.rename (Pfs.namespace ctx.backend.Backend.pfs) ~time src dst with
   | Namespace.Not_found_path _ -> err "rename" src "no such file or directory"
   | Namespace.Exists _ -> err "rename" dst "file exists"
 
@@ -304,21 +315,21 @@ let getcwd ctx ?(origin = Record.O_app) () =
 let chdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"chdir" ~file:abs ());
-  if not (Namespace.is_dir (Pfs.namespace ctx.pfs) abs) then
+  if not (Namespace.is_dir (Pfs.namespace ctx.backend.Backend.pfs) abs) then
     err "chdir" abs "not a directory";
   (rank_state ctx).cwd <- abs
 
 let truncate ctx ?(origin = Record.O_app) path len =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"truncate" ~file:abs ~count:len () in
-  try Pfs.truncate ctx.pfs ~time abs len
+  try ctx.backend.Backend.truncate ~time abs len
   with Namespace.Not_found_path _ ->
     err "truncate" abs "no such file or directory"
 
 let ftruncate ctx ?(origin = Record.O_app) fd len =
   let f = lookup_fd ctx "ftruncate" fd in
   let time = emit ctx ~origin ~func:"ftruncate" ~file:f.path ~fd ~count:len () in
-  Pfs.truncate ctx.pfs ~time f.path len
+  ctx.backend.Backend.truncate ~time f.path len
 
 let dup ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "dup" fd in
@@ -357,7 +368,7 @@ let opendir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"opendir" ~file:abs ());
   let entries =
-    try Namespace.readdir (Pfs.namespace ctx.pfs) abs
+    try Namespace.readdir (Pfs.namespace ctx.backend.Backend.pfs) abs
     with Namespace.Not_found_path _ ->
       err "opendir" abs "no such file or directory"
   in
@@ -375,7 +386,7 @@ let mmap ctx ?(origin = Record.O_app) fd ~len =
 let msync ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "msync" fd in
   let time = emit ctx ~origin ~func:"msync" ~file:f.path ~fd () in
-  Pfs.fsync ctx.pfs ~time ~rank:(Sched.self ()) f.path
+  ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path
 
 let readlink ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
@@ -391,12 +402,12 @@ let chmod ctx ?(origin = Record.O_app) path mode =
 let utime ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"utime" ~file:abs () in
-  Namespace.touch_mtime (Pfs.namespace ctx.pfs) ~time abs
+  Namespace.touch_mtime (Pfs.namespace ctx.backend.Backend.pfs) ~time abs
 
 let remove ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   ignore (emit ctx ~origin ~func:"remove" ~file:abs ());
-  try Namespace.unlink (Pfs.namespace ctx.pfs) abs
+  try Namespace.unlink (Pfs.namespace ctx.backend.Backend.pfs) abs
   with Namespace.Not_found_path _ ->
     err "remove" abs "no such file or directory"
 

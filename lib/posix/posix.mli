@@ -15,8 +15,15 @@ type ctx
     per-rank descriptor tables. *)
 
 val make_ctx : Hpcfs_fs.Pfs.t -> Hpcfs_trace.Collector.t -> ctx
+(** A ctx whose data operations go straight to the PFS. *)
+
+val make_ctx_backend : Hpcfs_fs.Backend.t -> Hpcfs_trace.Collector.t -> ctx
+(** A ctx whose data operations route through an arbitrary backend (e.g. a
+    burst-buffer tier); metadata operations always address the backend's
+    underlying PFS namespace. *)
 
 val pfs : ctx -> Hpcfs_fs.Pfs.t
+val backend : ctx -> Hpcfs_fs.Backend.t
 val collector : ctx -> Hpcfs_trace.Collector.t
 
 exception Posix_error of { func : string; path : string; msg : string }

@@ -105,6 +105,66 @@ let test_fdata_eventual_delay () =
   in
   Alcotest.(check int) "propagated" 0 late.Fdata.stale_bytes
 
+let test_fdata_eventual_delay_edges () =
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:10 ~off:0 (b "x");
+  (* Visibility is inclusive: the write is published at exactly
+     write_time + delay, not one tick later. *)
+  let boundary =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 5 }) ~rank:1
+      ~time:15 ~off:0 ~len:1
+  in
+  Alcotest.(check int) "visible at exactly write_time + delay" 0
+    boundary.Fdata.stale_bytes;
+  let just_before =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 5 }) ~rank:1
+      ~time:14 ~off:0 ~len:1
+  in
+  Alcotest.(check int) "hidden one tick earlier" 1
+    just_before.Fdata.stale_bytes
+
+let test_fdata_eventual_delay_zero () =
+  (* delay = 0 degenerates to strong consistency: same contents, never
+     stale, even for a read issued at the write's own timestamp. *)
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:7 ~off:0 (b "abc");
+  let r =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 0 }) ~rank:1
+      ~time:7 ~off:0 ~len:3
+  in
+  Alcotest.(check string) "contents" "abc" (Bytes.to_string r.Fdata.data);
+  Alcotest.(check int) "never stale" 0 r.Fdata.stale_bytes;
+  let strong =
+    Fdata.read fd ~semantics:Consistency.Strong ~rank:1 ~time:7 ~off:0 ~len:3
+  in
+  Alcotest.(check string) "identical to strong"
+    (Bytes.to_string strong.Fdata.data)
+    (Bytes.to_string r.Fdata.data)
+
+let test_fdata_eventual_laminate_already_visible () =
+  (* Laminating a file whose writes have already propagated must change
+     nothing: reads stay correct, and the only new effect is read-only
+     enforcement. *)
+  let fd = Fdata.create () in
+  Fdata.write fd ~rank:0 ~time:1 ~off:0 (b "done");
+  let before =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 2 }) ~rank:1
+      ~time:10 ~off:0 ~len:4
+  in
+  Alcotest.(check int) "already visible pre-lamination" 0
+    before.Fdata.stale_bytes;
+  Fdata.laminate fd ~time:11;
+  let after =
+    Fdata.read fd ~semantics:(Consistency.Eventual { delay = 2 }) ~rank:1
+      ~time:12 ~off:0 ~len:4
+  in
+  Alcotest.(check string) "contents unchanged" "done"
+    (Bytes.to_string after.Fdata.data);
+  Alcotest.(check int) "still not stale" 0 after.Fdata.stale_bytes;
+  Alcotest.check_raises "now read-only"
+    (Invalid_argument "Fdata.write: file is laminated") (fun () ->
+      Fdata.write fd ~rank:0 ~time:13 ~off:0 (b "z"))
+
 let test_fdata_waw_reorder_under_session () =
   let fd = Fdata.create () in
   (* Rank 5 writes first but closes last: under session semantics its stale
@@ -404,6 +464,12 @@ let suite =
     Alcotest.test_case "fdata fsync is not close-to-open" `Quick
       test_fdata_session_fsync_not_enough;
     Alcotest.test_case "fdata eventual delay" `Quick test_fdata_eventual_delay;
+    Alcotest.test_case "fdata eventual delay boundary" `Quick
+      test_fdata_eventual_delay_edges;
+    Alcotest.test_case "fdata eventual delay zero" `Quick
+      test_fdata_eventual_delay_zero;
+    Alcotest.test_case "fdata eventual laminate visible file" `Quick
+      test_fdata_eventual_laminate_already_visible;
     Alcotest.test_case "fdata WAW reorder under session" `Quick
       test_fdata_waw_reorder_under_session;
     Alcotest.test_case "fdata truncate" `Quick test_fdata_truncate;

@@ -11,6 +11,7 @@ let () =
       ("formats", Test_formats.suite);
       ("core", Test_core.suite);
       ("apps", Test_apps.suite);
+      ("bb", Test_bb.suite);
       ("integration", Test_integration.suite);
       ("validation", Test_validation.suite);
     ]
