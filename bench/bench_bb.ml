@@ -200,6 +200,7 @@ let run_tiered ~nranks policy =
   }
 
 let bb () =
+  Bench_common.with_obs "bb" @@ fun () ->
   Bench_common.section
     "Burst-buffer tier: write latency and drain backlog per policy";
   let nranks = min Bench_common.nprocs 64 in

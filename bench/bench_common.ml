@@ -5,11 +5,40 @@ module Registry = Hpcfs_apps.Registry
 module Runner = Hpcfs_apps.Runner
 module Report = Hpcfs_core.Report
 module Table = Hpcfs_util.Table
+module Obs = Hpcfs_obs.Obs
+module Export_metrics = Hpcfs_obs.Export_metrics
 
 let nprocs =
   match Sys.getenv_opt "HPCFS_BENCH_NPROCS" with
   | Some s -> (try max 4 (int_of_string s) with _ -> 64)
   | None -> 64
+
+(* Telemetry sidecars: runs record into a private sink whose metrics
+   snapshot lands in bench_out/obs/<label>.metrics.csv.  Sidecars never
+   touch stdout, so the printed experiment output is byte-identical with
+   them on or off.  HPCFS_BENCH_OBS=0 disables them. *)
+let obs_enabled =
+  match Sys.getenv_opt "HPCFS_BENCH_OBS" with
+  | Some ("0" | "false" | "no") -> false
+  | Some _ | None -> true
+
+let out_dir = "bench_out"
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let with_obs label f =
+  if not obs_enabled then f ()
+  else begin
+    let sink = Obs.create () in
+    let v = Obs.with_sink sink f in
+    ensure_dir out_dir;
+    let dir = Filename.concat out_dir "obs" in
+    ensure_dir dir;
+    let oc = open_out (Filename.concat dir (label ^ ".metrics.csv")) in
+    output_string oc (Export_metrics.to_csv sink);
+    close_out oc;
+    v
+  end
 
 type run = {
   entry : Registry.entry;
@@ -24,8 +53,11 @@ let run_of entry =
   match Hashtbl.find_opt cache label with
   | Some r -> r
   | None ->
-    let result = Runner.run ~nprocs entry.Registry.body in
-    let report = Report.analyze ~nprocs result.Runner.records in
+    let result, report =
+      with_obs label (fun () ->
+          let result = Runner.run ~nprocs entry.Registry.body in
+          (result, Report.analyze ~nprocs result.Runner.records))
+    in
     let r = { entry; result; report } in
     Hashtbl.replace cache label r;
     r
@@ -33,10 +65,9 @@ let run_of entry =
 let all_runs () = List.map run_of Registry.all
 let table4_runs () = List.map run_of Registry.table4_entries
 
-let mark b = if b then "x" else ""
-let check b = if b then "ok" else "DIFF"
+let mark = Table.mark_cell
+let check = Table.check_cell
+let pct = Table.pct_cell
 
 let section title =
   Printf.printf "\n=== %s ===\n\n" title
-
-let pct f = Printf.sprintf "%.1f" f

@@ -19,6 +19,12 @@ module Consistency = Hpcfs_fs.Consistency
 module Table = Hpcfs_util.Table
 module Tier = Hpcfs_bb.Tier
 module Drain = Hpcfs_bb.Drain
+module Obs = Hpcfs_obs.Obs
+module Export_chrome = Hpcfs_obs.Export_chrome
+module Export_metrics = Hpcfs_obs.Export_metrics
+module App_report = Hpcfs_obs.App_report
+module Pfs = Hpcfs_fs.Pfs
+module Lockmgr = Hpcfs_fs.Lockmgr
 
 open Cmdliner
 
@@ -72,6 +78,88 @@ let exits_of_result = function
     prerr_endline msg;
     exit 1
 
+(* observability ------------------------------------------------------------ *)
+
+let obs_arg =
+  let doc =
+    "Record telemetry for the run and write it into $(docv): a Chrome \
+     trace-event file ($(b,trace.json), openable in Perfetto), a metrics \
+     snapshot ($(b,metrics.prom), $(b,metrics.csv)) and a Darshan-style \
+     per-application I/O report ($(b,io_report.txt))."
+  in
+  Arg.(value & opt (some string) None & info [ "obs" ] ~docv:"DIR" ~doc)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Run [f] with a fresh sink installed when [--obs] was given; [f] receives
+   the sink so it can export after the run. *)
+let with_obs obs_dir f =
+  match obs_dir with
+  | None -> f None
+  | Some dir ->
+    let sink = Obs.create () in
+    Obs.with_sink sink (fun () -> f (Some (dir, sink)))
+
+let pfs_extra (s : Pfs.stats) =
+  ( "PFS statistics",
+    [
+      ("reads", string_of_int s.Pfs.reads);
+      ("writes", string_of_int s.Pfs.writes);
+      ("bytes_read", string_of_int s.Pfs.bytes_read);
+      ("bytes_written", string_of_int s.Pfs.bytes_written);
+      ("stale_reads", string_of_int s.Pfs.stale_reads);
+      ("stale_bytes", string_of_int s.Pfs.stale_bytes);
+      ("lock_acquisitions", string_of_int s.Pfs.locks.Lockmgr.acquisitions);
+      ("lock_revocations", string_of_int s.Pfs.locks.Lockmgr.revocations);
+      ("lock_messages", string_of_int s.Pfs.locks.Lockmgr.messages);
+      ("lock_hits", string_of_int s.Pfs.locks.Lockmgr.hits);
+    ] )
+
+let tier_extra t =
+  let s = Tier.stats t in
+  ( Printf.sprintf "Burst-buffer tier (%s)" (Drain.name (Tier.config t).Tier.policy),
+    [
+      ("writes", string_of_int s.Tier.writes);
+      ("reads", string_of_int s.Tier.reads);
+      ("bytes_written", string_of_int s.Tier.bytes_written);
+      ("bytes_read", string_of_int s.Tier.bytes_read);
+      ("staged_bytes", string_of_int s.Tier.staged_bytes);
+      ("drained_bytes", string_of_int s.Tier.drained_bytes);
+      ("stage_in_bytes", string_of_int s.Tier.stage_in_bytes);
+      ("stage_out_bytes", string_of_int s.Tier.stage_out_bytes);
+      ("cache_hits", string_of_int s.Tier.cache_hits);
+      ("cache_misses", string_of_int s.Tier.cache_misses);
+      ("drain_stalls", string_of_int s.Tier.drain_stalls);
+      ("stalled_bytes", string_of_int s.Tier.stalled_bytes);
+      ("peak_occupancy", string_of_int s.Tier.peak_occupancy);
+      ("stale_reads", string_of_int s.Tier.stale_reads);
+    ] )
+
+let result_extras (result : Runner.result) =
+  pfs_extra result.Runner.stats
+  :: (match result.Runner.tier with
+     | Some t -> [ tier_extra t ]
+     | None -> [])
+
+(* Write everything [--obs DIR] promises.  [records] feeds both the
+   per-rank trace tracks and the I/O report. *)
+let save_obs ~dir ~app ~nprocs ?(extra = []) ~records sink =
+  mkdir_p dir;
+  Export_chrome.save ~path:(Filename.concat dir "trace.json") ~records sink;
+  Export_metrics.save ~dir sink;
+  App_report.save
+    ~path:(Filename.concat dir "io_report.txt")
+    ~app ~nprocs ~extra records;
+  Printf.printf
+    "telemetry written to %s (trace.json, metrics.prom, metrics.csv, \
+     io_report.txt)\n"
+    dir
+
 (* list --------------------------------------------------------------------- *)
 
 let list_cmd =
@@ -99,11 +187,12 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run app ranks trace_path tier ranks_per_node =
+  let run app ranks trace_path tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
            let tier = tier_config tier ranks_per_node in
+           with_obs obs_dir @@ fun obs ->
            let result = Runner.run ~nprocs:ranks ?tier entry.Registry.body in
            Printf.printf "ran %s on %d ranks: %d trace records\n"
              (Registry.label entry) ranks
@@ -114,20 +203,26 @@ let run_cmd =
                  (Drain.name (Tier.config t).Tier.policy)
                  Tier.pp_stats (Tier.stats t))
              result.Runner.tier;
-           match trace_path with
+           (match trace_path with
            | Some path ->
              Tracefile.save path result.Runner.records;
              Printf.printf "trace written to %s\n" path
            | None ->
              let report = Report.analyze ~nprocs:ranks result.Runner.records in
-             Report.pp_summary Format.std_formatter report)
+             Report.pp_summary Format.std_formatter report);
+           Option.iter
+             (fun (dir, sink) ->
+               save_obs ~dir ~app:(Registry.label entry) ~nprocs:ranks
+                 ~extra:(result_extras result) ~records:result.Runner.records
+                 sink)
+             obs)
          (find_app app))
   in
   let doc = "Run an application model and capture (or analyze) its trace." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ ranks_arg $ trace_arg $ tier_arg
-      $ ranks_per_node_arg)
+      $ ranks_per_node_arg $ obs_arg)
 
 (* analyze ------------------------------------------------------------------ *)
 
@@ -226,7 +321,7 @@ let profile_cmd =
 (* validate ------------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run app ranks tier ranks_per_node =
+  let run app ranks tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -236,6 +331,7 @@ let validate_cmd =
                Format.printf "burst-buffer tier: %a, %d ranks/node@."
                  Drain.pp c.Tier.policy c.Tier.ranks_per_node)
              tier;
+           with_obs obs_dir @@ fun obs ->
            let outcomes =
              Validation.validate ~nprocs:ranks ?tier entry.Registry.body
            in
@@ -254,7 +350,22 @@ let validate_cmd =
                    (if Validation.correct o then "correct" else "INCORRECT");
                  ])
              outcomes;
-           Table.print t)
+           Table.print t;
+           (* No single run's records represent a validation (it runs the
+              body once per semantics model), so only the span trace and
+              the metrics snapshot are exported. *)
+           Option.iter
+             (fun (dir, sink) ->
+               mkdir_p dir;
+               Export_chrome.save
+                 ~path:(Filename.concat dir "trace.json")
+                 sink;
+               Export_metrics.save ~dir sink;
+               Printf.printf
+                 "telemetry written to %s (trace.json, metrics.prom, \
+                  metrics.csv)\n"
+                 dir)
+             obs)
          (find_app app))
   in
   let doc =
@@ -263,7 +374,60 @@ let validate_cmd =
      burst-buffer tier."
   in
   Cmd.v (Cmd.info "validate" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg)
+    Term.(
+      const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg
+      $ obs_arg)
+
+(* stats ---------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run app ranks tier ranks_per_node obs_dir =
+    exits_of_result
+      (Result.map
+         (fun entry ->
+           let tier = tier_config tier ranks_per_node in
+           let sink = Obs.create () in
+           let result =
+             Obs.with_sink sink (fun () ->
+                 let result =
+                   Runner.run ~nprocs:ranks ?tier entry.Registry.body
+                 in
+                 ignore (Report.analyze ~nprocs:ranks result.Runner.records);
+                 result)
+           in
+           let spans = Obs.span_summary sink in
+           if spans <> [] then begin
+             let t = Table.create [ "span"; "calls"; "ticks"; "wall (s)" ] in
+             List.iter
+               (fun (name, calls, ticks, wall) ->
+                 Table.add_row t
+                   [
+                     name;
+                     string_of_int calls;
+                     string_of_int ticks;
+                     Printf.sprintf "%.6f" wall;
+                   ])
+               spans;
+             Table.print t;
+             print_newline ()
+           end;
+           print_string (Export_metrics.to_prometheus sink);
+           Option.iter
+             (fun dir ->
+               save_obs ~dir ~app:(Registry.label entry) ~nprocs:ranks
+                 ~extra:(result_extras result) ~records:result.Runner.records
+                 sink)
+             obs_dir)
+         (find_app app))
+  in
+  let doc =
+    "Run a configuration with telemetry enabled and print the metric \
+     registry (Prometheus text) plus a per-span timing summary."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg
+      $ obs_arg)
 
 (* main ----------------------------------------------------------------------- *)
 
@@ -276,4 +440,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; analyze_cmd; conflicts_cmd; profile_cmd; validate_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            analyze_cmd;
+            conflicts_cmd;
+            profile_cmd;
+            validate_cmd;
+            stats_cmd;
+          ]))

@@ -6,6 +6,7 @@ module Mpiio = Hpcfs_mpiio.Mpiio
 module Collector = Hpcfs_trace.Collector
 module Prng = Hpcfs_util.Prng
 module Tier = Hpcfs_bb.Tier
+module Obs = Hpcfs_obs.Obs
 
 type result = {
   records : Hpcfs_trace.Record.t list;
@@ -25,35 +26,45 @@ type env = {
   seed : int;
 }
 
-let run ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
+let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
     ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?tier body =
-  Hpcfs_hdf5.Hdf5.reset_registries ();
-  let pfs = Pfs.create ~local_order semantics in
-  let collector = Collector.create () in
-  let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
-  let posix =
-    match tier with
-    | None -> Posix.make_ctx pfs collector
-    | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
+  let go () =
+    Hpcfs_hdf5.Hdf5.reset_registries ();
+    let pfs = Pfs.create ~local_order semantics in
+    let collector = Collector.create () in
+    let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
+    let posix =
+      match tier with
+      | None -> Posix.make_ctx pfs collector
+      | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
+    in
+    let comm = Mpi.world () in
+    let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+    let env = { comm; posix; mpiio; tier; nprocs; seed } in
+    Obs.span Obs.T_sched "simulate"
+      ~args:[ ("nprocs", string_of_int nprocs) ]
+      (fun () ->
+        Sched.run ~nprocs (fun _rank ->
+            Mpi.barrier comm;
+            body env;
+            Mpi.barrier comm));
+    (* End of job: whatever is still buffered reaches the PFS, as a real
+       burst buffer's epilogue stage-out would ensure. *)
+    Option.iter
+      (fun t ->
+        Obs.span Obs.T_bb "epilogue-drain" (fun () ->
+            ignore (Tier.drain_all t)))
+      tier;
+    {
+      records = Collector.records collector;
+      events = Mpi.events comm;
+      stats = Pfs.stats pfs;
+      pfs;
+      tier;
+      nprocs;
+    }
   in
-  let comm = Mpi.world () in
-  let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
-  let env = { comm; posix; mpiio; tier; nprocs; seed } in
-  Sched.run ~nprocs (fun _rank ->
-      Mpi.barrier comm;
-      body env;
-      Mpi.barrier comm);
-  (* End of job: whatever is still buffered reaches the PFS, as a real
-     burst buffer's epilogue stage-out would ensure. *)
-  Option.iter (fun t -> ignore (Tier.drain_all t)) tier;
-  {
-    records = Collector.records collector;
-    events = Mpi.events comm;
-    stats = Pfs.stats pfs;
-    pfs;
-    tier;
-    nprocs;
-  }
+  match obs with None -> go () | Some sink -> Obs.with_sink sink go
 
 let rank_prng env =
   Prng.create ((env.seed * 1_000_003) + Sched.self ())

@@ -25,6 +25,7 @@ type env = {
 (** Shared by all ranks of a run; rank identity comes from the scheduler. *)
 
 val run :
+  ?obs:Hpcfs_obs.Obs.sink ->
   ?semantics:Hpcfs_fs.Consistency.t ->
   ?local_order:bool ->
   ?nprocs:int ->
@@ -41,7 +42,12 @@ val run :
     With [?tier], all POSIX-level data operations route through a
     burst-buffer {!Hpcfs_bb.Tier.t} staged over the PFS instead of hitting
     the PFS directly; any backlog left at the end of the job is drained
-    before the result is returned. *)
+    before the result is returned.
+
+    With [?obs], the given telemetry sink is installed for the duration of
+    the run (and restored afterwards), so every instrumented layer records
+    into it; without it, whatever sink is already installed — usually none —
+    stays in effect. *)
 
 val rank_prng : env -> Hpcfs_util.Prng.t
 (** Deterministic per-rank generator (distinct stream per rank and seed). *)

@@ -3,6 +3,13 @@ module Pfs = Hpcfs_fs.Pfs
 module Namespace = Hpcfs_fs.Namespace
 module Fdata = Hpcfs_fs.Fdata
 module Tier = Hpcfs_bb.Tier
+module Obs = Hpcfs_obs.Obs
+
+let sem_key = function
+  | Consistency.Strong -> "strong"
+  | Consistency.Commit -> "commit"
+  | Consistency.Session -> "session"
+  | Consistency.Eventual _ -> "eventual"
 
 type outcome = {
   semantics : Consistency.t;
@@ -27,6 +34,7 @@ let final_digests result =
 
 let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier model
     body =
+  Obs.span Obs.T_core ("validate." ^ sem_key model) @@ fun () ->
   let result = Runner.run ~semantics:model ~local_order ~nprocs ?tier body in
   let digests = final_digests result in
   let corrupted =
@@ -50,14 +58,20 @@ let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier model
     files = List.length digests;
   }
 
-let validate ?(nprocs = 64)
+let validate ?obs ?(nprocs = 64)
     ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
     ?tier body =
-  let reference = Runner.run ~semantics:Consistency.Strong ~nprocs body in
-  let reference_digests = final_digests reference in
-  List.map
-    (fun model -> run_against ~reference_digests ~nprocs ?tier model body)
-    semantics
+  let go () =
+    let reference =
+      Obs.span Obs.T_core "validate.reference" (fun () ->
+          Runner.run ~semantics:Consistency.Strong ~nprocs body)
+    in
+    let reference_digests = final_digests reference in
+    List.map
+      (fun model -> run_against ~reference_digests ~nprocs ?tier model body)
+      semantics
+  in
+  match obs with None -> go () | Some sink -> Obs.with_sink sink go
 
 let validate_burstfs ?(nprocs = 64) body =
   let reference = Runner.run ~semantics:Consistency.Strong ~nprocs body in

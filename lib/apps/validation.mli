@@ -21,6 +21,7 @@ val correct : outcome -> bool
 (** No stale reads and no corrupted files. *)
 
 val validate :
+  ?obs:Hpcfs_obs.Obs.sink ->
   ?nprocs:int ->
   ?semantics:Hpcfs_fs.Consistency.t list ->
   ?tier:Hpcfs_bb.Tier.config ->
@@ -34,7 +35,10 @@ val validate :
     burst-buffer tier over a PFS with the given semantics; the reference
     run stays a direct strong run, so the comparison shows whether the
     tier preserves correctness end to end.  [stale_reads] then counts the
-    tier's composite reads that disagreed with the strong ground truth. *)
+    tier's composite reads that disagreed with the strong ground truth.
+
+    With [?obs], the sink is installed for the whole validation and each
+    per-semantics run appears as a [validate.<semantics>] span. *)
 
 val validate_burstfs : ?nprocs:int -> (Runner.env -> unit) -> outcome
 (** Run under commit semantics {e without} the single-process

@@ -3,6 +3,7 @@ module Fdata = Hpcfs_fs.Fdata
 module Backend = Hpcfs_fs.Backend
 module Namespace = Hpcfs_fs.Namespace
 module Interval = Hpcfs_util.Interval
+module Obs = Hpcfs_obs.Obs
 
 type config = {
   ranks_per_node : int;
@@ -136,6 +137,8 @@ let drain_extent t x =
     node.n_undrained <- node.n_undrained - len;
     t.occupancy <- t.occupancy - len;
     t.s_drained <- t.s_drained + len;
+    Obs.incr ~by:len "bb.drained_bytes";
+    Obs.gauge "bb.backlog" t.occupancy;
     len
 
 (* Drain a file's staged extents in staging order — every node's, or one
@@ -182,14 +185,22 @@ let maybe_async_drain t ~time =
     if time - t.last_drain >= drain_interval then begin
       let budget = bandwidth_bytes_per_tick * (time - t.last_drain) in
       t.last_drain <- max t.last_drain time;
-      ignore (drain_backlog t budget)
+      let drained = drain_backlog t budget in
+      if drained > 0 then
+        Obs.event Obs.T_bb
+          ~args:[ ("bytes", string_of_int drained) ]
+          "async-drain"
     end
   | Drain.Sync_on_close | Drain.On_laminate -> ()
 
 let stall t bytes =
   if bytes > 0 then begin
     t.s_stalls <- t.s_stalls + 1;
-    t.s_stalled_bytes <- t.s_stalled_bytes + bytes
+    t.s_stalled_bytes <- t.s_stalled_bytes + bytes;
+    Obs.incr "bb.stalls";
+    Obs.incr ~by:bytes "bb.stalled_bytes";
+    Obs.observe "bb.stall_bytes" (float_of_int bytes);
+    Obs.event Obs.T_bb ~args:[ ("bytes", string_of_int bytes) ] "stall"
   end
 
 (* The synchronous flush a close or fsync performs for the caller's node,
@@ -266,6 +277,8 @@ let write t ~time ~rank path ~off data =
   let len = Bytes.length data in
   t.s_writes <- t.s_writes + 1;
   t.s_bytes_written <- t.s_bytes_written + len;
+  Obs.incr "bb.writes";
+  Obs.incr ~by:len "bb.bytes_written";
   if len > 0 then begin
     if is_laminated t path then invalid_arg "Tier.write: file is laminated";
     let node = get_node t (node_of_rank t rank) in
@@ -280,6 +293,10 @@ let write t ~time ~rank path ~off data =
           if x.x_state = `Staged && node.n_undrained + len > cap then
             forced := !forced + drain_extent t x)
         (List.rev node.n_log);
+      if !forced > 0 then begin
+        Obs.incr "bb.evictions";
+        Obs.incr ~by:!forced "bb.evicted_bytes"
+      end;
       stall t !forced
     | _ -> ());
     let x =
@@ -299,6 +316,8 @@ let write t ~time ~rank path ~off data =
     node.n_undrained <- node.n_undrained + len;
     t.occupancy <- t.occupancy + len;
     t.s_staged <- t.s_staged + len;
+    Obs.incr ~by:len "bb.staged_bytes";
+    Obs.gauge "bb.backlog" t.occupancy;
     if t.occupancy > t.s_peak then t.s_peak <- t.occupancy;
     Hashtbl.replace t.hw path (max (hw_size t path) (off + len))
   end
@@ -359,6 +378,7 @@ let read t ~time ~rank path ~off ~len =
       let buf = Bytes.make n '\000' in
       List.iter (paint ~off buf) overlay;
       t.s_hits <- t.s_hits + 1;
+      Obs.incr "bb.cache_hits";
       buf
     end
     else
@@ -367,6 +387,7 @@ let read t ~time ~rank path ~off ~len =
         let buf = Bytes.sub snap off n in
         List.iter (paint ~off buf) overlay;
         t.s_hits <- t.s_hits + 1;
+        Obs.incr "bb.cache_hits";
         buf
       | _ ->
         let base = Pfs.read t.pfs ~time ~rank path ~off ~len:n in
@@ -374,6 +395,7 @@ let read t ~time ~rank path ~off ~len =
         Bytes.blit base.Fdata.data 0 buf 0 (Bytes.length base.Fdata.data);
         List.iter (paint ~off buf) overlay;
         t.s_misses <- t.s_misses + 1;
+        Obs.incr "bb.cache_misses";
         buf
   in
   let truth = ground_truth t path ~off ~len:n in
@@ -383,6 +405,8 @@ let read t ~time ~rank path ~off ~len =
   done;
   t.s_reads <- t.s_reads + 1;
   t.s_bytes_read <- t.s_bytes_read + n;
+  Obs.incr "bb.reads";
+  Obs.incr ~by:n "bb.bytes_read";
   if !stale > 0 then begin
     t.s_stale_reads <- t.s_stale_reads + 1;
     t.s_stale_bytes <- t.s_stale_bytes + !stale
@@ -402,6 +426,7 @@ let stage_in t ~time ~rank path =
   Hashtbl.replace node.n_snapshots path r.Fdata.data;
   let n = Bytes.length r.Fdata.data in
   t.s_stage_in <- t.s_stage_in + n;
+  Obs.incr ~by:n "bb.stage_in_bytes";
   n
 
 let laminate t ~time path =
@@ -411,6 +436,7 @@ let laminate t ~time path =
 let stage_out t ~time path =
   let b = drain_for_file t path in
   t.s_stage_out <- t.s_stage_out + b;
+  Obs.incr ~by:b "bb.stage_out_bytes";
   Pfs.laminate t.pfs ~time path
 
 let drain_file t path = drain_for_file t path

@@ -13,23 +13,54 @@ type t = {
   verdict : Recommend.verdict;
 }
 
+module Obs = Hpcfs_obs.Obs
+
+(* Each analysis phase runs inside a telemetry span so a run's trace shows
+   where the offline wall-clock goes; with no sink installed [Obs.span] is
+   the identity. *)
 let analyze ~nprocs records =
-  let resolved = Offsets.resolve records in
+  Obs.span Obs.T_core "analyze" @@ fun () ->
+  let resolved =
+    Obs.span Obs.T_core "analyze.resolve" (fun () -> Offsets.resolve records)
+  in
   let accesses = resolved.Offsets.accesses in
-  let pairs = Overlap.detect accesses in
+  let pairs =
+    Obs.span Obs.T_core "analyze.overlap" (fun () -> Overlap.detect accesses)
+  in
+  let sharing =
+    Obs.span Obs.T_core "analyze.sharing" (fun () ->
+        Sharing.classify ~nprocs accesses)
+  in
+  let local_mix, global_mix =
+    Obs.span Obs.T_core "analyze.patterns" (fun () ->
+        (Pattern.local_mix accesses, Pattern.global_mix accesses))
+  in
+  let session_conflicts, commit_conflicts =
+    Obs.span Obs.T_core "analyze.conflicts" (fun () ->
+        ( Conflict.of_pairs Conflict.Session_semantics pairs,
+          Conflict.of_pairs Conflict.Commit_semantics pairs ))
+  in
+  let metadata =
+    Obs.span Obs.T_core "analyze.metadata" (fun () ->
+        Metadata_report.inventory records)
+  in
+  let verdict =
+    Obs.span Obs.T_core "analyze.recommend" (fun () ->
+        Recommend.analyze accesses)
+  in
   {
     nprocs;
     record_count = List.length records;
     accesses;
     skipped = resolved.Offsets.skipped;
     events = resolved.Offsets.events;
-    sharing = Sharing.classify ~nprocs accesses;
-    local_mix = Pattern.local_mix accesses;
-    global_mix = Pattern.global_mix accesses;
-    session_conflicts = Conflict.of_pairs Conflict.Session_semantics pairs;
-    commit_conflicts = Conflict.of_pairs Conflict.Commit_semantics pairs;
-    metadata = Metadata_report.inventory records;
-    verdict = Recommend.analyze accesses;
+    sharing;
+    local_mix;
+    global_mix;
+    session_conflicts;
+    commit_conflicts;
+    metadata;
+    verdict;
   }
 
 let session_summary t = Conflict.summarize t.session_conflicts

@@ -1,4 +1,5 @@
 module Interval = Hpcfs_util.Interval
+module Obs = Hpcfs_obs.Obs
 
 type mode = Read | Write
 
@@ -31,6 +32,20 @@ let blocks_of t iv =
   let last = (iv.Interval.hi - 1) / t.granularity in
   List.init (last - first + 1) (fun i -> first + i)
 
+let acquired t =
+  t.acquisitions <- t.acquisitions + 1;
+  Obs.incr "fs.lock.acquisitions"
+
+let revoked t n =
+  if n > 0 then begin
+    t.revocations <- t.revocations + n;
+    Obs.incr ~by:n "fs.lock.revocations"
+  end
+
+let hit t =
+  t.hits <- t.hits + 1;
+  Obs.incr "fs.lock.hits"
+
 let access t ~file ~client mode iv =
   if not (Interval.is_empty iv) then
     List.iter
@@ -41,36 +56,36 @@ let access t ~file ~client mode iv =
           let readers = Hashtbl.create 4 in
           Hashtbl.replace readers client ();
           Hashtbl.replace t.blocks key (Readers readers);
-          t.acquisitions <- t.acquisitions + 1
+          acquired t
         | None, Write ->
           Hashtbl.replace t.blocks key (Writer client);
-          t.acquisitions <- t.acquisitions + 1
+          acquired t
         | Some (Readers readers), Read ->
-          if Hashtbl.mem readers client then t.hits <- t.hits + 1
+          if Hashtbl.mem readers client then hit t
           else begin
             Hashtbl.replace readers client ();
-            t.acquisitions <- t.acquisitions + 1
+            acquired t
           end
         | Some (Readers readers), Write ->
           let others = Hashtbl.length readers - (if Hashtbl.mem readers client then 1 else 0) in
-          t.revocations <- t.revocations + others;
+          revoked t others;
           Hashtbl.replace t.blocks key (Writer client);
-          t.acquisitions <- t.acquisitions + 1
+          acquired t
         | Some (Writer w), Write ->
-          if w = client then t.hits <- t.hits + 1
+          if w = client then hit t
           else begin
-            t.revocations <- t.revocations + 1;
+            revoked t 1;
             Hashtbl.replace t.blocks key (Writer client);
-            t.acquisitions <- t.acquisitions + 1
+            acquired t
           end
         | Some (Writer w), Read ->
-          if w = client then t.hits <- t.hits + 1
+          if w = client then hit t
           else begin
-            t.revocations <- t.revocations + 1;
+            revoked t 1;
             let readers = Hashtbl.create 4 in
             Hashtbl.replace readers client ();
             Hashtbl.replace t.blocks key (Readers readers);
-            t.acquisitions <- t.acquisitions + 1
+            acquired t
           end)
       (blocks_of t iv)
 

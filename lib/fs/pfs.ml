@@ -1,4 +1,5 @@
 module Interval = Hpcfs_util.Interval
+module Obs = Hpcfs_obs.Obs
 
 type t = {
   semantics : Consistency.t;
@@ -6,6 +7,11 @@ type t = {
   namespace : Namespace.t;
   stripe : Stripe.t;
   lockmgr : Lockmgr.t;
+  (* Telemetry counter names, precomputed per consistency engine so the
+     instrumented hot paths allocate nothing. *)
+  m_read : string;
+  m_write : string;
+  m_commit : string;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
@@ -14,6 +20,12 @@ type t = {
   mutable stale_bytes : int;
 }
 
+let sem_key = function
+  | Consistency.Strong -> "strong"
+  | Consistency.Commit -> "commit"
+  | Consistency.Session -> "session"
+  | Consistency.Eventual _ -> "eventual"
+
 let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
     semantics =
   let stripe =
@@ -21,12 +33,16 @@ let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
     | Some s -> s
     | None -> Stripe.create ~stripe_size:(1 lsl 20) ~server_count:8
   in
+  let key = sem_key semantics in
   {
     semantics;
     local_order;
     namespace = Namespace.create ();
     stripe;
     lockmgr = Lockmgr.create ~granularity:lock_granularity;
+    m_read = "fs.reads." ^ key;
+    m_write = "fs.writes." ^ key;
+    m_commit = "fs.commits." ^ key;
     reads = 0;
     writes = 0;
     bytes_read = 0;
@@ -44,6 +60,13 @@ let account_lock t ~file ~rank mode iv =
   | Consistency.Strong -> Lockmgr.access t.lockmgr ~file ~client:rank mode iv
   | Consistency.Commit | Consistency.Session | Consistency.Eventual _ -> ()
 
+(* Stripe accounting only runs with a sink installed: computing the extent
+   decomposition would otherwise cost an allocation per data operation. *)
+let account_stripe t iv =
+  if Obs.enabled () then
+    Obs.incr ~by:(List.length (Stripe.split_extent t.stripe iv))
+      "fs.stripe.requests"
+
 let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
   let fd =
     if create then Namespace.create_file t.namespace ~time path
@@ -51,26 +74,34 @@ let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
   in
   if trunc then Fdata.truncate fd ~time 0;
   Fdata.session_open fd ~rank ~time;
+  Obs.incr "fs.opens";
   Fdata.size fd
 
 let close_file t ~time ~rank path =
   let fd = Namespace.lookup_file t.namespace path in
   Fdata.session_close fd ~rank ~time;
+  Obs.incr "fs.closes";
   Lockmgr.release_client t.lockmgr ~file:path ~client:rank
 
 let read t ~time ~rank path ~off ~len =
   let fd = Namespace.lookup_file t.namespace path in
-  if len > 0 then
+  if len > 0 then begin
     account_lock t ~file:path ~rank Lockmgr.Read (Interval.of_len off len);
+    account_stripe t (Interval.of_len off len)
+  end;
   let result =
     Fdata.read ~local_order:t.local_order fd ~semantics:t.semantics ~rank
       ~time ~off ~len
   in
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + Bytes.length result.Fdata.data;
+  Obs.incr t.m_read;
+  Obs.incr ~by:(Bytes.length result.Fdata.data) "fs.bytes_read";
   if result.Fdata.stale_bytes > 0 then begin
     t.stale_reads <- t.stale_reads + 1;
-    t.stale_bytes <- t.stale_bytes + result.Fdata.stale_bytes
+    t.stale_bytes <- t.stale_bytes + result.Fdata.stale_bytes;
+    Obs.incr "fs.stale_reads";
+    Obs.incr ~by:result.Fdata.stale_bytes "fs.stale_bytes"
   end;
   Namespace.touch_atime t.namespace ~time path;
   result
@@ -78,15 +109,20 @@ let read t ~time ~rank path ~off ~len =
 let write t ~time ~rank path ~off data =
   let fd = Namespace.lookup_file t.namespace path in
   let len = Bytes.length data in
-  if len > 0 then
+  if len > 0 then begin
     account_lock t ~file:path ~rank Lockmgr.Write (Interval.of_len off len);
+    account_stripe t (Interval.of_len off len)
+  end;
   Fdata.write fd ~rank ~time ~off data;
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + len;
+  Obs.incr t.m_write;
+  Obs.incr ~by:len "fs.bytes_written";
   Namespace.touch_mtime t.namespace ~time path
 
 let fsync t ~time ~rank path =
   let fd = Namespace.lookup_file t.namespace path in
+  Obs.incr t.m_commit;
   Fdata.commit fd ~rank ~time
 
 let laminate t ~time path =

@@ -1,4 +1,5 @@
 module Sched = Hpcfs_sim.Sched
+module Obs = Hpcfs_obs.Obs
 
 type payload =
   | P_unit
@@ -62,6 +63,7 @@ let send c ~dst ~tag payload =
   if dst < 0 || dst >= size c then invalid_arg "Mpi.send: bad destination";
   let time = Sched.tick () in
   Queue.push payload (mailbox c ~src ~dst ~tag);
+  Obs.incr "mpi.sends";
   log_event c (E_send { src; dst; tag; time })
 
 let recv c ~src ~tag =
@@ -71,6 +73,7 @@ let recv c ~src ~tag =
   Sched.wait_until (fun () -> not (Queue.is_empty q));
   let payload = Queue.pop q in
   let time = Sched.tick () in
+  Obs.incr "mpi.recvs";
   log_event c (E_recv { src; dst; tag; time });
   payload
 
@@ -86,6 +89,9 @@ let barrier c =
   end
   else Sched.wait_until (fun () -> !(c.bar_gen) > gen);
   let exit = Sched.tick () in
+  Obs.incr "mpi.barriers";
+  Obs.observe "mpi.barrier_wait_ticks" (float_of_int (exit - enter));
+  Obs.span_at (Obs.T_rank r) ~t0:enter ~t1:exit "barrier";
   log_event c (E_barrier { rank = r; gen; enter; exit })
 
 let with_coll c name body =
@@ -96,6 +102,8 @@ let with_coll c name body =
   let enter = Sched.tick () in
   let result = body () in
   let exit = Sched.tick () in
+  Obs.incr "mpi.collectives";
+  Obs.span_at (Obs.T_rank r) ~t0:enter ~t1:exit name;
   log_event c (E_coll { rank = r; name; seq; enter; exit });
   result
 

@@ -1,0 +1,208 @@
+module Record = Hpcfs_trace.Record
+module Opclass = Hpcfs_trace.Opclass
+module Table = Hpcfs_util.Table
+module Stats = Hpcfs_util.Stats
+
+type file_acc = {
+  mutable fr : int;
+  mutable fw : int;
+  mutable fbr : int;
+  mutable fbw : int;
+  mutable franks : int list;
+}
+
+let pow2_buckets =
+  (* Darshan's access-size bins: 0-100, 100-1K, 1K-10K, ... roughly; we use
+     power-of-two doubling from 256 B, which matches the paper's Figure 2
+     discussion of access granularities. *)
+  [ 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+let bucket_label lo hi =
+  let human n =
+    if n >= 1048576 then Printf.sprintf "%dM" (n / 1048576)
+    else if n >= 1024 then Printf.sprintf "%dK" (n / 1024)
+    else string_of_int n
+  in
+  match hi with
+  | None -> Printf.sprintf "%s+" (human lo)
+  | Some hi -> Printf.sprintf "%s-%s" (human lo) (human hi)
+
+let size_histogram sizes =
+  let ranges =
+    let rec go lo = function
+      | [] -> [ (lo, None) ]
+      | hi :: rest -> (lo, Some hi) :: go hi rest
+    in
+    go 0 pow2_buckets
+  in
+  List.map
+    (fun (lo, hi) ->
+      let n =
+        List.length
+          (List.filter
+             (fun s -> s >= lo && match hi with None -> true | Some h -> s < h)
+             sizes)
+      in
+      (bucket_label lo hi, n))
+    ranges
+
+let render ~app ~nprocs ?(extra = []) records =
+  let b = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let t0, t1 =
+    List.fold_left
+      (fun (lo, hi) r -> (min lo r.Record.time, max hi r.Record.time))
+      (max_int, min_int) records
+  in
+  pf "# hpcfs per-application I/O report (darshan-style)\n";
+  pf "# app: %s\n" app;
+  pf "# nprocs: %d\n" nprocs;
+  pf "# records: %d\n" (List.length records);
+  if records <> [] then pf "# logical time span: [%d, %d]\n" t0 t1;
+  (* Layer / origin inventory -------------------------------------------- *)
+  let count_by f =
+    let tbl = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        let k = f r in
+        match Hashtbl.find_opt tbl k with
+        | Some n -> Hashtbl.replace tbl k (n + 1)
+        | None ->
+          order := k :: !order;
+          Hashtbl.add tbl k 1)
+      records;
+    List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+  in
+  pf "\n## records per API layer\n";
+  List.iter
+    (fun (layer, n) -> pf "%-8s %d\n" layer n)
+    (count_by (fun r -> Record.layer_name r.Record.layer));
+  pf "\n## records per issuing layer\n";
+  List.iter
+    (fun (origin, n) -> pf "%-8s %d\n" origin n)
+    (count_by (fun r -> Record.origin_name r.Record.origin));
+  (* POSIX counters -------------------------------------------------------- *)
+  let posix =
+    List.filter (fun r -> r.Record.layer = Record.L_posix) records
+  in
+  let class_count cls =
+    List.length (List.filter (fun r -> Opclass.classify r.Record.func = cls) posix)
+  in
+  let bytes cls =
+    List.fold_left
+      (fun acc r ->
+        if Opclass.classify r.Record.func = cls then
+          acc + Option.value ~default:0 r.Record.count
+        else acc)
+      0 posix
+  in
+  pf "\n## POSIX counters\n";
+  List.iter
+    (fun (name, v) -> pf "%-18s %d\n" name v)
+    [
+      ("OPENS", class_count Opclass.Open);
+      ("CLOSES", class_count Opclass.Close);
+      ("READS", class_count Opclass.Data_read);
+      ("WRITES", class_count Opclass.Data_write);
+      ("SEEKS", class_count Opclass.Seek);
+      ("COMMITS", class_count Opclass.Commit);
+      ("METADATA_OPS", class_count Opclass.Metadata);
+      ("BYTES_READ", bytes Opclass.Data_read);
+      ("BYTES_WRITTEN", bytes Opclass.Data_write);
+    ];
+  (* Per-rank spread ------------------------------------------------------- *)
+  let per_rank = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace per_rank r.Record.rank
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_rank r.Record.rank)))
+    posix;
+  let rank_counts =
+    Hashtbl.fold (fun _ n acc -> float_of_int n :: acc) per_rank []
+    |> Array.of_list
+  in
+  if Array.length rank_counts > 0 then begin
+    pf "\n## POSIX calls per rank (%d ranks active of %d)\n"
+      (Array.length rank_counts) nprocs;
+    pf "min/mean/max   %.0f / %.1f / %.0f\n"
+      (Array.fold_left Float.min rank_counts.(0) rank_counts)
+      (Stats.mean rank_counts)
+      (Array.fold_left Float.max rank_counts.(0) rank_counts)
+  end;
+  (* Access sizes ---------------------------------------------------------- *)
+  let sizes =
+    List.filter_map
+      (fun r ->
+        match Opclass.classify r.Record.func with
+        | Opclass.Data_read | Opclass.Data_write -> r.Record.count
+        | _ -> None)
+      posix
+  in
+  pf "\n## access sizes (POSIX data operations)\n";
+  List.iter
+    (fun (label, n) -> if n > 0 then pf "%-12s %d\n" label n)
+    (size_histogram sizes);
+  (* Per-file table -------------------------------------------------------- *)
+  let files = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match r.Record.file with
+      | None -> ()
+      | Some path ->
+        let f =
+          match Hashtbl.find_opt files path with
+          | Some f -> f
+          | None ->
+            let f = { fr = 0; fw = 0; fbr = 0; fbw = 0; franks = [] } in
+            Hashtbl.add files path f;
+            f
+        in
+        if not (List.mem r.Record.rank f.franks) then
+          f.franks <- r.Record.rank :: f.franks;
+        let n = Option.value ~default:0 r.Record.count in
+        (match Opclass.classify r.Record.func with
+        | Opclass.Data_read ->
+          f.fr <- f.fr + 1;
+          f.fbr <- f.fbr + n
+        | Opclass.Data_write ->
+          f.fw <- f.fw + 1;
+          f.fbw <- f.fbw + n
+        | _ -> ()))
+    posix;
+  let paths = Hashtbl.fold (fun p _ acc -> p :: acc) files [] in
+  pf "\n## per-file activity\n";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "file"; "reads"; "writes"; "bytes read"; "bytes written"; "ranks" ]
+  in
+  List.iter
+    (fun p ->
+      let f = Hashtbl.find files p in
+      Table.add_row t
+        [
+          p;
+          string_of_int f.fr;
+          string_of_int f.fw;
+          string_of_int f.fbr;
+          string_of_int f.fbw;
+          string_of_int (List.length f.franks);
+        ])
+    (List.sort compare paths);
+  Buffer.add_string b (Table.render t);
+  Buffer.add_char b '\n';
+  (* Extra sections -------------------------------------------------------- *)
+  List.iter
+    (fun (title, kvs) ->
+      pf "\n## %s\n" title;
+      List.iter (fun (k, v) -> pf "%-24s %s\n" k v) kvs)
+    extra;
+  Buffer.contents b
+
+let save ~path ~app ~nprocs ?extra records =
+  let oc = open_out path in
+  output_string oc (render ~app ~nprocs ?extra records);
+  close_out oc

@@ -1,0 +1,24 @@
+(** Darshan-style per-application I/O summary report.
+
+    Mirrors the shape of a [darshan-parser] report: a header identifying
+    the job, per-layer and per-origin record counts, POSIX operation
+    counters with per-rank spread, a power-of-two access-size histogram,
+    and a per-file activity table.  Built directly from the run's trace
+    records so it works on saved traces too; callers may append extra
+    key/value sections (PFS statistics, burst-buffer statistics, telemetry
+    counters). *)
+
+val render :
+  app:string ->
+  nprocs:int ->
+  ?extra:(string * (string * string) list) list ->
+  Hpcfs_trace.Record.t list ->
+  string
+
+val save :
+  path:string ->
+  app:string ->
+  nprocs:int ->
+  ?extra:(string * (string * string) list) list ->
+  Hpcfs_trace.Record.t list ->
+  unit

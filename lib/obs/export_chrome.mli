@@ -1,0 +1,16 @@
+(** Chrome trace-event JSON exporter (openable in Perfetto / chrome://tracing).
+
+    Renders one run as a trace with one track per simulated rank (fed by
+    the run's {!Hpcfs_trace.Record.t} list) plus one track per instrumented
+    subsystem (FS, BB, scheduler, MPI, analysis) fed by the sink's spans
+    and instant events.  Gauge sample series become Chrome counter tracks,
+    so e.g. the burst-buffer backlog plots as a graph over logical time.
+
+    Logical-clock ticks map to trace microseconds; span wall-clock
+    durations are preserved as a [wall_us] argument. *)
+
+val render : ?records:Hpcfs_trace.Record.t list -> Obs.sink -> string
+(** The complete JSON document.  Output is deterministic given the sink
+    contents (wall-clock stamps appear only inside span arguments). *)
+
+val save : path:string -> ?records:Hpcfs_trace.Record.t list -> Obs.sink -> unit

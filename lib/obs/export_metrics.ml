@@ -1,0 +1,100 @@
+module Stats = Hpcfs_util.Stats
+
+let sanitize name =
+  "hpcfs_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c
+        | _ -> '_')
+      name
+
+let float_str x =
+  (* Shortest stable rendering: integers print bare, the rest with up to
+     six significant decimals, so snapshots diff cleanly across runs. *)
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let quantiles = [ (50.0, "0.5"); (90.0, "0.9"); (99.0, "0.99") ]
+
+let to_prometheus sink =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) ->
+      let p = sanitize name in
+      match m with
+      | Obs.Counter c ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" p p c)
+      | Obs.Gauge { value; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s gauge\n%s %d\n" p p value)
+      | Obs.Histogram xs ->
+        Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" p);
+        List.iter
+          (fun (q, label) ->
+            match Stats.percentile_opt xs q with
+            | Some v ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" p label
+                   (float_str v))
+            | None -> ())
+          quantiles;
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %s\n%s_count %d\n" p
+             (float_str (Array.fold_left ( +. ) 0.0 xs))
+             p (Array.length xs)))
+    (Obs.metrics sink);
+  List.iter
+    (fun (name, calls, ticks, secs) ->
+      let p = sanitize ("span." ^ name) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "# TYPE %s_calls counter\n%s_calls %d\n%s_ticks %d\n%s_wall_seconds %s\n"
+           p p calls p ticks p (float_str secs)))
+    (Obs.span_summary sink);
+  Buffer.contents b
+
+let to_csv sink =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "metric,kind,value\n";
+  let row name kind value =
+    Buffer.add_string b (Printf.sprintf "%s,%s,%s\n" name kind value)
+  in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Obs.Counter c -> row name "counter" (string_of_int c)
+      | Obs.Gauge { value; series } ->
+        row name "gauge" (string_of_int value);
+        row (name ^ ".samples") "gauge" (string_of_int (List.length series))
+      | Obs.Histogram xs ->
+        row (name ^ ".count") "histogram" (string_of_int (Array.length xs));
+        if Array.length xs > 0 then begin
+          row (name ^ ".mean") "histogram" (float_str (Stats.mean xs));
+          (match Stats.percentile_opt xs 50.0 with
+          | Some v -> row (name ^ ".p50") "histogram" (float_str v)
+          | None -> ());
+          (match Stats.percentile_opt xs 95.0 with
+          | Some v -> row (name ^ ".p95") "histogram" (float_str v)
+          | None -> ());
+          row (name ^ ".max") "histogram"
+            (float_str (Array.fold_left Float.max xs.(0) xs))
+        end)
+    (Obs.metrics sink);
+  List.iter
+    (fun (name, calls, ticks, secs) ->
+      row ("span." ^ name ^ ".calls") "span" (string_of_int calls);
+      row ("span." ^ name ^ ".ticks") "span" (string_of_int ticks);
+      row ("span." ^ name ^ ".wall_s") "span" (Printf.sprintf "%.6f" secs))
+    (Obs.span_summary sink);
+  Buffer.contents b
+
+let save ~dir sink =
+  let write name contents =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "metrics.prom" (to_prometheus sink);
+  write "metrics.csv" (to_csv sink)

@@ -1,0 +1,20 @@
+(** Metrics snapshot exporters: Prometheus-style text and CSV.
+
+    Counters and gauges export their value; histograms export count, sum,
+    mean and quantiles (computed with the total {!Hpcfs_util.Stats}
+    variants, so an empty histogram renders with zero count instead of
+    raising); spans are aggregated per name into call-count, logical-tick
+    and wall-clock totals. *)
+
+val to_prometheus : Obs.sink -> string
+(** Prometheus exposition text.  Dotted metric names are sanitized to
+    [hpcfs_]-prefixed underscore form ("fs.reads.strong" becomes
+    [hpcfs_fs_reads_strong]). *)
+
+val to_csv : Obs.sink -> string
+(** One [metric,kind,value] row per scalar; histograms expand to
+    [.count]/[.mean]/[.p50]/[.p95]/[.max] rows, span aggregates to
+    [.calls]/[.ticks]/[.wall_s] rows. *)
+
+val save : dir:string -> Obs.sink -> unit
+(** Write [metrics.prom] and [metrics.csv] into [dir] (which must exist). *)

@@ -1,5 +1,6 @@
 open Effect
 open Effect.Deep
+module Obs = Hpcfs_obs.Obs
 
 exception Deadlock of string
 
@@ -66,9 +67,17 @@ let step s r =
   in
   s.current <- r;
   match s.procs.(r) with
-  | Fresh body -> match_with body () handler
-  | Runnable k -> continue k ()
-  | Waiting (pred, k) -> if pred () then continue k ()
+  | Fresh body ->
+    Obs.incr "sim.steps";
+    match_with body () handler
+  | Runnable k ->
+    Obs.incr "sim.steps";
+    continue k ()
+  | Waiting (pred, k) ->
+    if pred () then begin
+      Obs.incr "sim.steps";
+      continue k ()
+    end
   | Finished -> ()
 
 let run ~nprocs body =
@@ -82,13 +91,20 @@ let run ~nprocs body =
     }
   in
   current_sim := Some s;
+  (* The telemetry layer stamps spans with this simulation's Lamport clock
+     for as long as the run lasts. *)
+  Obs.set_logical_clock (fun () -> s.clock);
   let all_finished () =
     Array.for_all (function Finished -> true | _ -> false) s.procs
   in
-  let finish () = current_sim := None in
+  let finish () =
+    Obs.clear_logical_clock ();
+    current_sim := None
+  in
   let rec loop () =
     if all_finished () then ()
     else begin
+      Obs.incr "sim.rounds";
       let clock_before = s.clock in
       let progressed = ref false in
       for r = 0 to nprocs - 1 do

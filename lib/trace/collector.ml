@@ -6,9 +6,12 @@ let emit t r =
   t.records <- r :: t.records;
   t.count <- t.count + 1
 
-(* Records are emitted with monotonically increasing logical timestamps, so
-   reversing the accumulation list restores time order without sorting. *)
-let records t = List.rev t.records
+(* Simulator layers emit with monotonically increasing logical timestamps,
+   so reversing the accumulation list already restores time order; the
+   stable sort makes the documented ordering hold for any emission order
+   (e.g. records replayed from several per-rank files) and costs one
+   merge pass on already-sorted input. *)
+let records t = List.stable_sort Record.compare_time (List.rev t.records)
 
 let by_rank t =
   let max_rank =
@@ -18,7 +21,7 @@ let by_rank t =
   List.iter
     (fun r -> buckets.(r.Record.rank) <- r :: buckets.(r.Record.rank))
     t.records;
-  buckets
+  Array.map (List.stable_sort Record.compare_time) buckets
 
 let count t = t.count
 

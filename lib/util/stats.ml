@@ -22,6 +22,9 @@ let percentile xs p =
   let frac = rank -. floor rank in
   (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+let percentile_opt xs p =
+  if Array.length xs = 0 then None else Some (percentile xs p)
+
 let histogram ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins";
   let n = Array.length xs in
@@ -40,6 +43,9 @@ let histogram ~bins xs =
       let blo = lo +. (float_of_int i *. width) in
       (blo, blo +. width, c))
     counts
+
+let histogram_opt ~bins xs =
+  if Array.length xs = 0 then None else Some (histogram ~bins xs)
 
 let pct part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole

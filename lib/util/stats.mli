@@ -10,9 +10,19 @@ val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
     order statistics. Raises [Invalid_argument] on an empty array. *)
 
+val percentile_opt : float array -> float -> float option
+(** Total variant of {!percentile}: [None] for an empty array; on non-empty
+    input behaves exactly like {!percentile}, including the raise on [p]
+    out of range.  The telemetry exporters use this so a histogram that
+    never saw a sample renders as absent rather than crashing. *)
+
 val histogram : bins:int -> float array -> (float * float * int) array
 (** [histogram ~bins xs] returns [(lo, hi, count)] per equal-width bin over
     the data range. Raises [Invalid_argument] if [bins <= 0] or [xs] empty. *)
+
+val histogram_opt : bins:int -> float array -> (float * float * int) array option
+(** Total variant of {!histogram}: [None] for an empty array (still raises
+    if [bins <= 0]). *)
 
 val pct : int -> int -> float
 (** [pct part whole] is [100 * part / whole] as a float; 0 when [whole = 0]. *)

@@ -78,3 +78,7 @@ let render t =
   Buffer.contents buf
 
 let print t = print_string (render t)
+
+let pct_cell f = Printf.sprintf "%.1f" f
+let mark_cell b = if b then "x" else ""
+let check_cell b = if b then "ok" else "DIFF"

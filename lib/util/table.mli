@@ -23,3 +23,16 @@ val render : t -> string
 
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
+
+(** {2 Cell formatting}
+
+    The conventional cell formats shared by the experiment tables. *)
+
+val pct_cell : float -> string
+(** Percentage with one decimal: [pct_cell 52.07] is ["52.1"]. *)
+
+val mark_cell : bool -> string
+(** Presence mark: ["x"] when true, empty otherwise. *)
+
+val check_cell : bool -> string
+(** Comparison verdict: ["ok"] when true, ["DIFF"] otherwise. *)

@@ -155,6 +155,33 @@ let test_skew_alignment () =
   let times = List.map (fun r -> (r.Record.rank, r.Record.time)) aligned in
   Alcotest.(check (list (pair int int))) "aligned order" [ (1, 2); (0, 5) ] times
 
+let test_collector_unordered_emit () =
+  (* Emission order is whatever the interleaved run produced; [records]
+     must still come back in timestamp order. *)
+  let c = Collector.create () in
+  List.iter
+    (fun (t, r) -> Collector.emit c (sample ~time:t ~rank:r ()))
+    [ (9, 1); (2, 0); (7, 1); (4, 0) ];
+  let times = List.map (fun r -> r.Record.time) (Collector.records c) in
+  Alcotest.(check (list int)) "sorted" [ 2; 4; 7; 9 ] times;
+  let buckets = Collector.by_rank c in
+  Alcotest.(check (list int)) "per-rank sorted" [ 7; 9 ]
+    (List.map (fun r -> r.Record.time) buckets.(1))
+
+let test_skew_negative_times () =
+  (* Records before the barrier end up with negative adjusted times and
+     must sort ahead of everything else. *)
+  let sync_point = function 0 -> 100 | _ -> 0 in
+  let records =
+    [ sample ~time:40 ~rank:0 (); sample ~time:10 ~rank:1 () ]
+  in
+  let aligned = Skew.align ~sync_point records in
+  let times = List.map (fun r -> (r.Record.rank, r.Record.time)) aligned in
+  Alcotest.(check (list (pair int int)))
+    "pre-barrier record first"
+    [ (0, -60); (1, 10) ]
+    times
+
 let test_skew_max () =
   Alcotest.(check int) "max pairwise" 30
     (Skew.max_pairwise_skew ~sync_point:(fun r -> 10 * r) ~ranks:4);
@@ -195,7 +222,10 @@ let suite =
     Alcotest.test_case "tracefile roundtrip" `Quick test_tracefile_roundtrip;
     Alcotest.test_case "tracefile save/load" `Quick test_tracefile_save_load;
     Alcotest.test_case "tracefile bad line" `Quick test_tracefile_bad_line;
+    Alcotest.test_case "collector unordered emit" `Quick
+      test_collector_unordered_emit;
     Alcotest.test_case "skew alignment" `Quick test_skew_alignment;
+    Alcotest.test_case "skew negative times" `Quick test_skew_negative_times;
     Alcotest.test_case "skew max" `Quick test_skew_max;
     QCheck_alcotest.to_alcotest qcheck_record_roundtrip;
   ]

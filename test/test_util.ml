@@ -122,6 +122,41 @@ let test_stats_pct () =
   Alcotest.(check (float 1e-9)) "half" 50.0 (Stats.pct 1 2);
   Alcotest.(check (float 1e-9)) "zero whole" 0.0 (Stats.pct 1 0)
 
+let test_stats_empty_edges () =
+  Alcotest.check_raises "percentile raises on empty"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.(check (option (float 1e-9))) "percentile_opt empty" None
+    (Stats.percentile_opt [||] 50.0);
+  Alcotest.(check bool) "histogram_opt empty" true
+    (Stats.histogram_opt ~bins:4 [||] = None)
+
+let test_stats_single_sample () =
+  let xs = [| 7.5 |] in
+  Alcotest.(check (float 1e-9)) "p0 of singleton" 7.5 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50 of singleton" 7.5
+    (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100 of singleton" 7.5
+    (Stats.percentile xs 100.0);
+  Alcotest.(check (option (float 1e-9))) "percentile_opt singleton"
+    (Some 7.5)
+    (Stats.percentile_opt xs 95.0);
+  match Stats.histogram_opt ~bins:3 xs with
+  | None -> Alcotest.fail "histogram_opt singleton should be Some"
+  | Some h ->
+    let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 h in
+    Alcotest.(check int) "singleton binned once" 1 total
+
+let test_stats_opt_agrees () =
+  let xs = [| 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "p%g agrees" p)
+        (Some (Stats.percentile xs p))
+        (Stats.percentile_opt xs p))
+    [ 0.0; 25.0; 50.0; 95.0; 100.0 ]
+
 let suite =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
@@ -140,4 +175,7 @@ let suite =
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
     Alcotest.test_case "stats pct" `Quick test_stats_pct;
+    Alcotest.test_case "stats empty edges" `Quick test_stats_empty_edges;
+    Alcotest.test_case "stats single sample" `Quick test_stats_single_sample;
+    Alcotest.test_case "stats opt agrees" `Quick test_stats_opt_agrees;
   ]
