@@ -178,7 +178,7 @@ let run_tiered ~nranks policy =
     charge_pfs 0;
     charge_stalls ()
   done;
-  ignore (Tier.drain_all tier);
+  ignore (Tier.drain_all tier ());
   let s = Tier.stats tier in
   ignore hits0;
   let config_name =

@@ -23,6 +23,7 @@ let experiments =
     ("meta", "metadata-conflict extension", Bench_validate.meta);
     ("burstfs", "BurstFS same-process ordering exception", Bench_validate.burstfs);
     ("bb", "burst-buffer tier drain-policy comparison", Bench_bb.bb);
+    ("faults", "fault injection: crash/restart recovery", Bench_faults.faults);
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
     ("ablation", "conflict-condition ablation", Bench_perf.perf_tables_vs_annotated);
     ("scaling", "Algorithm 1 scaling", Bench_perf.scaling);

@@ -230,18 +230,37 @@ let file_arg =
   let doc = "Trace file produced by $(b,run --trace)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
 
+let ranks_opt_arg =
+  let doc =
+    "Number of simulated MPI ranks.  When omitted, inferred from the trace \
+     (highest rank seen + 1)."
+  in
+  Arg.(value & opt (some int) None & info [ "r"; "ranks" ] ~docv:"N" ~doc)
+
 let analyze_cmd =
   let run path ranks =
     exits_of_result
       (match Tracefile.load path with
       | Error e -> Error e
       | Ok records ->
-        let report = Report.analyze ~nprocs:ranks records in
+        let nprocs =
+          match ranks with
+          | Some n -> n
+          | None ->
+            let n =
+              List.fold_left
+                (fun acc r -> max acc (r.Hpcfs_trace.Record.rank + 1))
+                1 records
+            in
+            Printf.printf "ranks inferred from trace: %d\n" n;
+            n
+        in
+        let report = Report.analyze ~nprocs records in
         Report.pp_summary Format.std_formatter report;
         Ok ())
   in
   let doc = "Analyze a saved trace: patterns, conflicts, recommendation." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ ranks_arg)
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ ranks_opt_arg)
 
 (* conflicts ---------------------------------------------------------------- *)
 
@@ -378,6 +397,117 @@ let validate_cmd =
       const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg
       $ obs_arg)
 
+(* faults --------------------------------------------------------------------- *)
+
+module Fault_plan = Hpcfs_fault.Plan
+module Fault_report = Hpcfs_fault.Report
+
+let plan_arg =
+  let doc =
+    "Fault plan, a $(b,;)-separated list of events: \
+     $(b,crash:rank=R,io=N[,restart=D]) kills rank R on its N-th I/O call \
+     (restarting D ticks later when $(b,restart) is given), \
+     $(b,crash:rank=R,t=T[,restart=D]) kills it at logical time T, and \
+     $(b,drainfail:count=K[,node=N][,after=T]) makes the next K \
+     burst-buffer drain attempts fail transiently."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "p"; "plan" ] ~docv:"SPEC" ~doc)
+
+let plan_seed_arg =
+  let doc = "Seed of the plan's PRNG (tearing, backoff jitter)." in
+  Arg.(value & opt int 42 & info [ "plan-seed" ] ~docv:"SEED" ~doc)
+
+let sem_list_arg =
+  let doc =
+    "Comma-separated consistency engines to compare: $(b,strong), \
+     $(b,commit), $(b,session), $(b,eventual:DELAY)."
+  in
+  Arg.(
+    value
+    & opt string "strong,commit,session"
+    & info [ "s"; "semantics" ] ~docv:"LIST" ~doc)
+
+let csv_arg =
+  let doc = "Also write the report as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let parse_semantics spec =
+  let parse_one s =
+    match String.lowercase_ascii (String.trim s) with
+    | "strong" -> Ok Consistency.Strong
+    | "commit" -> Ok Consistency.Commit
+    | "session" -> Ok Consistency.Session
+    | "eventual" -> Ok (Consistency.Eventual { delay = 16 })
+    | other -> (
+      match String.index_opt other ':' with
+      | Some i
+        when String.sub other 0 i = "eventual" -> (
+        let d = String.sub other (i + 1) (String.length other - i - 1) in
+        match int_of_string_opt d with
+        | Some delay when delay >= 0 -> Ok (Consistency.Eventual { delay })
+        | Some _ | None -> Error (Printf.sprintf "bad eventual delay: %S" d))
+      | _ -> Error (Printf.sprintf "unknown consistency engine %S" s))
+  in
+  List.fold_right
+    (fun s acc ->
+      Result.bind acc (fun tl -> Result.map (fun h -> h :: tl) (parse_one s)))
+    (List.filter
+       (fun s -> String.trim s <> "")
+       (String.split_on_char ',' spec))
+    (Ok [])
+
+let faults_cmd =
+  let run app ranks plan_spec plan_seed sem_spec tier ranks_per_node csv_path
+      obs_dir =
+    exits_of_result
+      (let ( let* ) = Result.bind in
+       let* entry = find_app app in
+       let* plan = Fault_plan.of_string ~seed:plan_seed plan_spec in
+       let* semantics = parse_semantics sem_spec in
+       let* semantics =
+         if semantics = [] then Error "empty --semantics list" else Ok semantics
+       in
+       let tier = tier_config tier ranks_per_node in
+       with_obs obs_dir @@ fun obs ->
+       let rows =
+         Validation.crash_report ~nprocs:ranks ~semantics ?tier
+           ~app:(Registry.label entry) ~plan entry.Registry.body
+       in
+       Format.printf "fault plan: %a (seed %d)@.@." Fault_plan.pp plan
+         plan_seed;
+       Fault_report.pp Format.std_formatter rows;
+       Option.iter
+         (fun path ->
+           let oc = open_out path in
+           output_string oc (Fault_report.to_csv rows);
+           close_out oc;
+           Printf.printf "\nreport written to %s\n" path)
+         csv_path;
+       Option.iter
+         (fun (dir, sink) ->
+           mkdir_p dir;
+           Export_chrome.save ~path:(Filename.concat dir "trace.json") sink;
+           Export_metrics.save ~dir sink;
+           Printf.printf
+             "telemetry written to %s (trace.json, metrics.prom, metrics.csv)\n"
+             dir)
+         obs;
+       Ok ())
+  in
+  let doc =
+    "Inject a fault plan into a configuration under each consistency engine \
+     and report the crash-consistency outcome: bytes lost or torn at the \
+     crash, burst-buffer bytes lost with the victim node, and whether the \
+     recovered files match a fault-free reference."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ app_arg $ ranks_arg $ plan_arg $ plan_seed_arg
+      $ sem_list_arg $ tier_arg $ ranks_per_node_arg $ csv_arg $ obs_arg)
+
 (* stats ---------------------------------------------------------------------- *)
 
 let stats_cmd =
@@ -447,5 +577,6 @@ let () =
             conflicts_cmd;
             profile_cmd;
             validate_cmd;
+            faults_cmd;
             stats_cmd;
           ]))

@@ -79,7 +79,7 @@ let tiered policy ~stage_out_at_end =
           (Tier.occupancy tier);
         Tier.stage_out tier ~time p
       end
-      else ignore (Tier.drain_all tier))
+      else ignore (Tier.drain_all tier ()))
     ~observe:(fun ~time ~rank p ->
       ignore (Tier.open_file tier ~time ~rank p);
       report

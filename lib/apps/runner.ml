@@ -7,6 +7,7 @@ module Collector = Hpcfs_trace.Collector
 module Prng = Hpcfs_util.Prng
 module Tier = Hpcfs_bb.Tier
 module Obs = Hpcfs_obs.Obs
+module Injector = Hpcfs_fault.Injector
 
 type result = {
   records : Hpcfs_trace.Record.t list;
@@ -15,6 +16,7 @@ type result = {
   pfs : Pfs.t;
   tier : Tier.t option;
   nprocs : int;
+  faults : Injector.outcome option;
 }
 
 type env = {
@@ -24,45 +26,167 @@ type env = {
   tier : Tier.t option;
   nprocs : int;
   seed : int;
+  attempt : int;
 }
 
-let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
-    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?tier body =
-  let go () =
+(* The faulted execution: the same job, but under an injector that can kill
+   a rank (aborting the whole MPI job, fail-stop) and fail drain attempts.
+   After a crash the PFS reconciles pending data per its consistency model
+   and — when the plan schedules a restart — the body re-runs on the
+   surviving file system with the logical clock continued past the crash,
+   the recovery path of checkpoint/restart practice. *)
+let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
+    body =
+  let inj = Injector.create plan in
+  Hpcfs_hdf5.Hdf5.reset_registries ();
+  let pfs = Pfs.create ~local_order semantics in
+  let collector = Collector.create () in
+  let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
+  Option.iter
+    (fun t ->
+      Tier.set_fault t ~prng:(Injector.drain_prng inj)
+        (Some (fun ~node ~time -> Injector.drain_fault inj ~node ~time)))
+    tier;
+  let backend =
+    Injector.wrap_backend inj
+      (match tier with
+      | None -> Hpcfs_fs.Backend.of_pfs pfs
+      | Some t -> Tier.backend t)
+  in
+  let events = ref [] in
+  let crashes = ref [] in
+  let restarts = ref 0 in
+  let rec attempt_loop ~clock ~attempt =
+    (* Each attempt is a fresh job launch: new communicator, new library
+       state, new open-file table — only the storage carries over. *)
     Hpcfs_hdf5.Hdf5.reset_registries ();
-    let pfs = Pfs.create ~local_order semantics in
-    let collector = Collector.create () in
-    let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
-    let posix =
-      match tier with
-      | None -> Posix.make_ctx pfs collector
-      | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
-    in
+    let posix = Posix.make_ctx_backend backend collector in
     let comm = Mpi.world () in
     let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
-    let env = { comm; posix; mpiio; tier; nprocs; seed } in
-    Obs.span Obs.T_sched "simulate"
-      ~args:[ ("nprocs", string_of_int nprocs) ]
-      (fun () ->
-        Sched.run ~nprocs (fun _rank ->
-            Mpi.barrier comm;
-            body env;
-            Mpi.barrier comm));
-    (* End of job: whatever is still buffered reaches the PFS, as a real
-       burst buffer's epilogue stage-out would ensure. *)
-    Option.iter
-      (fun t ->
-        Obs.span Obs.T_bb "epilogue-drain" (fun () ->
-            ignore (Tier.drain_all t)))
-      tier;
-    {
-      records = Collector.records collector;
-      events = Mpi.events comm;
-      stats = Pfs.stats pfs;
-      pfs;
-      tier;
-      nprocs;
-    }
+    let env = { comm; posix; mpiio; tier; nprocs; seed; attempt } in
+    let status =
+      try
+        Obs.span Obs.T_sched "simulate"
+          ~args:
+            [
+              ("nprocs", string_of_int nprocs);
+              ("attempt", string_of_int attempt);
+            ]
+          (fun () ->
+            Sched.run ~clock
+              ~before_step:(fun r ->
+                Injector.before_step inj ~now:(Sched.now ()) r)
+              ~nprocs
+              (fun _rank ->
+                Mpi.barrier comm;
+                body env;
+                Mpi.barrier comm));
+        `Done
+      with Injector.Crashed { rank; time; io_index } ->
+        `Crashed (rank, time, io_index)
+    in
+    events := !events @ Mpi.events comm;
+    match status with
+    | `Done -> ()
+    | `Crashed (rank, time, io_index) ->
+      (* The victim's node-local buffer dies with it; undrained bytes are
+         gone before the PFS even reconciles. *)
+      let bb_lost =
+        match tier with
+        | None -> 0
+        | Some t -> Tier.crash_node t ~node:(Tier.node_of_rank t rank) ~time
+      in
+      let stats, per_file =
+        Obs.span Obs.T_fs "crash-reconcile" (fun () ->
+            Pfs.crash pfs ~time
+              ~keep_stripes:(fun ~total -> Injector.keep_stripes inj ~total)
+              ())
+      in
+      crashes :=
+        {
+          Injector.cr_rank = rank;
+          cr_time = time;
+          cr_io_index = io_index;
+          cr_stats = stats;
+          cr_per_file = per_file;
+          cr_bb_lost_bytes = bb_lost;
+        }
+        :: !crashes;
+      (match Injector.restart_delay_of inj ~rank with
+      | None -> ()
+      | Some delay ->
+        incr restarts;
+        Obs.incr "fault.restarts";
+        attempt_loop ~clock:(time + delay) ~attempt:(attempt + 1))
+  in
+  attempt_loop ~clock:0 ~attempt:0;
+  (* Surviving nodes' buffers are nonvolatile: the burst-buffer service
+     stages out whatever is still buffered, crash or not. *)
+  Option.iter
+    (fun t ->
+      Obs.span Obs.T_bb "epilogue-drain" (fun () ->
+          ignore (Tier.drain_all t ())))
+    tier;
+  {
+    records = Collector.records collector;
+    events = !events;
+    stats = Pfs.stats pfs;
+    pfs;
+    tier;
+    nprocs;
+    faults =
+      Some
+        {
+          Injector.o_plan = plan;
+          o_crashes = List.rev !crashes;
+          o_restarts = !restarts;
+          o_drain_faults = Injector.injected_drain_faults inj;
+        };
+  }
+
+let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
+    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?tier ?faults body =
+  let go () =
+    match faults with
+    | Some plan ->
+      run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
+        body
+    | None ->
+      Hpcfs_hdf5.Hdf5.reset_registries ();
+      let pfs = Pfs.create ~local_order semantics in
+      let collector = Collector.create () in
+      let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
+      let posix =
+        match tier with
+        | None -> Posix.make_ctx pfs collector
+        | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
+      in
+      let comm = Mpi.world () in
+      let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+      let env = { comm; posix; mpiio; tier; nprocs; seed; attempt = 0 } in
+      Obs.span Obs.T_sched "simulate"
+        ~args:[ ("nprocs", string_of_int nprocs) ]
+        (fun () ->
+          Sched.run ~nprocs (fun _rank ->
+              Mpi.barrier comm;
+              body env;
+              Mpi.barrier comm));
+      (* End of job: whatever is still buffered reaches the PFS, as a real
+         burst buffer's epilogue stage-out would ensure. *)
+      Option.iter
+        (fun t ->
+          Obs.span Obs.T_bb "epilogue-drain" (fun () ->
+              ignore (Tier.drain_all t ())))
+        tier;
+      {
+        records = Collector.records collector;
+        events = Mpi.events comm;
+        stats = Pfs.stats pfs;
+        pfs;
+        tier;
+        nprocs;
+        faults = None;
+      }
   in
   match obs with None -> go () | Some sink -> Obs.with_sink sink go
 

@@ -4,12 +4,15 @@
 
 type result = {
   records : Hpcfs_trace.Record.t list;  (** The trace, in time order. *)
-  events : Hpcfs_mpi.Mpi.event list;  (** Communication log. *)
+  events : Hpcfs_mpi.Mpi.event list;
+      (** Communication log (all attempts concatenated, under faults). *)
   stats : Hpcfs_fs.Pfs.stats;
   pfs : Hpcfs_fs.Pfs.t;  (** The file system after the run. *)
   tier : Hpcfs_bb.Tier.t option;
       (** The burst-buffer tier the run went through, if any. *)
   nprocs : int;
+  faults : Hpcfs_fault.Injector.outcome option;
+      (** What the injector did; [None] when no plan was given. *)
 }
 
 type env = {
@@ -21,6 +24,9 @@ type env = {
           explicitly (stage_in/stage_out) reach the tier through this. *)
   nprocs : int;
   seed : int;
+  attempt : int;
+      (** 0 on the first launch, incremented per crash restart — the
+          recovery path branches on this (restart reads the checkpoint). *)
 }
 (** Shared by all ranks of a run; rank identity comes from the scheduler. *)
 
@@ -32,6 +38,7 @@ val run :
   ?seed:int ->
   ?cb_nodes:int ->
   ?tier:Hpcfs_bb.Tier.config ->
+  ?faults:Hpcfs_fault.Plan.t ->
   (env -> unit) ->
   result
 (** [run body] executes [body] on every rank (default 64 ranks, strong
@@ -43,6 +50,16 @@ val run :
     burst-buffer {!Hpcfs_bb.Tier.t} staged over the PFS instead of hitting
     the PFS directly; any backlog left at the end of the job is drained
     before the result is returned.
+
+    With [?faults], the plan's faults are injected: a planned rank crash
+    aborts the whole job (fail-stop), pending data is reconciled on the
+    PFS per its consistency model (unpublished writes dropped, the
+    in-flight write torn at stripe boundaries), the victim node's
+    burst-buffer backlog is lost, and — if the plan schedules a restart —
+    the body re-runs with [env.attempt] incremented and the logical clock
+    continued past the crash.  Without a plan this parameter costs
+    nothing: the execution path and all output are identical to a run
+    built before the fault subsystem existed.
 
     With [?obs], the given telemetry sink is installed for the duration of
     the run (and restored afterwards), so every instrumented layer records

@@ -11,6 +11,10 @@ let sem_key = function
   | Consistency.Session -> "session"
   | Consistency.Eventual _ -> "eventual"
 
+let sem_name = function
+  | Consistency.Eventual { delay } -> Printf.sprintf "eventual:%d" delay
+  | s -> sem_key s
+
 type outcome = {
   semantics : Consistency.t;
   stale_reads : int;
@@ -32,10 +36,12 @@ let final_digests result =
       (path, Digest.bytes r.Fdata.data))
     files
 
-let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier model
-    body =
+let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier ?faults
+    model body =
   Obs.span Obs.T_core ("validate." ^ sem_key model) @@ fun () ->
-  let result = Runner.run ~semantics:model ~local_order ~nprocs ?tier body in
+  let result =
+    Runner.run ~semantics:model ~local_order ~nprocs ?tier ?faults body
+  in
   let digests = final_digests result in
   let corrupted =
     List.fold_left2
@@ -60,7 +66,7 @@ let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier model
 
 let validate ?obs ?(nprocs = 64)
     ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
-    ?tier body =
+    ?tier ?faults body =
   let go () =
     let reference =
       Obs.span Obs.T_core "validate.reference" (fun () ->
@@ -68,7 +74,48 @@ let validate ?obs ?(nprocs = 64)
     in
     let reference_digests = final_digests reference in
     List.map
-      (fun model -> run_against ~reference_digests ~nprocs ?tier model body)
+      (fun model ->
+        run_against ~reference_digests ~nprocs ?tier ?faults model body)
+      semantics
+  in
+  match obs with None -> go () | Some sink -> Obs.with_sink sink go
+
+(* Crash-consistency report: the same app and fault plan, once per
+   consistency engine, each compared after recovery against the fault-free
+   strong reference. *)
+let crash_report ?obs ?(nprocs = 64)
+    ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
+    ?tier ~app ~plan body =
+  let go () =
+    let reference =
+      Obs.span Obs.T_core "faults.reference" (fun () ->
+          Runner.run ~semantics:Consistency.Strong ~nprocs body)
+    in
+    let reference_digests = final_digests reference in
+    List.map
+      (fun model ->
+        Obs.span Obs.T_core ("faults." ^ sem_key model) @@ fun () ->
+        let result =
+          Runner.run ~semantics:model ~nprocs ?tier ~faults:plan body
+        in
+        let digests = final_digests result in
+        (* A crash without restart can leave files missing entirely, so
+           compare by path rather than zipping the lists. *)
+        let post_corrupted =
+          List.fold_left
+            (fun acc (path, ref_digest) ->
+              match List.assoc_opt path digests with
+              | Some d when d = ref_digest -> acc
+              | Some _ | None -> acc + 1)
+            0 reference_digests
+        in
+        let outcome =
+          match result.Runner.faults with
+          | Some o -> o
+          | None -> assert false (* a plan was given *)
+        in
+        Hpcfs_fault.Report.row_of_outcome ~app ~semantics:(sem_name model)
+          ~post_files:(List.length reference_digests) ~post_corrupted outcome)
       semantics
   in
   match obs with None -> go () | Some sink -> Obs.with_sink sink go

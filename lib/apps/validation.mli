@@ -25,6 +25,7 @@ val validate :
   ?nprocs:int ->
   ?semantics:Hpcfs_fs.Consistency.t list ->
   ?tier:Hpcfs_bb.Tier.config ->
+  ?faults:Hpcfs_fault.Plan.t ->
   (Runner.env -> unit) ->
   outcome list
 (** Run the body once per semantics model (default: strong, commit,
@@ -38,7 +39,26 @@ val validate :
     tier's composite reads that disagreed with the strong ground truth.
 
     With [?obs], the sink is installed for the whole validation and each
-    per-semantics run appears as a [validate.<semantics>] span. *)
+    per-semantics run appears as a [validate.<semantics>] span.
+
+    With [?faults], the fault plan is injected into every candidate run
+    (the strong reference stays fault-free), so the outcomes measure what
+    each semantics loses to the planned crashes. *)
+
+val crash_report :
+  ?obs:Hpcfs_obs.Obs.sink ->
+  ?nprocs:int ->
+  ?semantics:Hpcfs_fs.Consistency.t list ->
+  ?tier:Hpcfs_bb.Tier.config ->
+  app:string ->
+  plan:Hpcfs_fault.Plan.t ->
+  (Runner.env -> unit) ->
+  Hpcfs_fault.Report.row list
+(** The crash-consistency report: run [body] once per consistency engine
+    (default: strong, commit, session) with [plan] injected, and compare
+    the post-recovery file contents against a fault-free strong reference.
+    One {!Hpcfs_fault.Report.row} per engine, in the order given — fully
+    deterministic for a fixed (app, nprocs, plan) triple. *)
 
 val validate_burstfs : ?nprocs:int -> (Runner.env -> unit) -> outcome
 (** Run under commit semantics {e without} the single-process

@@ -9,10 +9,16 @@ type config = {
   ranks_per_node : int;
   policy : Drain.t;
   capacity_per_node : int option;
+  retry : Drain.retry;
 }
 
 let default_config =
-  { ranks_per_node = 4; policy = Drain.Sync_on_close; capacity_per_node = None }
+  {
+    ranks_per_node = 4;
+    policy = Drain.Sync_on_close;
+    capacity_per_node = None;
+    retry = Drain.default_retry;
+  }
 
 (* One staged write.  The record is shared between the owning node's log,
    the global backlog and the per-file queue, so its lifecycle is a mutable
@@ -61,6 +67,14 @@ type t = {
   mutable s_peak : int;
   mutable s_stale_reads : int;
   mutable s_stale_bytes : int;
+  (* fault injection *)
+  mutable fault : (node:int -> time:int -> bool) option;
+  mutable fault_prng : Hpcfs_util.Prng.t;
+  mutable s_drain_faults : int;
+  mutable s_drain_retries : int;
+  mutable s_backoff_ticks : int;
+  mutable s_drain_aborts : int;
+  mutable s_crash_lost_bytes : int;
 }
 
 let create ?(config = default_config) pfs =
@@ -88,7 +102,18 @@ let create ?(config = default_config) pfs =
     s_peak = 0;
     s_stale_reads = 0;
     s_stale_bytes = 0;
+    fault = None;
+    fault_prng = Hpcfs_util.Prng.create 0;
+    s_drain_faults = 0;
+    s_drain_retries = 0;
+    s_backoff_ticks = 0;
+    s_drain_aborts = 0;
+    s_crash_lost_bytes = 0;
   }
+
+let set_fault t ?prng hook =
+  t.fault <- hook;
+  Option.iter (fun p -> t.fault_prng <- p) prng
 
 let pfs t = t.pfs
 let config t = t.config
@@ -121,13 +146,45 @@ let file_size t path = max (Pfs.file_size t.pfs path) (hw_size t path)
 
 (* Draining ---------------------------------------------------------------- *)
 
+(* One drain attempt may fail transiently when a fault hook is installed;
+   failures retry under the configured backoff policy.  Returns [true] when
+   the extent may be written down, [false] when every retry failed — the
+   extent stays staged for a later drain pass. *)
+let drain_admitted t ~time ~node =
+  match t.fault with
+  | None -> true
+  | Some fails ->
+    let retry = t.config.retry in
+    let rec attempt n =
+      if not (fails ~node ~time) then true
+      else begin
+        t.s_drain_faults <- t.s_drain_faults + 1;
+        Obs.incr "bb.drain_faults";
+        if n >= retry.Drain.max_retries then begin
+          t.s_drain_aborts <- t.s_drain_aborts + 1;
+          Obs.incr "bb.drain_aborts";
+          false
+        end
+        else begin
+          let delay = Drain.backoff_delay retry t.fault_prng ~attempt:n in
+          t.s_drain_retries <- t.s_drain_retries + 1;
+          t.s_backoff_ticks <- t.s_backoff_ticks + delay;
+          Obs.incr "bb.drain_retries";
+          Obs.incr ~by:delay "bb.drain_backoff_ticks";
+          attempt (n + 1)
+        end
+      end
+    in
+    attempt 0
+
 (* Replaying a staged extent into the PFS with its original issue timestamp
    and rank means the backing file ends up with exactly the write history a
    direct run would have produced; only the arrival moment differs.  The
    extent stays in its node's log as a read cache until invalidated. *)
-let drain_extent t x =
+let drain_extent t ~time x =
   match x.x_state with
   | `Drained | `Dropped -> 0
+  | `Staged when not (drain_admitted t ~time ~node:x.x_node) -> 0
   | `Staged ->
     Pfs.write t.pfs ~time:x.x_time ~rank:x.x_rank x.x_file
       ~off:x.x_iv.Interval.lo x.x_data;
@@ -142,8 +199,9 @@ let drain_extent t x =
     len
 
 (* Drain a file's staged extents in staging order — every node's, or one
-   node's — compacting the per-file queue as we go. *)
-let drain_for_file t ?node path =
+   node's — compacting the per-file queue as we go.  Extents whose drain
+   failed past the retry budget stay queued for a later pass. *)
+let drain_for_file t ?node ~time path =
   match Hashtbl.find_opt t.per_file path with
   | None -> 0
   | Some q ->
@@ -154,7 +212,9 @@ let drain_for_file t ?node path =
         if x.x_state = `Staged then
           match node with
           | Some n when x.x_node <> n -> Queue.add x keep
-          | _ -> drained := !drained + drain_extent t x)
+          | _ ->
+            drained := !drained + drain_extent t ~time x;
+            if x.x_state = `Staged then Queue.add x keep)
       q;
     Queue.clear q;
     Queue.transfer keep q;
@@ -162,7 +222,7 @@ let drain_for_file t ?node path =
 
 (* Drain up to [budget] backlog bytes, oldest extents first.  The last
    extent is never split: real drains move whole log records. *)
-let drain_backlog t budget =
+let drain_backlog t ~time budget =
   let remaining = ref budget in
   let total = ref 0 in
   let continue_ = ref true in
@@ -171,10 +231,15 @@ let drain_backlog t budget =
     if x.x_state <> `Staged then ignore (Queue.pop t.backlog)
     else if !remaining <= 0 then continue_ := false
     else begin
-      let len = drain_extent t x in
-      ignore (Queue.pop t.backlog);
-      remaining := !remaining - len;
-      total := !total + len
+      let len = drain_extent t ~time x in
+      (* A drain abort leaves the extent staged at the head of the backlog:
+         stop here and let a later pass retry, preserving staging order. *)
+      if x.x_state = `Staged then continue_ := false
+      else begin
+        ignore (Queue.pop t.backlog);
+        remaining := !remaining - len;
+        total := !total + len
+      end
     end
   done;
   !total
@@ -185,7 +250,7 @@ let maybe_async_drain t ~time =
     if time - t.last_drain >= drain_interval then begin
       let budget = bandwidth_bytes_per_tick * (time - t.last_drain) in
       t.last_drain <- max t.last_drain time;
-      let drained = drain_backlog t budget in
+      let drained = drain_backlog t ~time budget in
       if drained > 0 then
         Obs.event Obs.T_bb
           ~args:[ ("bytes", string_of_int drained) ]
@@ -205,10 +270,10 @@ let stall t bytes =
 
 (* The synchronous flush a close or fsync performs for the caller's node,
    according to the policy. *)
-let flush_for_commit t ~node path =
+let flush_for_commit t ~node ~time path =
   match t.config.policy with
   | Drain.Sync_on_close | Drain.Async _ ->
-    stall t (drain_for_file t ~node path)
+    stall t (drain_for_file t ~node ~time path)
   | Drain.On_laminate -> ()
 
 (* Data surface ------------------------------------------------------------- *)
@@ -261,12 +326,12 @@ let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
 
 let close_file t ~time ~rank path =
   maybe_async_drain t ~time;
-  flush_for_commit t ~node:(node_of_rank t rank) path;
+  flush_for_commit t ~node:(node_of_rank t rank) ~time path;
   Pfs.close_file t.pfs ~time ~rank path
 
 let fsync t ~time ~rank path =
   maybe_async_drain t ~time;
-  flush_for_commit t ~node:(node_of_rank t rank) path;
+  flush_for_commit t ~node:(node_of_rank t rank) ~time path;
   Pfs.fsync t.pfs ~time ~rank path
 
 let is_laminated t path =
@@ -291,7 +356,7 @@ let write t ~time ~rank path ~off data =
       List.iter
         (fun x ->
           if x.x_state = `Staged && node.n_undrained + len > cap then
-            forced := !forced + drain_extent t x)
+            forced := !forced + drain_extent t ~time x)
         (List.rev node.n_log);
       if !forced > 0 then begin
         Obs.incr "bb.evictions";
@@ -430,24 +495,55 @@ let stage_in t ~time ~rank path =
   n
 
 let laminate t ~time path =
-  ignore (drain_for_file t path);
+  ignore (drain_for_file t ~time path);
   Pfs.laminate t.pfs ~time path
 
 let stage_out t ~time path =
-  let b = drain_for_file t path in
+  let b = drain_for_file t ~time path in
   t.s_stage_out <- t.s_stage_out + b;
   Obs.incr ~by:b "bb.stage_out_bytes";
   Pfs.laminate t.pfs ~time path
 
-let drain_file t path = drain_for_file t path
+let drain_file t ?(time = max_int) path = drain_for_file t ~time path
 
-let drain_all t =
+let drain_all t ?(time = max_int) () =
   let total = ref 0 in
+  let requeue = Queue.create () in
   while not (Queue.is_empty t.backlog) do
     let x = Queue.pop t.backlog in
-    total := !total + drain_extent t x
+    total := !total + drain_extent t ~time x;
+    if x.x_state = `Staged then Queue.add x requeue
   done;
+  Queue.transfer requeue t.backlog;
   !total
+
+(* A node crash loses the node's undrained (dirty) staged bytes: they exist
+   only in its local buffer, so they never reach the PFS.  Clean (drained)
+   cached extents and snapshots are mere caches — also gone, but no data is
+   lost with them. *)
+let crash_node t ~node:id ~time:_ =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> 0
+  | Some node ->
+    let lost = ref 0 in
+    List.iter
+      (fun x ->
+        if x.x_state = `Staged then begin
+          lost := !lost + Interval.length x.x_iv;
+          x.x_state <- `Dropped
+        end
+        else if x.x_state = `Drained then x.x_state <- `Dropped)
+      node.n_log;
+    node.n_log <- [];
+    Hashtbl.reset node.n_snapshots;
+    t.occupancy <- t.occupancy - !lost;
+    node.n_undrained <- 0;
+    t.s_crash_lost_bytes <- t.s_crash_lost_bytes + !lost;
+    if !lost > 0 then begin
+      Obs.incr ~by:!lost "bb.crash_lost_bytes";
+      Obs.gauge "bb.backlog" t.occupancy
+    end;
+    !lost
 
 (* Backend ------------------------------------------------------------------ *)
 
@@ -484,6 +580,11 @@ type stats = {
   peak_occupancy : int;
   stale_reads : int;
   stale_bytes : int;
+  drain_faults : int;
+  drain_retries : int;
+  drain_backoff_ticks : int;
+  drain_aborts : int;
+  crash_lost_bytes : int;
 }
 
 let stats t =
@@ -503,6 +604,11 @@ let stats t =
     peak_occupancy = t.s_peak;
     stale_reads = t.s_stale_reads;
     stale_bytes = t.s_stale_bytes;
+    drain_faults = t.s_drain_faults;
+    drain_retries = t.s_drain_retries;
+    drain_backoff_ticks = t.s_backoff_ticks;
+    drain_aborts = t.s_drain_aborts;
+    crash_lost_bytes = t.s_crash_lost_bytes;
   }
 
 let pp_stats ppf s =
@@ -511,10 +617,22 @@ let pp_stats ppf s =
      staged: %d B  drained: %d B  backlog never drained: %d B@,\
      stage-in: %d B  stage-out: %d B@,\
      cache hits/misses: %d/%d  drain stalls: %d (%d B)  peak occupancy: %d B@,\
-     stale reads: %d (%d B)@]"
+     stale reads: %d (%d B)"
     s.writes s.bytes_written s.reads s.bytes_read s.staged_bytes
     s.drained_bytes
     (s.staged_bytes - s.drained_bytes)
     s.stage_in_bytes s.stage_out_bytes s.cache_hits s.cache_misses
     s.drain_stalls s.stalled_bytes s.peak_occupancy s.stale_reads
-    s.stale_bytes
+    s.stale_bytes;
+  (* Fault counters appear only when faults were injected, so fault-free
+     output is byte-identical with the injector absent. *)
+  if
+    s.drain_faults > 0 || s.drain_retries > 0 || s.drain_aborts > 0
+    || s.crash_lost_bytes > 0
+  then
+    Format.fprintf ppf
+      "@,drain faults: %d (%d retries, %d backoff ticks, %d aborts)  crash \
+       lost: %d B"
+      s.drain_faults s.drain_retries s.drain_backoff_ticks s.drain_aborts
+      s.crash_lost_bytes;
+  Format.fprintf ppf "@]"

@@ -30,10 +30,14 @@ type config = {
       (** Buffer bytes per node; staging beyond it forces a synchronous
           drain of the node's oldest extents (a stall).  [None] =
           unbounded. *)
+  retry : Drain.retry;
+      (** Backoff policy for transient drain failures (only exercised when
+          a fault hook is installed via {!set_fault}). *)
 }
 
 val default_config : config
-(** 4 ranks per node, {!Drain.Sync_on_close}, unbounded buffers. *)
+(** 4 ranks per node, {!Drain.Sync_on_close}, unbounded buffers,
+    {!Drain.default_retry}. *)
 
 type t
 
@@ -101,13 +105,31 @@ val laminate : t -> time:int -> string -> unit
 (** Same draining and lamination as {!stage_out}, accounted as lamination
     rather than explicit stage-out. *)
 
-val drain_file : t -> string -> int
+val drain_file : t -> ?time:int -> string -> int
 (** Force-drain every undrained extent of one file (all nodes, staging
-    order); returns the bytes drained.  No stall is accounted. *)
+    order); returns the bytes drained.  No stall is accounted.  [time]
+    (default [max_int]) is only consulted by an installed fault hook. *)
 
-val drain_all : t -> int
+val drain_all : t -> ?time:int -> unit -> int
 (** Force-drain the whole backlog (e.g. at end of job); returns the bytes
-    drained. *)
+    drained.  Extents whose drain failed past the retry budget stay
+    staged. *)
+
+(** {1 Fault injection} *)
+
+val set_fault :
+  t -> ?prng:Hpcfs_util.Prng.t -> (node:int -> time:int -> bool) option ->
+  unit
+(** Install (or clear) a transient drain-failure hook: every drain attempt
+    asks the hook; [true] makes the attempt fail, retried under the
+    configured {!Drain.retry} policy with backoff delays drawn from
+    [prng].  With no hook installed the drain path is untouched. *)
+
+val crash_node : t -> node:int -> time:int -> int
+(** [crash_node t ~node ~time] loses the node's buffer to a crash: every
+    undrained staged extent is dropped — those bytes never reach the PFS —
+    and the node's clean caches are invalidated.  Returns the undrained
+    bytes lost. *)
 
 (** {1 Statistics} *)
 
@@ -130,6 +152,12 @@ type stats = {
       (** High-water mark of undrained bytes across all nodes. *)
   stale_reads : int;  (** Reads returning at least one stale byte. *)
   stale_bytes : int;
+  drain_faults : int;  (** Injected transient drain failures. *)
+  drain_retries : int;  (** Retry attempts after failures. *)
+  drain_backoff_ticks : int;  (** Total backoff delay accounted. *)
+  drain_aborts : int;
+      (** Drains abandoned after exhausting the retry budget. *)
+  crash_lost_bytes : int;  (** Undrained bytes lost to node crashes. *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,183 @@
+module Backend = Hpcfs_fs.Backend
+module Fdata = Hpcfs_fs.Fdata
+module Prng = Hpcfs_util.Prng
+module Obs = Hpcfs_obs.Obs
+
+exception Crashed of { rank : int; time : int; io_index : int }
+
+type crash_event = {
+  c_rank : int;
+  c_trigger : Plan.trigger;
+  c_restart : int option;
+  mutable c_fired : bool;
+}
+
+type drain_event = { d_node : int option; d_after : int; mutable d_left : int }
+
+type t = {
+  plan : Plan.t;
+  tear_prng : Prng.t;  (* how many stripes of a torn write survive *)
+  drain_prng : Prng.t;  (* backoff jitter of drain retries *)
+  crashes : crash_event list;
+  drains : drain_event list;
+  io_counts : (int, int ref) Hashtbl.t;
+  mutable injected_crashes : int;
+  mutable injected_drain_faults : int;
+}
+
+let create plan =
+  (* Independent deterministic streams per concern, split off the plan's
+     seed: consuming jitter draws never perturbs tear decisions. *)
+  let root = Prng.create plan.Plan.seed in
+  let tear_prng = Prng.split root in
+  let drain_prng = Prng.split root in
+  let crashes, drains =
+    List.fold_left
+      (fun (cs, ds) -> function
+        | Plan.Rank_crash { rank; trigger; restart_delay } ->
+          ( { c_rank = rank; c_trigger = trigger; c_restart = restart_delay;
+              c_fired = false }
+            :: cs,
+            ds )
+        | Plan.Drain_fault { node; after; failures } ->
+          (cs, { d_node = node; d_after = after; d_left = failures } :: ds))
+      ([], []) plan.Plan.events
+  in
+  {
+    plan;
+    tear_prng;
+    drain_prng;
+    crashes = List.rev crashes;
+    drains = List.rev drains;
+    io_counts = Hashtbl.create 8;
+    injected_crashes = 0;
+    injected_drain_faults = 0;
+  }
+
+let plan t = t.plan
+let drain_prng t = t.drain_prng
+let keep_stripes t ~total = Prng.int t.tear_prng (total + 1)
+
+let io_count t rank =
+  match Hashtbl.find_opt t.io_counts rank with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.io_counts rank r;
+    r
+
+let fire t c ~rank ~time =
+  c.c_fired <- true;
+  t.injected_crashes <- t.injected_crashes + 1;
+  Obs.incr "fault.crashes";
+  Obs.event Obs.T_sched
+    ~args:[ ("rank", string_of_int rank); ("time", string_of_int time) ]
+    "crash";
+  raise (Crashed { rank; time; io_index = !(io_count t rank) })
+
+(* After every backend I/O call of [rank]: count it and fire any due crash.
+   The triggering operation itself completes locally first — it is the
+   in-flight write the crash model then tears. *)
+let after_io t ~rank ~time =
+  let count = io_count t rank in
+  incr count;
+  List.iter
+    (fun c ->
+      if (not c.c_fired) && c.c_rank = rank then
+        match c.c_trigger with
+        | Plan.At_io n when !count >= n -> fire t c ~rank ~time
+        | Plan.At_time tt when time >= tt -> fire t c ~rank ~time
+        | Plan.At_io _ | Plan.At_time _ -> ())
+    t.crashes
+
+(* Scheduler hook: kills the victim at a logical time even while it is
+   blocked (e.g. in a barrier) or computing between I/O calls. *)
+let before_step t ~now rank =
+  List.iter
+    (fun c ->
+      if (not c.c_fired) && c.c_rank = rank then
+        match c.c_trigger with
+        | Plan.At_time tt when now >= tt -> fire t c ~rank ~time:now
+        | Plan.At_time _ | Plan.At_io _ -> ())
+    t.crashes
+
+(* The restart delay of the crash that just fired (the most recently fired
+   unconsumed one): [None] when the plan says the job stays down. *)
+let restart_delay_of t ~rank =
+  List.find_map
+    (fun c ->
+      if c.c_fired && c.c_rank = rank then Some c.c_restart else None)
+    (List.rev t.crashes)
+  |> Option.join
+
+let drain_fault t ~node ~time =
+  let hit =
+    List.find_opt
+      (fun d ->
+        d.d_left > 0 && time >= d.d_after
+        && match d.d_node with None -> true | Some n -> n = node)
+      t.drains
+  in
+  match hit with
+  | None -> false
+  | Some d ->
+    d.d_left <- d.d_left - 1;
+    t.injected_drain_faults <- t.injected_drain_faults + 1;
+    Obs.incr "fault.drain_faults";
+    true
+
+let injected_crashes t = t.injected_crashes
+let injected_drain_faults t = t.injected_drain_faults
+
+let wrap_backend t (b : Backend.t) =
+  {
+    b with
+    Backend.open_file =
+      (fun ~time ~rank ~create ~trunc path ->
+        let size = b.Backend.open_file ~time ~rank ~create ~trunc path in
+        after_io t ~rank ~time;
+        size);
+    close_file =
+      (fun ~time ~rank path ->
+        b.Backend.close_file ~time ~rank path;
+        after_io t ~rank ~time);
+    read =
+      (fun ~time ~rank path ~off ~len ->
+        let r = b.Backend.read ~time ~rank path ~off ~len in
+        after_io t ~rank ~time;
+        r);
+    write =
+      (fun ~time ~rank path ~off data ->
+        b.Backend.write ~time ~rank path ~off data;
+        after_io t ~rank ~time);
+    fsync =
+      (fun ~time ~rank path ->
+        b.Backend.fsync ~time ~rank path;
+        after_io t ~rank ~time);
+  }
+
+(* What happened, for the report ------------------------------------------ *)
+
+type crash_record = {
+  cr_rank : int;
+  cr_time : int;
+  cr_io_index : int;
+  cr_stats : Fdata.crash_stats;
+  cr_per_file : (string * Fdata.crash_stats) list;
+  cr_bb_lost_bytes : int;
+}
+
+type outcome = {
+  o_plan : Plan.t;
+  o_crashes : crash_record list;  (** In firing order. *)
+  o_restarts : int;
+  o_drain_faults : int;
+}
+
+let crash_stats outcome =
+  List.fold_left
+    (fun acc cr -> Fdata.add_crash_stats acc cr.cr_stats)
+    Fdata.no_crash_stats outcome.o_crashes
+
+let bb_lost_bytes outcome =
+  List.fold_left (fun acc cr -> acc + cr.cr_bb_lost_bytes) 0 outcome.o_crashes

@@ -1,0 +1,74 @@
+(** The runtime fault injector: turns a {!Plan.t} into hooks the
+    simulation layers consult, plus the record of what actually fired.
+
+    One injector instance covers one job execution {e including} its
+    restarts — crash events fire at most once, I/O counters keep counting
+    across attempts, and drain-failure budgets deplete monotonically.
+    All nondeterminism (stripe tearing, backoff jitter) comes from PRNG
+    streams split off the plan's seed, so a given (app, plan) pair always
+    produces the same outcome. *)
+
+exception Crashed of { rank : int; time : int; io_index : int }
+(** Raised out of a backend call or scheduler step when a planned rank
+    crash fires.  The whole MPI job aborts with the victim (fail-stop). *)
+
+type t
+
+val create : Plan.t -> t
+val plan : t -> Plan.t
+
+val wrap_backend : t -> Hpcfs_fs.Backend.t -> Hpcfs_fs.Backend.t
+(** Interpose on the data-plane calls (open/close/read/write/fsync):
+    each call executes first, then is counted against the caller's
+    [At_io] triggers — so the triggering operation itself is the
+    in-flight write the crash model tears.  [At_time] triggers also fire
+    here, at the victim's first I/O at/after the deadline. *)
+
+val before_step : t -> now:int -> int -> unit
+(** Scheduler hook ({!Hpcfs_sim.Sched.run}'s [?before_step]): fires
+    [At_time] crashes of the rank about to be stepped, even when it is
+    blocked in a barrier or computing between I/O calls. *)
+
+val drain_fault : t -> node:int -> time:int -> bool
+(** Burst-buffer hook ({!Hpcfs_bb.Tier.set_fault}): [true] when a
+    planned transient drain failure should hit this attempt; each [true]
+    consumes one unit of a matching [Drain_fault] budget. *)
+
+val drain_prng : t -> Hpcfs_util.Prng.t
+(** The stream backoff jitter must be drawn from (pass to
+    {!Hpcfs_bb.Tier.set_fault}). *)
+
+val keep_stripes : t -> total:int -> int
+(** Deterministic tear decision for one in-flight write: how many of its
+    [total] stripe-aligned pieces survive (0..[total], inclusive). *)
+
+val restart_delay_of : t -> rank:int -> int option
+(** Restart delay of the most recently fired crash of [rank]; [None]
+    when the plan leaves the job down. *)
+
+val injected_crashes : t -> int
+val injected_drain_faults : t -> int
+
+(** {1 Outcome} *)
+
+type crash_record = {
+  cr_rank : int;
+  cr_time : int;
+  cr_io_index : int;  (** Victim's I/O calls completed before dying. *)
+  cr_stats : Hpcfs_fs.Fdata.crash_stats;  (** PFS-wide pending-data loss. *)
+  cr_per_file : (string * Hpcfs_fs.Fdata.crash_stats) list;
+      (** Per-file breakdown, sorted by path. *)
+  cr_bb_lost_bytes : int;  (** Undrained burst-buffer bytes lost. *)
+}
+
+type outcome = {
+  o_plan : Plan.t;
+  o_crashes : crash_record list;  (** In firing order. *)
+  o_restarts : int;  (** Restarts actually performed. *)
+  o_drain_faults : int;  (** Transient drain failures injected. *)
+}
+
+val crash_stats : outcome -> Hpcfs_fs.Fdata.crash_stats
+(** Sum over all crashes. *)
+
+val bb_lost_bytes : outcome -> int

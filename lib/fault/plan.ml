@@ -1,0 +1,119 @@
+type trigger = At_time of int | At_io of int
+
+type event =
+  | Rank_crash of { rank : int; trigger : trigger; restart_delay : int option }
+  | Drain_fault of { node : int option; after : int; failures : int }
+
+type t = { name : string; seed : int; events : event list }
+
+let make ?(name = "plan") ?(seed = 42) events = { name; seed; events }
+
+let crash ?(rank = 0) ?restart_delay trigger =
+  Rank_crash { rank; trigger; restart_delay }
+
+let drain_fault ?node ?(after = 0) failures =
+  Drain_fault { node; after; failures }
+
+let crash_count t =
+  List.length
+    (List.filter (function Rank_crash _ -> true | _ -> false) t.events)
+
+(* Spec syntax ------------------------------------------------------------- *)
+
+let trigger_to_string = function
+  | At_time time -> Printf.sprintf "t=%d" time
+  | At_io n -> Printf.sprintf "io=%d" n
+
+let event_to_string = function
+  | Rank_crash { rank; trigger; restart_delay } ->
+    Printf.sprintf "crash:rank=%d,%s%s" rank
+      (trigger_to_string trigger)
+      (match restart_delay with
+      | Some d -> Printf.sprintf ",restart=%d" d
+      | None -> "")
+  | Drain_fault { node; after; failures } ->
+    String.concat ""
+      [
+        Printf.sprintf "drainfail:count=%d" failures;
+        (match node with
+        | Some n -> Printf.sprintf ",node=%d" n
+        | None -> "");
+        (if after > 0 then Printf.sprintf ",after=%d" after else "");
+      ]
+
+let to_string t = String.concat ";" (List.map event_to_string t.events)
+
+let ( let* ) = Result.bind
+
+let parse_int key s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: not an integer: %S" key s)
+
+let parse_fields fields =
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      match String.index_opt field '=' with
+      | None -> Error (Printf.sprintf "expected key=value, got %S" field)
+      | Some i ->
+        let k = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        let* v = parse_int k v in
+        Ok ((k, v) :: acc))
+    (Ok []) fields
+
+let parse_event spec =
+  let head, rest =
+    match String.index_opt spec ':' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> (spec, "")
+  in
+  let fields =
+    List.filter (fun f -> f <> "") (String.split_on_char ',' rest)
+  in
+  let* kvs = parse_fields fields in
+  let get k = List.assoc_opt k kvs in
+  match String.lowercase_ascii head with
+  | "crash" ->
+    let rank = Option.value ~default:0 (get "rank") in
+    let* trigger =
+      match (get "io", get "t") with
+      | Some n, None -> Ok (At_io n)
+      | None, Some time -> Ok (At_time time)
+      | Some _, Some _ -> Error "crash: give io= or t=, not both"
+      | None, None -> Error "crash: missing trigger (io=N or t=T)"
+    in
+    Ok (Rank_crash { rank; trigger; restart_delay = get "restart" })
+  | "drainfail" ->
+    let* failures =
+      Option.to_result ~none:"drainfail: missing count=" (get "count")
+    in
+    Ok
+      (Drain_fault
+         {
+           node = get "node";
+           after = Option.value ~default:0 (get "after");
+           failures;
+         })
+  | other -> Error (Printf.sprintf "unknown fault event %S" other)
+
+let of_string ?(name = "plan") ?(seed = 42) s =
+  let specs =
+    List.filter (fun f -> String.trim f <> "") (String.split_on_char ';' s)
+  in
+  if specs = [] then Error "empty fault plan"
+  else
+    let* events =
+      List.fold_left
+        (fun acc spec ->
+          let* acc = acc in
+          let* e = parse_event (String.trim spec) in
+          Ok (e :: acc))
+        (Ok []) specs
+    in
+    Ok { name; seed; events = List.rev events }
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,43 @@
+(** Deterministic fault plans: what goes wrong, where, and when.
+
+    A plan is a seed plus a list of fault events.  Everything an injected
+    fault decides at runtime (how many stripes of a torn write survive,
+    backoff jitter) is drawn from a PRNG split off the plan's seed, so the
+    same seed and plan reproduce the same failure bit for bit — the
+    property the crash-consistency report's determinism rests on. *)
+
+type trigger =
+  | At_time of int  (** Fire at the first opportunity at/after this clock. *)
+  | At_io of int  (** Fire on the victim rank's [n]-th backend I/O call. *)
+
+type event =
+  | Rank_crash of { rank : int; trigger : trigger; restart_delay : int option }
+      (** Rank [rank] dies when [trigger] fires, taking the whole MPI job
+          with it (the fail-stop model of checkpoint/restart practice).
+          The job restarts [restart_delay] ticks later from its recovery
+          path; [None] means no restart — the post-crash state is final. *)
+  | Drain_fault of { node : int option; after : int; failures : int }
+      (** The next [failures] burst-buffer drain attempts at/after time
+          [after] — on node [node], or on any node for [None] — fail
+          transiently and are retried under the tier's backoff policy. *)
+
+type t = { name : string; seed : int; events : event list }
+
+val make : ?name:string -> ?seed:int -> event list -> t
+(** Defaults: name ["plan"], seed 42. *)
+
+val crash : ?rank:int -> ?restart_delay:int -> trigger -> event
+val drain_fault : ?node:int -> ?after:int -> int -> event
+
+val crash_count : t -> int
+
+val to_string : t -> string
+(** Compact spec, e.g. ["crash:rank=3,io=120,restart=64;drainfail:count=2"].
+    Round-trips through {!of_string}. *)
+
+val of_string : ?name:string -> ?seed:int -> string -> (t, string) result
+(** Parse a [;]-separated list of events:
+    [crash:rank=R,io=N|t=T[,restart=D]] and
+    [drainfail:count=K[,node=N][,after=T]]. *)
+
+val pp : Format.formatter -> t -> unit

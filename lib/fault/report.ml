@@ -1,0 +1,100 @@
+type row = {
+  r_app : string;
+  r_semantics : string;
+  r_plan : string;
+  r_crashed : bool;
+  r_crash_rank : int;
+  r_crash_time : int;
+  r_restarts : int;
+  r_lost_writes : int;
+  r_lost_bytes : int;
+  r_torn_writes : int;
+  r_torn_bytes : int;
+  r_bb_lost_bytes : int;
+  r_drain_faults : int;
+  r_post_files : int;
+  r_post_corrupted : int;
+}
+
+let survives r =
+  r.r_lost_writes = 0 && r.r_torn_writes = 0 && r.r_bb_lost_bytes = 0
+
+let recovered r = r.r_post_corrupted = 0
+
+let verdict r =
+  if not r.r_crashed then "no-crash"
+  else if survives r then "survives"
+  else if recovered r then "recovered"
+  else "corrupted"
+
+let row_of_outcome ~app ~semantics ~post_files ~post_corrupted
+    (o : Injector.outcome) =
+  let stats = Injector.crash_stats o in
+  let rank, time =
+    match o.Injector.o_crashes with
+    | [] -> (-1, -1)
+    | c :: _ -> (c.Injector.cr_rank, c.Injector.cr_time)
+  in
+  {
+    r_app = app;
+    r_semantics = semantics;
+    r_plan = Plan.to_string o.Injector.o_plan;
+    r_crashed = o.Injector.o_crashes <> [];
+    r_crash_rank = rank;
+    r_crash_time = time;
+    r_restarts = o.Injector.o_restarts;
+    r_lost_writes = stats.Hpcfs_fs.Fdata.lost_writes;
+    r_lost_bytes = stats.Hpcfs_fs.Fdata.lost_bytes;
+    r_torn_writes = stats.Hpcfs_fs.Fdata.torn_writes;
+    r_torn_bytes = stats.Hpcfs_fs.Fdata.torn_bytes;
+    r_bb_lost_bytes = Injector.bb_lost_bytes o;
+    r_drain_faults = o.Injector.o_drain_faults;
+    r_post_files = post_files;
+    r_post_corrupted = post_corrupted;
+  }
+
+let csv_header =
+  "app,semantics,plan,crashed,crash_rank,crash_time,restarts,lost_writes,lost_bytes,torn_writes,torn_bytes,bb_lost_bytes,drain_faults,post_files,post_corrupted,verdict"
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv_row r =
+  String.concat ","
+    [
+      csv_quote r.r_app;
+      csv_quote r.r_semantics;
+      csv_quote r.r_plan;
+      string_of_bool r.r_crashed;
+      string_of_int r.r_crash_rank;
+      string_of_int r.r_crash_time;
+      string_of_int r.r_restarts;
+      string_of_int r.r_lost_writes;
+      string_of_int r.r_lost_bytes;
+      string_of_int r.r_torn_writes;
+      string_of_int r.r_torn_bytes;
+      string_of_int r.r_bb_lost_bytes;
+      string_of_int r.r_drain_faults;
+      string_of_int r.r_post_files;
+      string_of_int r.r_post_corrupted;
+      verdict r;
+    ]
+
+let to_csv rows =
+  String.concat "\n" (csv_header :: List.map to_csv_row rows) ^ "\n"
+
+let pp ppf rows =
+  let open Format in
+  fprintf ppf "%-14s %-10s %7s %8s %10s %7s %10s %8s %7s %10s@."
+    "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_wr"
+    "torn_bytes" "bb_lost" "corrupt" "verdict";
+  List.iter
+    (fun r ->
+      fprintf ppf "%-14s %-10s %7s %8d %10d %7d %10d %8d %7d %10s@."
+        r.r_app r.r_semantics
+        (if r.r_crashed then "yes" else "no")
+        r.r_restarts r.r_lost_bytes r.r_torn_writes r.r_torn_bytes
+        r.r_bb_lost_bytes r.r_post_corrupted (verdict r))
+    rows

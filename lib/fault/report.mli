@@ -1,0 +1,50 @@
+(** The crash-consistency report: one row per (application, consistency
+    engine, fault plan) run, answering the question the checkpoint/restart
+    survey poses — did the checkpoint survive the crash, and if not, how
+    much data went missing under each semantics?
+
+    Everything here is deterministic: no wall clock, rows render in the
+    order given, and the CSV round-trips byte-identically for the same
+    (seed, plan) inputs. *)
+
+type row = {
+  r_app : string;
+  r_semantics : string;  (** e.g. ["strong"], ["session"], ["eventual:8"]. *)
+  r_plan : string;  (** {!Plan.to_string} of the injected plan. *)
+  r_crashed : bool;
+  r_crash_rank : int;  (** -1 when no crash fired. *)
+  r_crash_time : int;  (** -1 when no crash fired. *)
+  r_restarts : int;
+  r_lost_writes : int;  (** Pending writes dropped outright at crash. *)
+  r_lost_bytes : int;
+  r_torn_writes : int;  (** In-flight writes cut at stripe boundaries. *)
+  r_torn_bytes : int;  (** Bytes that survived from torn writes. *)
+  r_bb_lost_bytes : int;  (** Undrained burst-buffer bytes lost. *)
+  r_drain_faults : int;  (** Transient drain failures injected. *)
+  r_post_files : int;  (** Files compared after restart/recovery. *)
+  r_post_corrupted : int;
+      (** Files whose final content diverges from the fault-free strong
+          reference — data loss the recovery did not repair. *)
+}
+
+val survives : row -> bool
+(** The crash cost nothing: no pending data was lost or torn and no
+    burst-buffer bytes vanished. *)
+
+val recovered : row -> bool
+(** The final file contents match the fault-free reference (the restart
+    re-wrote whatever the crash destroyed). *)
+
+val verdict : row -> string
+(** ["no-crash"], ["survives"], ["recovered"], or ["corrupted"]. *)
+
+val row_of_outcome :
+  app:string -> semantics:string -> post_files:int -> post_corrupted:int ->
+  Injector.outcome -> row
+
+val csv_header : string
+val to_csv : row list -> string
+(** Header plus one line per row, ["\n"]-terminated. *)
+
+val pp : Format.formatter -> row list -> unit
+(** Fixed-width human-readable table. *)

@@ -132,6 +132,127 @@ let effective_time t ~semantics ~rank w =
     | Eventual { delay } -> w.w_time + delay
   end
 
+(* Crash consistency ------------------------------------------------------ *)
+
+type crash_stats = {
+  lost_writes : int;
+  lost_bytes : int;
+  torn_writes : int;
+  torn_bytes : int;
+}
+
+let no_crash_stats =
+  { lost_writes = 0; lost_bytes = 0; torn_writes = 0; torn_bytes = 0 }
+
+let add_crash_stats a b =
+  {
+    lost_writes = a.lost_writes + b.lost_writes;
+    lost_bytes = a.lost_bytes + b.lost_bytes;
+    torn_writes = a.torn_writes + b.torn_writes;
+    torn_bytes = a.torn_bytes + b.torn_bytes;
+  }
+
+(* Is write [w] durable at crash time [time] under [semantics]?  This mirrors
+   [visible], but asks about persistence rather than visibility: under the
+   relaxed models a write only reaches stable storage when the operation
+   that publishes it executes (the writer's commit, close, or — for
+   eventual consistency — the background propagation), so a crash loses
+   exactly the writes whose publishing operation had not yet happened
+   (Wang, Mohror & Snir, "Formal Definitions and Performance Comparison of
+   Consistency Models for Parallel File Systems"). *)
+let persisted t ~semantics ~time w =
+  (match t.laminated_at with Some tl -> tl <= time | None -> false)
+  ||
+  match (semantics : Consistency.t) with
+  | Strong -> w.w_time < time
+  | Commit ->
+    List.exists (fun tc -> w.w_time < tc && tc <= time) (times t.commits w.w_rank)
+  | Session ->
+    List.exists (fun tc -> w.w_time < tc && tc <= time) (times t.closes w.w_rank)
+  | Eventual { delay } -> w.w_time + delay <= time
+
+let crash t ~semantics ~time ~stripe_size ~keep_stripes =
+  let stats = ref no_crash_stats in
+  (* Per rank, the newest unpersisted write is the one possibly in flight at
+     the crash instant: it tears at a stripe boundary — a prefix of whole
+     stripes survives — while every older unpersisted write is lost
+     outright. *)
+  let newest_pending = Hashtbl.create 8 in
+  List.iter
+    (fun w ->
+      if not (persisted t ~semantics ~time w) then
+        match Hashtbl.find_opt newest_pending w.w_rank with
+        | Some n when n.w_time >= w.w_time -> ()
+        | _ -> Hashtbl.replace newest_pending w.w_rank w)
+    t.writes;
+  let tear w =
+    let lo = w.w_iv.Interval.lo and hi = w.w_iv.Interval.hi in
+    let first_boundary = ((lo / stripe_size) + 1) * stripe_size in
+    let boundaries = ref [] in
+    let b = ref first_boundary in
+    while !b < hi do
+      boundaries := !b :: !boundaries;
+      b := !b + stripe_size
+    done;
+    let cuts = Array.of_list (List.rev !boundaries) in
+    (* [total] stripe pieces; keep a prefix of [k] of them. *)
+    let total = Array.length cuts + 1 in
+    let k = max 0 (min total (keep_stripes ~total)) in
+    let size = Interval.length w.w_iv in
+    if k = total then begin
+      (* The transfer completed just before the crash. *)
+      stats :=
+        add_crash_stats !stats
+          { no_crash_stats with torn_writes = 1; torn_bytes = size };
+      Some w
+    end
+    else if k = 0 then begin
+      stats :=
+        add_crash_stats !stats
+          { no_crash_stats with lost_writes = 1; lost_bytes = size };
+      None
+    end
+    else begin
+      let keep_hi = cuts.(k - 1) in
+      let kept = keep_hi - lo in
+      stats :=
+        add_crash_stats !stats
+          {
+            lost_writes = 0;
+            lost_bytes = size - kept;
+            torn_writes = 1;
+            torn_bytes = kept;
+          };
+      Some
+        {
+          w with
+          w_iv = Interval.make lo keep_hi;
+          w_data = Bytes.sub w.w_data 0 kept;
+        }
+    end
+  in
+  t.writes <-
+    List.filter_map
+      (fun w ->
+        if persisted t ~semantics ~time w then Some w
+        else if
+          match Hashtbl.find_opt newest_pending w.w_rank with
+          | Some n -> n == w
+          | None -> false
+        then tear w
+        else begin
+          stats :=
+            add_crash_stats !stats
+              {
+                no_crash_stats with
+                lost_writes = 1;
+                lost_bytes = Interval.length w.w_iv;
+              };
+          None
+        end)
+      t.writes;
+  !stats
+
 let read ?(local_order = true) t ~semantics ~rank ~time ~off ~len =
   let len = max 0 (min len (max 0 (t.size - off))) in
   let req = Interval.of_len off len in

@@ -66,5 +66,44 @@ val laminate : t -> time:int -> unit
 
 val is_laminated : t -> bool
 
+type crash_stats = {
+  lost_writes : int;  (** Pending writes dropped entirely. *)
+  lost_bytes : int;  (** Bytes of pending data that did not survive. *)
+  torn_writes : int;  (** In-flight writes that survived (possibly) partially. *)
+  torn_bytes : int;  (** Bytes surviving from torn writes. *)
+}
+
+val no_crash_stats : crash_stats
+val add_crash_stats : crash_stats -> crash_stats -> crash_stats
+
+val crash :
+  t ->
+  semantics:Consistency.t ->
+  time:int ->
+  stripe_size:int ->
+  keep_stripes:(total:int -> int) ->
+  crash_stats
+(** [crash t ~semantics ~time ~stripe_size ~keep_stripes] applies the
+    crash-time durability rules of the consistency engine to the write
+    history, as of a whole-job crash at [time]:
+
+    - a write {e persisted} under the engine's rules survives whole.  Under
+      strong consistency every write issued before the crash is durable on
+      arrival; under commit consistency a write survives only if the writer
+      committed ([fsync]/[close]) after it and before the crash; under
+      session consistency only if the writer closed its session; under
+      eventual consistency only if the propagation delay had elapsed.
+      Lamination persists everything.
+    - per rank, the {e newest} unpersisted write is considered in flight: it
+      is torn at stripe boundaries, keeping a prefix of
+      [keep_stripes ~total] whole stripes out of [total] pieces (callers
+      drive this from a seeded PRNG for determinism).
+    - every other unpersisted write is lost outright.
+
+    The file size (metadata, kept strongly consistent by the MDS) is left
+    unchanged: bytes lost from the middle of a file read back as holes.
+    Session/commit event history survives — it describes operations that
+    completed before the crash. *)
+
 val write_count : t -> int
 (** Number of recorded write extents (for tests and reports). *)

@@ -165,6 +165,28 @@ let reset_stats (t : t) =
   t.stale_bytes <- 0;
   Lockmgr.reset t.lockmgr
 
+(* Whole-job crash at [time]: every file loses its pending (unpublished)
+   write buffers according to the active consistency engine; per-rank
+   in-flight writes tear at this PFS's stripe boundaries.  [keep_stripes]
+   decides how many whole stripes of a torn write reached storage — callers
+   pass a seeded-PRNG draw so the outcome is deterministic per plan. *)
+let crash t ~time ?(keep_stripes = fun ~total:_ -> 0) () =
+  let files = List.sort compare (Namespace.all_files t.namespace) in
+  let stripe_size = t.stripe.Stripe.stripe_size in
+  List.fold_left
+    (fun (acc, per_file) path ->
+      let fd = Namespace.lookup_file t.namespace path in
+      let s =
+        Fdata.crash fd ~semantics:t.semantics ~time ~stripe_size ~keep_stripes
+      in
+      if s.Fdata.lost_bytes > 0 then
+        Obs.incr ~by:s.Fdata.lost_bytes "fs.crash_lost_bytes";
+      if s.Fdata.torn_bytes > 0 then
+        Obs.incr ~by:s.Fdata.torn_bytes "fs.crash_torn_bytes";
+      (Fdata.add_crash_stats acc s, (path, s) :: per_file))
+    (Fdata.no_crash_stats, []) files
+  |> fun (total, per_file) -> (total, List.rev per_file)
+
 let observer_rank = -1
 
 let read_oracle t path ~off ~len =

@@ -60,6 +60,20 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val crash :
+  t ->
+  time:int ->
+  ?keep_stripes:(total:int -> int) ->
+  unit ->
+  Fdata.crash_stats * (string * Fdata.crash_stats) list
+(** [crash t ~time ()] applies a whole-job crash at logical time [time] to
+    every regular file, dropping each file's pending write buffers per the
+    configured consistency engine and tearing per-rank in-flight writes at
+    this PFS's stripe boundaries (see {!Fdata.crash}).  Returns the
+    aggregate loss statistics and the per-file breakdown, in sorted path
+    order.  [keep_stripes] (default: keep nothing) decides how many whole
+    stripes of each torn write reached storage. *)
+
 val read_back : t -> time:int -> string -> Fdata.read_result
 (** Read a file's full contents as a fresh observer that opens after every
     writer has closed — what a post-run validation pass (or the next job in

@@ -18,6 +18,7 @@ type state = {
   procs : proc array;
   mutable clock : int;
   mutable current : int;
+  before_step : (int -> unit) option;
 }
 
 let current_sim : state option ref = ref None
@@ -66,6 +67,11 @@ let step s r =
     }
   in
   s.current <- r;
+  (* Fault hooks fire before the process runs, so a kill lands even while
+     the victim is blocked (e.g. inside a barrier). *)
+  (match (s.before_step, s.procs.(r)) with
+  | Some hook, (Fresh _ | Runnable _ | Waiting _) -> hook r
+  | _ -> ());
   match s.procs.(r) with
   | Fresh body ->
     Obs.incr "sim.steps";
@@ -80,14 +86,15 @@ let step s r =
     end
   | Finished -> ()
 
-let run ~nprocs body =
+let run ?(clock = 0) ?before_step ~nprocs body =
   if nprocs <= 0 then invalid_arg "Sched.run: nprocs must be positive";
   if !current_sim <> None then invalid_arg "Sched.run: already running";
   let s =
     {
       procs = Array.init nprocs (fun r -> Fresh (fun () -> body r));
-      clock = 0;
+      clock;
       current = 0;
+      before_step;
     }
   in
   current_sim := Some s;

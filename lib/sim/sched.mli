@@ -17,11 +17,23 @@
 exception Deadlock of string
 (** Raised when no process can make progress but some are unfinished. *)
 
-val run : nprocs:int -> (int -> unit) -> unit
+val run :
+  ?clock:int -> ?before_step:(int -> unit) -> nprocs:int -> (int -> unit) ->
+  unit
 (** [run ~nprocs body] starts [nprocs] processes, process [r] executing
     [body r], and schedules them to completion.  Exceptions escaping a
     process body are re-raised to the caller.  Raises [Deadlock] when every
-    remaining process is blocked on a false predicate. *)
+    remaining process is blocked on a false predicate.
+
+    [clock] (default 0) is the initial logical-clock value; a crash/restart
+    harness resumes a restarted job past the crashed run's timestamps so the
+    file systems' write histories stay totally ordered.
+
+    [before_step], when given, runs in scheduler context immediately before
+    each unfinished process is considered, receiving the process's rank.  It
+    may raise (e.g. a fault injector killing the rank); the exception aborts
+    the whole simulation and is re-raised to the caller — the behaviour of an
+    MPI job when one of its ranks dies. *)
 
 val self : unit -> int
 (** Rank of the currently executing process. *)

@@ -51,6 +51,49 @@ let arg t key = List.assoc_opt key t.args
 
 let opt_str f = function None -> "-" | Some v -> f v
 
+(* Free-form fields (function names, paths, argument keys/values) may
+   contain the tab that separates fields or the newline that separates
+   records; escape both, plus the escape character itself, so every record
+   round-trips through a trace file. *)
+let escape s =
+  if
+    String.exists (fun c -> c = '\t' || c = '\n' || c = '\\') s
+  then begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let unescape s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '\\' && !i + 1 < n then begin
+        (match s.[!i + 1] with
+        | 't' -> Buffer.add_char b '\t'
+        | 'n' -> Buffer.add_char b '\n'
+        | c -> Buffer.add_char b c);
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  end
+
 let to_line t =
   let fields =
     [
@@ -58,13 +101,13 @@ let to_line t =
       string_of_int t.rank;
       layer_name t.layer;
       origin_name t.origin;
-      t.func;
-      opt_str Fun.id t.file;
+      escape t.func;
+      opt_str escape t.file;
       opt_str string_of_int t.fd;
       opt_str string_of_int t.offset;
       opt_str string_of_int t.count;
     ]
-    @ List.map (fun (k, v) -> k ^ "=" ^ v) t.args
+    @ List.map (fun (k, v) -> escape k ^ "=" ^ escape v) t.args
   in
   String.concat "\t" fields
 
@@ -88,7 +131,8 @@ let of_line line =
     let* origin =
       Option.to_result ~none:("bad origin: " ^ origin) (origin_of_name origin)
     in
-    let* file = parse_opt (fun s -> Ok s) file in
+    let func = unescape func in
+    let* file = parse_opt (fun s -> Ok (unescape s)) file in
     let* fd = parse_opt parse_int fd in
     let* offset = parse_opt parse_int offset in
     let* count = parse_opt parse_int count in
@@ -99,8 +143,8 @@ let of_line line =
           match String.index_opt kv '=' with
           | Some i ->
             Ok
-              ((String.sub kv 0 i,
-                String.sub kv (i + 1) (String.length kv - i - 1))
+              ((unescape (String.sub kv 0 i),
+                unescape (String.sub kv (i + 1) (String.length kv - i - 1)))
               :: acc)
           | None -> Error ("bad key=value pair: " ^ kv))
         (Ok []) args

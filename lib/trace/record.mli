@@ -47,10 +47,13 @@ val arg : t -> string -> string option
 (** Look up a named argument. *)
 
 val to_line : t -> string
-(** One-line tab-separated serialization (paths must not contain tabs). *)
+(** One-line tab-separated serialization.  Tabs, newlines and backslashes
+    inside free-form fields (function name, path, argument keys and
+    values) are escaped ([\t], [\n], [\\]), so any record round-trips
+    through {!of_line}. *)
 
 val of_line : string -> (t, string) result
-(** Parse a line produced by {!to_line}. *)
+(** Parse a line produced by {!to_line}, undoing the field escaping. *)
 
 val pp : Format.formatter -> t -> unit
 

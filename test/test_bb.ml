@@ -19,7 +19,8 @@ let make ?(semantics = Consistency.Session) ?(policy = Drain.Sync_on_close)
     ?(ranks_per_node = 2) ?capacity () =
   let pfs = Pfs.create semantics in
   let config =
-    { Tier.ranks_per_node; policy; capacity_per_node = capacity }
+    { Tier.ranks_per_node; policy; capacity_per_node = capacity;
+      retry = Drain.default_retry }
   in
   (pfs, Tier.create ~config pfs)
 
@@ -268,6 +269,126 @@ let test_flash_heals_under_commit_tier () =
           (Validation.correct o))
       outcomes
 
+(* Drain retry / backoff under injected transient failures ----------------- *)
+
+module Prng = Hpcfs_util.Prng
+module Obs = Hpcfs_obs.Obs
+
+let test_backoff_schedule () =
+  (* Without jitter the schedule is pure capped exponential. *)
+  let retry =
+    { Drain.max_retries = 5; base_delay = 8; max_delay = 100; jitter = 0.0 }
+  in
+  let prng = Prng.create 7 in
+  let delays =
+    List.init 6 (fun n -> Drain.backoff_delay retry prng ~attempt:n)
+  in
+  Alcotest.(check (list int))
+    "capped exponential" [ 8; 16; 32; 64; 100; 100 ] delays;
+  (* With jitter, the schedule is deterministic for a fixed seed and stays
+     within [exp, exp + exp/2). *)
+  let jittered = { retry with Drain.jitter = 0.5 } in
+  let schedule seed =
+    let p = Prng.create seed in
+    List.init 6 (fun n -> Drain.backoff_delay jittered p ~attempt:n)
+  in
+  Alcotest.(check (list int))
+    "deterministic under a fixed seed" (schedule 11) (schedule 11);
+  List.iteri
+    (fun n d ->
+      let base = min 100 (8 * (1 lsl n)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within jitter band" n)
+        true
+        (d >= base && d < base + (base / 2) + 1))
+    (schedule 11);
+  (* Huge attempt numbers must not overflow the shift. *)
+  Alcotest.(check int) "attempt 62 capped" 100
+    (Drain.backoff_delay retry prng ~attempt:62)
+
+let test_drain_retry_then_success () =
+  let pfs, tier = make ~policy:Drain.Sync_on_close () in
+  let sink = Obs.create () in
+  Obs.with_sink sink @@ fun () ->
+  (* Fail the first two attempts, then let drains through. *)
+  let failures = ref 2 in
+  Tier.set_fault tier ~prng:(Prng.create 5)
+    (Some
+       (fun ~node:_ ~time:_ ->
+         if !failures > 0 then begin
+           decr failures;
+           true
+         end
+         else false));
+  ignore (Tier.open_file tier ~time:1 ~rank:0 ~create:true "/ck");
+  Tier.write tier ~time:2 ~rank:0 "/ck" ~off:0 (s "payload!");
+  Tier.close_file tier ~time:3 ~rank:0 "/ck";
+  (* The close's drain retried past both failures and landed the data. *)
+  Alcotest.(check int) "backlog empty" 0 (Tier.occupancy tier);
+  Alcotest.(check int) "data on the PFS" 8 (Pfs.file_size pfs "/ck");
+  let st = Tier.stats tier in
+  Alcotest.(check int) "two injected faults" 2 st.Tier.drain_faults;
+  Alcotest.(check int) "two retries" 2 st.Tier.drain_retries;
+  Alcotest.(check bool) "backoff accounted" true
+    (st.Tier.drain_backoff_ticks >= 8 + 16);
+  Alcotest.(check int) "no aborts" 0 st.Tier.drain_aborts;
+  (* The same counters are mirrored into the telemetry registry, and the
+     backlog gauge returned to zero. *)
+  Alcotest.(check int) "obs faults" 2 (Obs.find_counter sink "bb.drain_faults");
+  Alcotest.(check int) "obs retries" 2
+    (Obs.find_counter sink "bb.drain_retries");
+  Alcotest.(check int) "obs backlog gauge" 0 (Obs.find_gauge sink "bb.backlog")
+
+let test_drain_abort_keeps_extent () =
+  let pfs, tier = make ~policy:Drain.Sync_on_close () in
+  let sink = Obs.create () in
+  Obs.with_sink sink @@ fun () ->
+  (* Every attempt fails: the retry budget exhausts and the extent must
+     stay staged rather than vanish. *)
+  Tier.set_fault tier ~prng:(Prng.create 5)
+    (Some (fun ~node:_ ~time:_ -> true));
+  ignore (Tier.open_file tier ~time:1 ~rank:0 ~create:true "/ck");
+  Tier.write tier ~time:2 ~rank:0 "/ck" ~off:0 (s "payload!");
+  Tier.close_file tier ~time:3 ~rank:0 "/ck";
+  Alcotest.(check int) "extent still staged" 8 (Tier.occupancy tier);
+  Alcotest.(check int) "nothing reached the PFS" 0 (Pfs.file_size pfs "/ck");
+  let st = Tier.stats tier in
+  Alcotest.(check bool) "abort recorded" true (st.Tier.drain_aborts >= 1);
+  Alcotest.(check int)
+    "faults = retries + aborts"
+    (st.Tier.drain_retries + st.Tier.drain_aborts)
+    st.Tier.drain_faults;
+  (* Clearing the fault and draining again recovers the data — nothing was
+     lost, only delayed. *)
+  Tier.set_fault tier None;
+  let drained = Tier.drain_all tier () in
+  Alcotest.(check int) "late drain lands it" 8 drained;
+  Alcotest.(check int) "backlog empty" 0 (Tier.occupancy tier);
+  Alcotest.(check int) "data on the PFS" 8 (Pfs.file_size pfs "/ck")
+
+let test_crash_node_loses_undrained () =
+  (* Strong backing semantics so the survivor's drained write is visible
+     to the post-crash observer without a close. *)
+  let pfs, tier =
+    make ~semantics:Consistency.Strong ~policy:Drain.On_laminate ()
+  in
+  ignore (Tier.open_file tier ~time:1 ~rank:0 ~create:true "/ck");
+  ignore (Tier.open_file tier ~time:1 ~rank:2 "/ck");
+  Tier.write tier ~time:2 ~rank:0 "/ck" ~off:0 (s "node0data");
+  Tier.write tier ~time:3 ~rank:2 "/ck" ~off:16 (s "node1data");
+  (* ranks_per_node = 2: rank 0 is node 0, rank 2 is node 1. *)
+  let lost = Tier.crash_node tier ~node:0 ~time:4 in
+  Alcotest.(check int) "node 0's undrained bytes lost" 9 lost;
+  Alcotest.(check int) "node 1's data still staged" 9 (Tier.occupancy tier);
+  Alcotest.(check int) "loss recorded" 9
+    (Tier.stats tier).Tier.crash_lost_bytes;
+  (* Draining the survivor publishes only its extent. *)
+  ignore (Tier.drain_all tier ());
+  let r = Pfs.read_back pfs ~time:100 "/ck" in
+  Alcotest.(check string) "only node 1's bytes survive"
+    "\000\000\000\000\000\000\000\000\000\000\000\000\000\000\000\000node1data"
+    (str r.Fdata.data)
+
 let suite =
   [
     Alcotest.test_case "read-your-writes before drain" `Quick
@@ -289,6 +410,13 @@ let suite =
       test_staleness_accounting;
     Alcotest.test_case "drain preserves final composition" `Quick
       test_drain_preserves_composition;
+    Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+    Alcotest.test_case "drain retry then success" `Quick
+      test_drain_retry_then_success;
+    Alcotest.test_case "drain abort keeps extent" `Quick
+      test_drain_abort_keeps_extent;
+    Alcotest.test_case "node crash loses undrained bytes" `Quick
+      test_crash_node_loses_undrained;
     Alcotest.test_case "16/17 apps correct through tier (session)" `Slow
       test_apps_through_tier;
     Alcotest.test_case "FLASH heals under commit + tier" `Slow

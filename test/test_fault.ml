@@ -1,0 +1,337 @@
+(* The fault-injection subsystem: plan parsing, per-engine crash
+   reconciliation on the PFS, stripe-boundary tearing, end-to-end
+   crash/restart through the runner, and determinism of the
+   crash-consistency report. *)
+
+module Plan = Hpcfs_fault.Plan
+module Injector = Hpcfs_fault.Injector
+module Report = Hpcfs_fault.Report
+module Consistency = Hpcfs_fs.Consistency
+module Pfs = Hpcfs_fs.Pfs
+module Fdata = Hpcfs_fs.Fdata
+module Stripe = Hpcfs_fs.Stripe
+module Posix = Hpcfs_posix.Posix
+module Runner = Hpcfs_apps.Runner
+module Validation = Hpcfs_apps.Validation
+
+let s = Bytes.of_string
+
+(* Plan DSL ---------------------------------------------------------------- *)
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Plan.of_string spec with
+      | Ok plan -> Alcotest.(check string) spec spec (Plan.to_string plan)
+      | Error e -> Alcotest.fail (spec ^ ": " ^ e))
+    [
+      "crash:rank=3,io=120";
+      "crash:rank=0,t=500,restart=64";
+      "drainfail:count=2";
+      "drainfail:count=5,node=1,after=100";
+      "crash:rank=1,io=7,restart=8;drainfail:count=3,node=0";
+    ];
+  List.iter
+    (fun spec ->
+      match Plan.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("expected parse error: " ^ spec))
+    [
+      "";
+      "crash:rank=1";
+      "crash:rank=1,io=2,t=3";
+      "drainfail:node=0";
+      "meteor:rank=1";
+      "crash:rank=x,io=2";
+    ]
+
+let test_plan_constructors () =
+  let plan =
+    Plan.make ~name:"p" ~seed:7
+      [
+        Plan.crash ~rank:2 ~restart_delay:16 (Plan.At_io 9);
+        Plan.drain_fault ~node:1 3;
+      ]
+  in
+  Alcotest.(check int) "one crash" 1 (Plan.crash_count plan);
+  Alcotest.(check string) "spec" "crash:rank=2,io=9,restart=16;drainfail:count=3,node=1"
+    (Plan.to_string plan)
+
+(* Per-engine crash reconciliation ----------------------------------------- *)
+
+(* The canonical differentiated scenario (acceptance for the subsystem):
+   write A, fsync, write B, crash.  Strong persists both; commit persists
+   only the fsynced A; session (no close) loses both; eventual depends on
+   the propagation delay.  Same history, four different losses. *)
+let crash_loss semantics =
+  let pfs = Pfs.create semantics in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/ck");
+  Pfs.write pfs ~time:2 ~rank:0 "/ck" ~off:0 (s "AAAAAAAA");
+  Pfs.fsync pfs ~time:3 ~rank:0 "/ck";
+  Pfs.write pfs ~time:4 ~rank:0 "/ck" ~off:8 (s "BBBBBBBB");
+  let stats, per_file = Pfs.crash pfs ~time:5 () in
+  Alcotest.(check int) "one file" 1 (List.length per_file);
+  stats.Fdata.lost_bytes
+
+let test_crash_differentiates_engines () =
+  let strong = crash_loss Consistency.Strong in
+  let commit = crash_loss Consistency.Commit in
+  let session = crash_loss Consistency.Session in
+  let eventual_slow = crash_loss (Consistency.Eventual { delay = 100 }) in
+  let eventual_fast = crash_loss (Consistency.Eventual { delay = 1 }) in
+  Alcotest.(check int) "strong loses nothing" 0 strong;
+  Alcotest.(check int) "commit loses the unsynced write" 8 commit;
+  Alcotest.(check int) "session loses both (no close)" 16 session;
+  Alcotest.(check int) "slow eventual loses both" 16 eventual_slow;
+  Alcotest.(check int) "fast eventual loses nothing" 0 eventual_fast;
+  (* The differentiation the report demonstrates, locked in. *)
+  Alcotest.(check bool) "strictly ordered" true
+    (strong < commit && commit < session)
+
+let test_torn_write_stripe_boundary () =
+  (* A 20-byte in-flight write over 8-byte stripes is three pieces
+     (8+8+4); keeping two of them must keep exactly the 16-byte
+     stripe-aligned prefix. *)
+  let pfs =
+    Pfs.create
+      ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4)
+      Consistency.Commit
+  in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (s "aaaaaaaabbbbbbbbcccc");
+  let stats, _ =
+    Pfs.crash pfs ~time:3
+      ~keep_stripes:(fun ~total ->
+        Alcotest.(check int) "three stripe pieces" 3 total;
+        2)
+      ()
+  in
+  Alcotest.(check int) "one torn write" 1 stats.Fdata.torn_writes;
+  Alcotest.(check int) "stripe-aligned prefix survives" 16
+    stats.Fdata.torn_bytes;
+  Alcotest.(check int) "no outright losses" 0 stats.Fdata.lost_writes;
+  (* Publish the survivor and look at it: the prefix is intact, the torn
+     tail reads as holes. *)
+  Pfs.fsync pfs ~time:10 ~rank:0 "/f";
+  let r = Pfs.read_back pfs ~time:20 "/f" in
+  Alcotest.(check string) "prefix intact, tail gone"
+    "aaaaaaaabbbbbbbb\000\000\000\000"
+    (Bytes.to_string r.Fdata.data)
+
+let test_crash_keeps_all_stripes () =
+  (* keep_stripes = total: the in-flight write survives whole. *)
+  let pfs =
+    Pfs.create
+      ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4)
+      Consistency.Commit
+  in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (s "aaaaaaaabbbb");
+  let stats, _ =
+    Pfs.crash pfs ~time:3 ~keep_stripes:(fun ~total -> total) ()
+  in
+  Alcotest.(check int) "torn whole" 12 stats.Fdata.torn_bytes;
+  Alcotest.(check int) "nothing lost" 0 stats.Fdata.lost_bytes
+
+(* End-to-end crash/restart through the runner ----------------------------- *)
+
+(* A minimal checkpointing app: every rank writes its own 96-byte file in
+   three 32-byte pieces — the first fsynced, the second left uncommitted,
+   the third the in-flight write a planned crash lands on (the victim's
+   5th backend call: open, write, fsync, write, write).  Idempotent, so a
+   restart re-produces the same files — the recovery path of N-N
+   checkpointing.  The three pieces are what differentiates the engines at
+   the crash: strong persists the two completed writes, commit only the
+   fsynced one, session neither (the file is never closed before the
+   crash). *)
+let attempts_seen = ref []
+
+let piece rank tag = Bytes.init 32 (fun i -> Char.chr ((rank + tag + i) land 0xff))
+
+let ck_body env =
+  let rank = Hpcfs_mpi.Mpi.rank env.Runner.comm in
+  if rank = 0 && not (List.mem env.Runner.attempt !attempts_seen) then
+    attempts_seen := env.Runner.attempt :: !attempts_seen;
+  Hpcfs_apps.App_common.setup_dir env "/out";
+  let path = Printf.sprintf "/out/ck.%d" rank in
+  let fd =
+    Posix.openf env.Runner.posix path
+      [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  ignore (Posix.write env.Runner.posix fd (piece rank 0));
+  Posix.fsync env.Runner.posix fd;
+  ignore (Posix.write env.Runner.posix fd (piece rank 1));
+  ignore (Posix.write env.Runner.posix fd (piece rank 2));
+  Posix.close env.Runner.posix fd
+
+let final_contents result =
+  List.map
+    (fun r ->
+      let path = Printf.sprintf "/out/ck.%d" r in
+      (path, Bytes.to_string (Pfs.read_back result.Runner.pfs ~time:(1 lsl 30) path).Fdata.data))
+    [ 0; 1; 2; 3 ]
+
+let test_runner_crash_restart () =
+  attempts_seen := [];
+  let plan =
+    Plan.make ~seed:9 [ Plan.crash ~rank:1 ~restart_delay:8 (Plan.At_io 5) ]
+  in
+  let faulted =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4 ~faults:plan ck_body
+  in
+  let reference = Runner.run ~semantics:Consistency.Session ~nprocs:4 ck_body in
+  Alcotest.(check (list int)) "both attempts ran" [ 1; 0 ] !attempts_seen;
+  (match faulted.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o ->
+    Alcotest.(check int) "one crash" 1 (List.length o.Injector.o_crashes);
+    Alcotest.(check int) "one restart" 1 o.Injector.o_restarts;
+    let c = List.hd o.Injector.o_crashes in
+    Alcotest.(check int) "victim rank" 1 c.Injector.cr_rank;
+    Alcotest.(check int) "died on its fifth I/O call" 5 c.Injector.cr_io_index;
+    Alcotest.(check bool) "the uncommitted write was lost or torn" true
+      (c.Injector.cr_stats.Fdata.lost_writes
+       + c.Injector.cr_stats.Fdata.torn_writes
+      > 0));
+  Alcotest.(check bool) "no fault outcome without a plan" true
+    (reference.Runner.faults = None);
+  (* The restart re-wrote the checkpoint: final contents match the
+     fault-free run. *)
+  Alcotest.(check (list (pair string string)))
+    "recovered to the reference state" (final_contents reference)
+    (final_contents faulted)
+
+let test_runner_crash_no_restart () =
+  attempts_seen := [];
+  let plan = Plan.make ~seed:9 [ Plan.crash ~rank:1 (Plan.At_io 5) ] in
+  let faulted =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4 ~faults:plan ck_body
+  in
+  Alcotest.(check (list int)) "single attempt" [ 0 ] !attempts_seen;
+  match faulted.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o ->
+    Alcotest.(check int) "no restart" 0 o.Injector.o_restarts;
+    Alcotest.(check bool) "session run lost the victim's write" true
+      ((Injector.crash_stats o).Fdata.lost_bytes > 0)
+
+(* The report -------------------------------------------------------------- *)
+
+let test_crash_report_rows_and_determinism () =
+  let plan =
+    Plan.make ~seed:9 [ Plan.crash ~rank:1 ~restart_delay:8 (Plan.At_io 5) ]
+  in
+  let semantics =
+    [ Consistency.Strong; Consistency.Commit; Consistency.Session ]
+  in
+  let report () =
+    Validation.crash_report ~nprocs:4 ~semantics ~app:"ck-test" ~plan ck_body
+  in
+  let rows = report () in
+  Alcotest.(check int) "one row per engine" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "plan recorded" (Plan.to_string plan)
+        r.Report.r_plan;
+      Alcotest.(check bool) "crashed" true r.Report.r_crashed;
+      Alcotest.(check int) "restarted" 1 r.Report.r_restarts;
+      Alcotest.(check string) "restart recovered the checkpoint" "recovered"
+        (Report.verdict r))
+    rows;
+  (* The differentiated outcome the subsystem exists to demonstrate: the
+     same crash costs strictly more under each weaker publication rule —
+     strong keeps both completed writes, commit only the fsynced one,
+     session neither. *)
+  let lost r = r.Report.r_lost_bytes in
+  (match rows with
+  | [ strong; commit; session ] ->
+    Alcotest.(check int) "strong loses no completed write" 0 (lost strong);
+    Alcotest.(check int) "commit loses the unsynced write" 32 (lost commit);
+    Alcotest.(check int) "session loses both unpublished writes" 64
+      (lost session)
+  | _ -> Alcotest.fail "expected three rows");
+  (* Bit-identical across runs: same seed, same plan, same report. *)
+  let rows' = report () in
+  Alcotest.(check bool) "rows identical" true (rows = rows');
+  Alcotest.(check string) "CSV identical" (Report.to_csv rows)
+    (Report.to_csv rows')
+
+let test_report_verdicts () =
+  let base =
+    {
+      Report.r_app = "a";
+      r_semantics = "strong";
+      r_plan = "p";
+      r_crashed = true;
+      r_crash_rank = 0;
+      r_crash_time = 1;
+      r_restarts = 0;
+      r_lost_writes = 0;
+      r_lost_bytes = 0;
+      r_torn_writes = 0;
+      r_torn_bytes = 0;
+      r_bb_lost_bytes = 0;
+      r_drain_faults = 0;
+      r_post_files = 1;
+      r_post_corrupted = 0;
+    }
+  in
+  Alcotest.(check string) "survives" "survives" (Report.verdict base);
+  Alcotest.(check string) "recovered" "recovered"
+    (Report.verdict { base with Report.r_lost_writes = 1; r_lost_bytes = 8 });
+  Alcotest.(check string) "corrupted" "corrupted"
+    (Report.verdict
+       { base with Report.r_lost_writes = 1; r_post_corrupted = 1 });
+  Alcotest.(check string) "no-crash" "no-crash"
+    (Report.verdict { base with Report.r_crashed = false });
+  (* CSV quoting: plans contain commas. *)
+  let row = { base with Report.r_plan = "crash:rank=0,io=1" } in
+  Alcotest.(check bool) "plan quoted in CSV" true
+    (String.length (Report.to_csv [ row ]) > 0
+    && String.exists (fun c -> c = '"') (Report.to_csv [ row ]))
+
+(* Drain faults through a tiered run --------------------------------------- *)
+
+let test_tiered_drain_faults () =
+  let plan =
+    Plan.make ~seed:9
+      [
+        Plan.crash ~rank:1 ~restart_delay:8 (Plan.At_io 2);
+        Plan.drain_fault 2;
+      ]
+  in
+  let result =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4
+      ~tier:Hpcfs_bb.Tier.default_config ~faults:plan ck_body
+  in
+  match result.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o ->
+    Alcotest.(check int) "both drain faults injected" 2 o.Injector.o_drain_faults;
+    let st =
+      match result.Runner.tier with
+      | Some t -> Hpcfs_bb.Tier.stats t
+      | None -> Alcotest.fail "tiered run has a tier"
+    in
+    Alcotest.(check int) "tier counted them too" 2 st.Hpcfs_bb.Tier.drain_faults
+
+let suite =
+  [
+    Alcotest.test_case "plan spec roundtrip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "plan constructors" `Quick test_plan_constructors;
+    Alcotest.test_case "crash differentiates engines" `Quick
+      test_crash_differentiates_engines;
+    Alcotest.test_case "torn write at stripe boundary" `Quick
+      test_torn_write_stripe_boundary;
+    Alcotest.test_case "torn write kept whole" `Quick
+      test_crash_keeps_all_stripes;
+    Alcotest.test_case "crash and restart through runner" `Quick
+      test_runner_crash_restart;
+    Alcotest.test_case "crash without restart" `Quick
+      test_runner_crash_no_restart;
+    Alcotest.test_case "crash report rows + determinism" `Quick
+      test_crash_report_rows_and_determinism;
+    Alcotest.test_case "report verdicts and CSV" `Quick test_report_verdicts;
+    Alcotest.test_case "drain faults through tier" `Quick
+      test_tiered_drain_faults;
+  ]

@@ -12,6 +12,7 @@ let () =
       ("core", Test_core.suite);
       ("apps", Test_apps.suite);
       ("bb", Test_bb.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
       ("validation", Test_validation.suite);

@@ -188,6 +188,69 @@ let test_skew_max () =
   Alcotest.(check int) "no ranks" 0
     (Skew.max_pairwise_skew ~sync_point:(fun _ -> 0) ~ranks:0)
 
+let check_roundtrip r =
+  match Record.of_line (Record.to_line r) with
+  | Ok r' ->
+    Alcotest.(check bool)
+      ("roundtrip: " ^ String.escaped (Record.to_line r))
+      true (r = r')
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_separator_fields () =
+  (* The field separator (tab), the record separator (newline) and the
+     escape character itself, inside every free-form field. *)
+  check_roundtrip
+    (sample ~func:"open\tO_CREAT" ~file:"/dir with\ttab/file\nnewline" ());
+  check_roundtrip (sample ~func:"back\\slash" ~file:"/trailing\\" ());
+  check_roundtrip
+    (sample ~func:"write"
+       ~args:[ ("flags\twith\ttabs", "O_CREAT|\n\\O_TRUNC") ]
+       ());
+  (* A value that looks like an escape sequence already. *)
+  check_roundtrip (sample ~func:"write" ~args:[ ("k", "\\t\\n\\\\") ] ())
+
+let test_roundtrip_extreme_values () =
+  (* Zero-length accesses and offsets at the integer edge must survive. *)
+  check_roundtrip
+    (sample ~func:"pwrite" ~file:"/f" ~fd:0 ~offset:0 ~count:0 ());
+  check_roundtrip
+    (sample ~func:"pread" ~file:"/f" ~fd:max_int ~offset:max_int
+       ~count:max_int ());
+  check_roundtrip (sample ~time:max_int ~rank:0 ~func:"w" ());
+  (* An empty function name and an empty argument value. *)
+  check_roundtrip (sample ~func:"" ~args:[ ("k", "") ] ())
+
+let qcheck_record_roundtrip_adversarial =
+  let field_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'z'; '\t'; '\n'; '\\'; '='; ' '; '/' ])
+        (int_bound 12))
+  in
+  let gen =
+    QCheck.Gen.(
+      let* func = field_gen in
+      let* file = opt field_gen in
+      let* key = field_gen in
+      let* value = field_gen in
+      let* offset = opt (oneofl [ 0; 1; max_int; max_int - 1 ]) in
+      let* count = opt (oneofl [ 0; 1; max_int ]) in
+      return (func, file, key, value, offset, count))
+  in
+  QCheck.Test.make ~name:"record roundtrip, adversarial fields" ~count:500
+    (QCheck.make gen) (fun (func, file, key, value, offset, count) ->
+      (* '=' cannot appear in an argument key (it is the key/value
+         separator); anything else goes. *)
+      let key = String.map (fun c -> if c = '=' then '_' else c) key in
+      let r =
+        Record.make ~time:1 ~rank:0 ~layer:Record.L_posix
+          ~origin:Record.O_app ~func ?file ?offset ?count
+          ~args:[ (key, value) ]
+          ()
+      in
+      match Record.of_line (Record.to_line r) with
+      | Ok r' -> r = r'
+      | Error _ -> false)
+
 let qcheck_record_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -227,5 +290,10 @@ let suite =
     Alcotest.test_case "skew alignment" `Quick test_skew_alignment;
     Alcotest.test_case "skew negative times" `Quick test_skew_negative_times;
     Alcotest.test_case "skew max" `Quick test_skew_max;
+    Alcotest.test_case "separator fields roundtrip" `Quick
+      test_roundtrip_separator_fields;
+    Alcotest.test_case "extreme values roundtrip" `Quick
+      test_roundtrip_extreme_values;
     QCheck_alcotest.to_alcotest qcheck_record_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_record_roundtrip_adversarial;
   ]
