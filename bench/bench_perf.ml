@@ -51,9 +51,73 @@ let pathological n =
   List.init n (fun i ->
       make_access ~time:(i + 1) ~rank:(i mod 8) ~lo:0 ~len:4096 ~write:true)
 
+(* BENCH_PERF.json --------------------------------------------------------- *)
+
+(* Every perf scenario records (ns/op, minor words/op) here; the file is
+   rewritten after each experiment so partial runs still leave a valid
+   snapshot in bench_out/BENCH_PERF.json. *)
+let json_objs : string list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let record_scenario ~name ~ns ~allocs =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"ns_per_op\": %.1f, \"minor_words_per_op\": %.1f}"
+      (json_escape name) ns allocs
+    :: !json_objs
+
+let record_readpath ~name ~writes ~reads ~extent ~reference =
+  let ens, ea = extent and rns, ra = reference in
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"writes\": %d, \"reads\": %d, \"extent_ns_per_op\": \
+       %.1f, \"ref_ns_per_op\": %.1f, \"speedup\": %.2f, \
+       \"extent_minor_words_per_op\": %.1f, \"ref_minor_words_per_op\": %.1f}"
+      (json_escape name) writes reads ens rns (rns /. ens) ea ra
+    :: !json_objs
+
+let write_bench_json () =
+  ensure_dir out_dir;
+  let oc = open_out (Filename.concat out_dir "BENCH_PERF.json") in
+  output_string oc "{\n  \"scenarios\": [\n";
+  let rows = List.rev !json_objs in
+  List.iteri
+    (fun i row ->
+      output_string oc ("    " ^ row);
+      if i < List.length rows - 1 then output_string oc ",";
+      output_string oc "\n")
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "(wrote %s)\n" (Filename.concat out_dir "BENCH_PERF.json")
+
+(* Minor-heap allocation per call, averaged over a few runs. *)
+let measure_allocs f =
+  let n = 5 in
+  let m0 = Gc.minor_words () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Gc.minor_words () -. m0) /. float_of_int n
+
 (* Bechamel helpers --------------------------------------------------------- *)
 
-let run_bechamel tests =
+let run_bechamel ~group pairs =
+  let tests =
+    Test.make_grouped ~name:group
+      (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) pairs)
+  in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
@@ -80,29 +144,36 @@ let run_bechamel tests =
            else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
            else Printf.sprintf "%.0f ns" ns
          in
-         Table.add_row t [ name; human ]);
-  Table.print t
+         Table.add_row t [ name; human ];
+         match
+           List.find_opt
+             (fun (n, _) -> n = name || Filename.basename name = n
+                            || group ^ "/" ^ n = name)
+             pairs
+         with
+         | Some (_, fn) when Float.is_finite ns ->
+           record_scenario ~name ~ns ~allocs:(measure_allocs fn)
+         | _ -> ());
+  Table.print t;
+  write_bench_json ()
 
 let perf () =
   section "Analysis-algorithm micro-benchmarks (Bechamel)";
   let trace = realistic 20_000 in
   let resolved_pairs = Overlap.detect trace in
-  let tests =
-    Test.make_grouped ~name:"analysis"
-      [
-        Test.make ~name:"algorithm1/sort (20k accesses)"
-          (Staged.stage (fun () -> Overlap.detect trace));
-        Test.make ~name:"algorithm1/merge (20k accesses)"
-          (Staged.stage (fun () -> Overlap.detect_merge trace));
-        Test.make ~name:"conflicts/annotated (session)"
-          (Staged.stage (fun () ->
-               Conflict.of_pairs Conflict.Session_semantics resolved_pairs));
-        Test.make ~name:"conflicts/annotated (commit)"
-          (Staged.stage (fun () ->
-               Conflict.of_pairs Conflict.Commit_semantics resolved_pairs));
-      ]
-  in
-  run_bechamel tests
+  run_bechamel ~group:"analysis"
+    [
+      ("algorithm1/sort (20k accesses)", fun () -> ignore (Overlap.detect trace));
+      ( "algorithm1/merge (20k accesses)",
+        fun () -> ignore (Overlap.detect_merge trace) );
+      ( "conflicts/annotated (session)",
+        fun () ->
+          ignore (Conflict.of_pairs Conflict.Session_semantics resolved_pairs)
+      );
+      ( "conflicts/annotated (commit)",
+        fun () ->
+          ignore (Conflict.of_pairs Conflict.Commit_semantics resolved_pairs) );
+    ]
 
 let perf_tables_vs_annotated () =
   section "Ablation: annotated records vs binary-searched event tables";
@@ -112,21 +183,143 @@ let perf_tables_vs_annotated () =
     Offsets.resolve flash.result.Hpcfs_apps.Runner.records
   in
   let pairs = Overlap.detect resolved.Offsets.accesses in
-  let tests =
-    Test.make_grouped ~name:"conflict-condition"
-      [
-        Test.make ~name:"annotated (FLASH trace)"
-          (Staged.stage (fun () ->
-               Conflict.of_pairs ~mode:Conflict.Annotated
-                 Conflict.Session_semantics pairs));
-        Test.make ~name:"event tables (FLASH trace)"
-          (Staged.stage (fun () ->
-               Conflict.of_pairs
-                 ~mode:(Conflict.Tables resolved.Offsets.events)
-                 Conflict.Session_semantics pairs));
-      ]
+  run_bechamel ~group:"conflict-condition"
+    [
+      ( "annotated (FLASH trace)",
+        fun () ->
+          ignore
+            (Conflict.of_pairs ~mode:Conflict.Annotated
+               Conflict.Session_semantics pairs) );
+      ( "event tables (FLASH trace)",
+        fun () ->
+          ignore
+            (Conflict.of_pairs
+               ~mode:(Conflict.Tables resolved.Offsets.events)
+               Conflict.Session_semantics pairs) );
+    ]
+
+(* Read path: extent store vs reference log repaint ------------------------ *)
+
+module Fdata = Hpcfs_fs.Fdata
+module Fdata_ref = Hpcfs_fs.Fdata_ref
+module Consistency = Hpcfs_fs.Consistency
+
+(* One deterministic history applied to both implementations: 16 writer
+   ranks laying down strided 512 B extents with periodic closes (which also
+   commit), plus session opens by the reading rank.  Times are even for
+   writes and odd for events so publications interleave cleanly. *)
+let build_history n ~write ~commit ~close ~sopen =
+  let span = 4 * 1024 * 1024 in
+  let payload = Bytes.make 512 'x' in
+  let reader = 99 in
+  for i = 0 to n - 1 do
+    let rank = i mod 16 in
+    let time = 2 * i in
+    let off = i * 509 * 512 mod span in
+    write ~rank ~time ~off payload;
+    if i mod 8 = 7 then close ~rank ~time:(time + 1);
+    if i mod 16 = 15 then commit ~rank ~time:(time + 1);
+    if i mod 64 = 63 then sopen ~rank:reader ~time:(time + 1)
+  done;
+  sopen ~rank:reader ~time:((2 * n) + 1)
+
+(* ns/op and minor words/op over [reads] random 4 KiB reads; the first read
+   is a warm-up so lazy cache builds don't skew the per-op cost. *)
+let time_reads read_at reads =
+  ignore (read_at 0);
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to reads do
+    ignore (Sys.opaque_identity (read_at i))
+  done;
+  let t1 = Unix.gettimeofday () in
+  let m1 = Gc.minor_words () in
+  ((t1 -. t0) *. 1e9 /. float_of_int reads, (m1 -. m0) /. float_of_int reads)
+
+let engine_name = function
+  | Consistency.Strong -> "strong"
+  | Consistency.Commit -> "commit"
+  | Consistency.Session -> "session"
+  | Consistency.Eventual _ -> "eventual"
+
+let readpath () =
+  section
+    "Read path: extent store (epoch compaction) vs reference log repaint";
+  let small =
+    match Sys.getenv_opt "HPCFS_BENCH_SMALL" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
   in
-  run_bechamel tests
+  let sizes = if small then [ 200; 1_000 ] else [ 1_000; 10_000 ] in
+  let reads = if small then 200 else 2_000 in
+  let engines =
+    [
+      Consistency.Strong;
+      Consistency.Commit;
+      Consistency.Session;
+      Consistency.Eventual { delay = 8 };
+    ]
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "scenario"; "writes"; "extent ns/op"; "ref ns/op"; "speedup" ]
+  in
+  List.iter
+    (fun sem ->
+      List.iter
+        (fun n ->
+          let fd = Fdata.create () and fr = Fdata_ref.create () in
+          build_history n
+            ~write:(fun ~rank ~time ~off payload ->
+              Fdata.write fd ~rank ~time ~off payload;
+              Fdata_ref.write fr ~rank ~time ~off payload)
+            ~commit:(fun ~rank ~time ->
+              Fdata.commit fd ~rank ~time;
+              Fdata_ref.commit fr ~rank ~time)
+            ~close:(fun ~rank ~time ->
+              Fdata.session_close fd ~rank ~time;
+              Fdata_ref.session_close fr ~rank ~time)
+            ~sopen:(fun ~rank ~time ->
+              Fdata.session_open fd ~rank ~time;
+              Fdata_ref.session_open fr ~rank ~time);
+          let now = (2 * n) + 2 in
+          let size = Fdata.size fd in
+          let off_of i = i * 4099 * 512 mod max 4096 (size - 4096) in
+          let extent =
+            time_reads
+              (fun i ->
+                (Fdata.read fd ~semantics:sem ~rank:99 ~time:now
+                   ~off:(off_of i) ~len:4096)
+                  .Fdata.stale_bytes)
+              reads
+          and reference =
+            time_reads
+              (fun i ->
+                (Fdata_ref.read fr ~semantics:sem ~rank:99 ~time:now
+                   ~off:(off_of i) ~len:4096)
+                  .Fdata_ref.stale_bytes)
+              reads
+          in
+          let ens, _ = extent and rns, _ = reference in
+          let name = Printf.sprintf "readpath/%s/%d" (engine_name sem) n in
+          Table.add_row t
+            [
+              "readpath/" ^ engine_name sem;
+              string_of_int n;
+              Printf.sprintf "%.0f" ens;
+              Printf.sprintf "%.0f" rns;
+              Printf.sprintf "%.1fx" (rns /. ens);
+            ];
+          record_readpath ~name ~writes:n ~reads ~extent ~reference)
+        sizes)
+    engines;
+  Table.print t;
+  print_endline
+    "(expected shape: the reference repaints the full write log per read, so\n\
+    \ its cost grows with history length; the extent store answers from the\n\
+    \ settled base + pending overlay and stays near-flat.)";
+  write_bench_json ()
 
 let scaling () =
   section "Algorithm 1 scaling: near-linear on realistic traces (Section 5.1)";

@@ -25,6 +25,9 @@ let experiments =
     ("bb", "burst-buffer tier drain-policy comparison", Bench_bb.bb);
     ("faults", "fault injection: crash/restart recovery", Bench_faults.faults);
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
+    ( "readpath",
+      "extent-store read path vs reference log repaint",
+      Bench_perf.readpath );
     ("ablation", "conflict-condition ablation", Bench_perf.perf_tables_vs_annotated);
     ("scaling", "Algorithm 1 scaling", Bench_perf.scaling);
   ]

@@ -149,6 +149,10 @@ let result_extras (result : Runner.result) =
 (* Write everything [--obs DIR] promises.  [records] feeds both the
    per-rank trace tracks and the I/O report. *)
 let save_obs ~dir ~app ~nprocs ?(extra = []) ~records sink =
+  let extra =
+    extra
+    @ (match App_report.extent_section sink with Some s -> [ s ] | None -> [])
+  in
   mkdir_p dir;
   Export_chrome.save ~path:(Filename.concat dir "trace.json") ~records sink;
   Export_metrics.save ~dir sink;

@@ -38,6 +38,9 @@ type extent = {
 type node = {
   n_id : int;
   mutable n_log : extent list; (* newest first *)
+  n_by_file : (string, extent list ref) Hashtbl.t;
+      (* the same extent records as [n_log], indexed per file (newest
+         first) so reads don't filter the whole node log *)
   n_snapshots : (string, bytes) Hashtbl.t; (* stage_in read caches *)
   mutable n_undrained : int; (* dirty bytes buffered on this node *)
 }
@@ -127,7 +130,13 @@ let get_node t id =
   | Some n -> n
   | None ->
     let n =
-      { n_id = id; n_log = []; n_snapshots = Hashtbl.create 8; n_undrained = 0 }
+      {
+        n_id = id;
+        n_log = [];
+        n_by_file = Hashtbl.create 8;
+        n_snapshots = Hashtbl.create 8;
+        n_undrained = 0;
+      }
     in
     Hashtbl.add t.nodes id n;
     n
@@ -320,6 +329,9 @@ let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
     List.filter
       (fun x -> not (x.x_file = path && x.x_state <> `Staged))
       node.n_log;
+  (match Hashtbl.find_opt node.n_by_file path with
+  | Some l -> l := List.filter (fun x -> x.x_state = `Staged) !l
+  | None -> ());
   ignore (Pfs.open_file t.pfs ~time ~rank ~create ~trunc path);
   if trunc then truncate_staged t path 0;
   file_size t path
@@ -376,6 +388,9 @@ let write t ~time ~rank path ~off data =
       }
     in
     node.n_log <- x :: node.n_log;
+    (match Hashtbl.find_opt node.n_by_file path with
+    | Some l -> l := x :: !l
+    | None -> Hashtbl.add node.n_by_file path (ref [ x ]));
     Queue.add x t.backlog;
     Queue.add x (file_queue t path);
     node.n_undrained <- node.n_undrained + len;
@@ -428,10 +443,9 @@ let read t ~time ~rank path ~off ~len =
   let n = max 0 (min len (max 0 (size - off))) in
   let node = get_node t (node_of_rank t rank) in
   let overlay =
-    List.rev
-      (List.filter
-         (fun x -> x.x_file = path && x.x_state <> `Dropped)
-         node.n_log)
+    match Hashtbl.find_opt node.n_by_file path with
+    | None -> []
+    | Some l -> List.rev (List.filter (fun x -> x.x_state <> `Dropped) !l)
   in
   let req = Interval.of_len off n in
   let served_locally =
@@ -535,6 +549,7 @@ let crash_node t ~node:id ~time:_ =
         else if x.x_state = `Drained then x.x_state <- `Dropped)
       node.n_log;
     node.n_log <- [];
+    Hashtbl.reset node.n_by_file;
     Hashtbl.reset node.n_snapshots;
     t.occupancy <- t.occupancy - !lost;
     node.n_undrained <- 0;

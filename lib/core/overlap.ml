@@ -69,20 +69,56 @@ let detect_merge accesses =
       let out = Array.make total (List.hd file_accesses) in
       let heads = Array.of_list streams in
       let idx = Array.make (Array.length heads) 0 in
+      (* Binary min-heap of stream ids keyed by each stream's head access
+         (ties by stream id, for determinism): popping the next record is
+         O(log k) rather than a scan of all k streams per element. *)
+      let heap = Array.make (max 1 (Array.length heads)) 0 in
+      let hn = ref 0 in
+      let less s t =
+        let c = Access.compare_start heads.(s).(idx.(s)) heads.(t).(idx.(t)) in
+        if c <> 0 then c < 0 else s < t
+      in
+      let swap i j =
+        let x = heap.(i) in
+        heap.(i) <- heap.(j);
+        heap.(j) <- x
+      in
+      let rec up i =
+        if i > 0 then begin
+          let p = (i - 1) / 2 in
+          if less heap.(i) heap.(p) then begin
+            swap i p;
+            up p
+          end
+        end
+      in
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = ref i in
+        if l < !hn && less heap.(l) heap.(!m) then m := l;
+        if r < !hn && less heap.(r) heap.(!m) then m := r;
+        if !m <> i then begin
+          swap i !m;
+          down !m
+        end
+      in
+      Array.iteri
+        (fun s stream ->
+          if Array.length stream > 0 then begin
+            heap.(!hn) <- s;
+            incr hn;
+            up (!hn - 1)
+          end)
+        heads;
       for slot = 0 to total - 1 do
-        let best = ref (-1) in
-        Array.iteri
-          (fun s i ->
-            if i < Array.length heads.(s) then
-              match !best with
-              | -1 -> best := s
-              | b ->
-                if Access.compare_start heads.(s).(i) heads.(b).(idx.(b)) < 0
-                then best := s)
-          idx;
-        let s = !best in
+        let s = heap.(0) in
         out.(slot) <- heads.(s).(idx.(s));
-        idx.(s) <- idx.(s) + 1
+        idx.(s) <- idx.(s) + 1;
+        if idx.(s) = Array.length heads.(s) then begin
+          decr hn;
+          heap.(0) <- heap.(!hn)
+        end;
+        down 0
       done;
       scan_sorted out)
     (group_by_file accesses)
@@ -108,6 +144,11 @@ let rank_matrix ~nprocs pairs =
     (fun (a, b) ->
       let i = min a.Access.rank b.Access.rank in
       let j = max a.Access.rank b.Access.rank in
-      if i >= 0 && j < nprocs then m.(i).(j) <- m.(i).(j) + 1)
+      if i < 0 || j >= nprocs then
+        invalid_arg
+          (Printf.sprintf
+             "Overlap.rank_matrix: pair ranks (%d, %d) outside 0..%d"
+             a.Access.rank b.Access.rank (nprocs - 1));
+      m.(i).(j) <- m.(i).(j) + 1)
     pairs;
   m

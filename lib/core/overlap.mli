@@ -17,7 +17,9 @@ val detect : Access.t list -> pair list
 val detect_merge : Access.t list -> pair list
 (** Same result, but the per-file offset order is obtained by k-way merging
     the per-rank streams sorted once each (the paper's suggested
-    optimization) rather than sorting the combined list. *)
+    optimization) rather than sorting the combined list.  The merge runs
+    through a binary min-heap of stream heads, so each element costs
+    O(log ranks) rather than O(ranks). *)
 
 val detect_naive : Access.t list -> pair list
 (** Reference O(n^2) implementation for property testing. *)
@@ -25,4 +27,8 @@ val detect_naive : Access.t list -> pair list
 val rank_matrix : nprocs:int -> pair list -> int array array
 (** [rank_matrix ~nprocs pairs] is the table [P] of Algorithm 1:
     entry [(i, j)] counts overlaps between accesses of ranks [i] and [j]
-    (symmetric; diagonal counts same-rank overlaps). *)
+    (symmetric; diagonal counts same-rank overlaps).
+
+    @raise Invalid_argument if any pair's rank falls outside
+    [0 .. nprocs-1] — a mis-sized matrix would silently under-count
+    conflicts. *)

@@ -202,6 +202,26 @@ let render ~app ~nprocs ?(extra = []) records =
     extra;
   Buffer.contents b
 
+(* Extent-store health, read back from the metrics registry: compaction
+   throughput and the fast/slow read split say whether the near-O(bytes)
+   read path actually held for this run. *)
+let extent_counter_keys =
+  [
+    "compactions"; "compacted_bytes"; "rebuilds"; "reindexes"; "fast_reads";
+    "slow_reads";
+  ]
+
+let extent_section sink =
+  let kvs =
+    List.filter_map
+      (fun k ->
+        match Obs.find_counter sink ("fs.extent." ^ k) with
+        | 0 -> None
+        | v -> Some (k, string_of_int v))
+      extent_counter_keys
+  in
+  if kvs = [] then None else Some ("PFS extent store", kvs)
+
 let save ~path ~app ~nprocs ?extra records =
   let oc = open_out path in
   output_string oc (render ~app ~nprocs ?extra records);

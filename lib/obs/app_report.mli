@@ -8,6 +8,13 @@
     key/value sections (PFS statistics, burst-buffer statistics, telemetry
     counters). *)
 
+val extent_section : Obs.sink -> (string * (string * string) list) option
+(** An extra section summarizing the PFS extent-store counters
+    (["fs.extent.*"]: compactions, cache rebuilds, fast/slow read split)
+    recorded in [sink], ready to pass to [render ~extra].  [None] when the
+    run recorded no extent-store activity, so reports of runs that never
+    touch the PFS stay unchanged. *)
+
 val render :
   app:string ->
   nprocs:int ->

@@ -1,0 +1,37 @@
+(** Extent map: disjoint half-open byte ranges to values.
+
+    The segment index underlying the PFS simulator's extent store (and the
+    shape UnifyFS/BurstFS use server-side for write segments).  All
+    operations split segments straddling the request's boundaries, so each
+    costs O(log n + segments touched). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val cardinal : 'a t -> int
+(** Number of segments (not bytes). *)
+
+val set : Interval.t -> 'a -> 'a t -> 'a t
+(** Overwrite the range with one value, splitting any overlapped
+    segments.  Empty intervals are a no-op. *)
+
+val set_max : wins:('a -> 'a -> bool) -> Interval.t -> 'a -> 'a t -> 'a t
+(** Like {!set}, but an existing segment keeps its value wherever
+    [wins old new_] holds.  With [wins] comparing write keys this yields a
+    per-byte maximum-key index that is independent of insertion order. *)
+
+val query : Interval.t -> 'a t -> (Interval.t * 'a) list
+(** Segments intersecting the range, clipped to it, in ascending offset
+    order.  Uncovered gaps are absent. *)
+
+val truncate : int -> 'a t -> 'a t
+(** Drop all coverage at or beyond the given length. *)
+
+val iter : (Interval.t -> 'a -> unit) -> 'a t -> unit
+val fold : (Interval.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+val covered_bytes : ?p:('a -> bool) -> Interval.t -> 'a t -> int
+(** Bytes of the range covered by segments whose value satisfies [p]
+    (default: any segment). *)

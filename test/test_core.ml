@@ -239,6 +239,24 @@ let qcheck_merge_matches_sort =
     (QCheck.make gen_accesses) (fun accesses ->
       norm (Overlap.detect accesses) = norm (Overlap.detect_merge accesses))
 
+let qcheck_all_detectors_agree =
+  (* Three-way: the heap k-way merge, the sort variant and the naive
+     O(n^2) reference all find the same pair multiset. *)
+  QCheck.Test.make ~name:"heap merge = sort = naive" ~count:200
+    (QCheck.make gen_accesses) (fun accesses ->
+      let d = norm (Overlap.detect accesses) in
+      d = norm (Overlap.detect_merge accesses)
+      && d = norm (Overlap.detect_naive accesses))
+
+let test_rank_matrix_out_of_range () =
+  let pairs =
+    Overlap.detect
+      [ acc ~rank:2 ~time:1 ~lo:0 ~len:10 (); acc ~rank:5 ~time:2 ~lo:5 ~len:10 () ]
+  in
+  Alcotest.check_raises "rank 5 with nprocs 4"
+    (Invalid_argument "Overlap.rank_matrix: pair ranks (2, 5) outside 0..3")
+    (fun () -> ignore (Overlap.rank_matrix ~nprocs:4 pairs))
+
 (* Conflicts ---------------------------------------------------------------- *)
 
 let test_conflict_commit_condition () =
@@ -669,6 +687,9 @@ let suite =
     Alcotest.test_case "overlap: rank matrix" `Quick test_overlap_rank_matrix;
     QCheck_alcotest.to_alcotest qcheck_algorithm1_matches_naive;
     QCheck_alcotest.to_alcotest qcheck_merge_matches_sort;
+    QCheck_alcotest.to_alcotest qcheck_all_detectors_agree;
+    Alcotest.test_case "overlap: rank matrix range" `Quick
+      test_rank_matrix_out_of_range;
     Alcotest.test_case "conflict: commit condition" `Quick test_conflict_commit_condition;
     Alcotest.test_case "conflict: session condition" `Quick
       test_conflict_session_condition;

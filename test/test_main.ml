@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
       ("fs", Test_fs.suite);
+      ("fdata-equiv", Test_fdata_equiv.suite);
       ("trace", Test_trace.suite);
       ("posix", Test_posix.suite);
       ("mpiio", Test_mpiio.suite);

@@ -236,6 +236,42 @@ let test_run_disabled_unchanged () =
         (Record.to_line b))
     without with_sink_records
 
+(* Extent-store report section ---------------------------------------------- *)
+
+let test_extent_section () =
+  let empty = Obs.create () in
+  Alcotest.(check bool)
+    "no extent activity, no section" true
+    (App_report.extent_section empty = None);
+  let sink = Obs.create () in
+  Obs.with_sink sink (fun () ->
+      (* Drive a real publish + read so the counters come from the extent
+         store itself, not hand-rolled Obs.incr calls. *)
+      let fd = Hpcfs_fs.Fdata.create () in
+      Hpcfs_fs.Fdata.write fd ~rank:0 ~time:1 ~off:0
+        (Bytes.make 64 'a');
+      Hpcfs_fs.Fdata.commit fd ~rank:0 ~time:2;
+      ignore
+        (Hpcfs_fs.Fdata.read fd ~semantics:Hpcfs_fs.Consistency.Commit
+           ~rank:1 ~time:3 ~off:0 ~len:64);
+      (* A second publish folds into the now-built cache: a compaction. *)
+      Hpcfs_fs.Fdata.write fd ~rank:0 ~time:4 ~off:32
+        (Bytes.make 64 'b');
+      Hpcfs_fs.Fdata.commit fd ~rank:0 ~time:5;
+      ignore
+        (Hpcfs_fs.Fdata.read fd ~semantics:Hpcfs_fs.Consistency.Commit
+           ~rank:1 ~time:6 ~off:0 ~len:96));
+  match App_report.extent_section sink with
+  | None -> Alcotest.fail "expected an extent-store section"
+  | Some (title, kvs) ->
+    Alcotest.(check string) "section title" "PFS extent store" title;
+    Alcotest.(check bool)
+      "records the compaction" true
+      (List.mem_assoc "compactions" kvs);
+    Alcotest.(check bool)
+      "records the read-path split" true
+      (List.mem_assoc "fast_reads" kvs || List.mem_assoc "slow_reads" kvs)
+
 let suite =
   [
     Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
@@ -249,4 +285,5 @@ let suite =
     Alcotest.test_case "run render stable" `Quick test_run_render_stable;
     Alcotest.test_case "run unchanged when disabled" `Quick
       test_run_disabled_unchanged;
+    Alcotest.test_case "extent-store report section" `Quick test_extent_section;
   ]
