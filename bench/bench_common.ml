@@ -69,5 +69,33 @@ let mark = Table.mark_cell
 let check = Table.check_cell
 let pct = Table.pct_cell
 
+(* Shared emitters: the `faults` and `failover` scenarios render their
+   crash-consistency rows and ancillary tables through these two helpers,
+   so their stdout tables and CSV artifacts stay format-identical. *)
+
+let emit_crash_rows ~csv_file ~what rows =
+  Hpcfs_fault.Report.pp Format.std_formatter rows;
+  ensure_dir out_dir;
+  let path = Filename.concat out_dir csv_file in
+  let oc = open_out path in
+  output_string oc (Hpcfs_fault.Report.to_csv rows);
+  close_out oc;
+  Printf.printf "\n%s written to %s\n\n" what path
+
+let emit_table_csv ~csv_file ~csv_header ~columns rows =
+  let t = Table.create columns in
+  ensure_dir out_dir;
+  let path = Filename.concat out_dir csv_file in
+  let oc = open_out path in
+  output_string oc (csv_header ^ "\n");
+  List.iter
+    (fun (cells, csv_line) ->
+      Table.add_row t cells;
+      output_string oc (csv_line ^ "\n"))
+    rows;
+  close_out oc;
+  Table.print t;
+  path
+
 let section title =
   Printf.printf "\n=== %s ===\n\n" title

@@ -79,39 +79,28 @@ let faults () =
   Printf.printf "plan: %s (seed 42), %d ranks\n\n" (Plan.to_string plan)
     Bench_common.nprocs;
   let rows = recovery_rows () in
-  Report.pp Format.std_formatter rows;
-  Bench_common.ensure_dir Bench_common.out_dir;
-  let csv = Filename.concat Bench_common.out_dir "faults.csv" in
-  let oc = open_out csv in
-  output_string oc (Report.to_csv rows);
-  close_out oc;
-  Printf.printf "\nrecovery rows written to %s\n\n" csv;
+  Bench_common.emit_crash_rows ~csv_file:"faults.csv" ~what:"recovery rows"
+    rows;
 
   print_endline "== faults: injector-disabled overhead (wall time) ==";
   let overhead = overhead_rows () in
-  let t =
-    Table.create [ "app"; "no plan (s)"; "idle plan (s)"; "delta" ]
-  in
-  let oc =
-    open_out (Filename.concat Bench_common.out_dir "faults_overhead.csv")
-  in
-  output_string oc "app,no_plan_s,idle_plan_s,delta_pct\n";
-  List.iter
-    (fun (name, base, idle) ->
-      let delta_pct =
-        if base > 0. then (idle -. base) /. base *. 100. else 0.
-      in
-      Table.add_row t
-        [
-          name;
-          Printf.sprintf "%.4f" base;
-          Printf.sprintf "%.4f" idle;
-          Printf.sprintf "%+.1f%%" delta_pct;
-        ];
-      Printf.fprintf oc "%s,%.6f,%.6f,%.2f\n" name base idle delta_pct)
-    overhead;
-  close_out oc;
-  Table.print t;
+  ignore
+    (Bench_common.emit_table_csv ~csv_file:"faults_overhead.csv"
+       ~csv_header:"app,no_plan_s,idle_plan_s,delta_pct"
+       ~columns:[ "app"; "no plan (s)"; "idle plan (s)"; "delta" ]
+       (List.map
+          (fun (name, base, idle) ->
+            let delta_pct =
+              if base > 0. then (idle -. base) /. base *. 100. else 0.
+            in
+            ( [
+                name;
+                Printf.sprintf "%.4f" base;
+                Printf.sprintf "%.4f" idle;
+                Printf.sprintf "%+.1f%%" delta_pct;
+              ],
+              Printf.sprintf "%s,%.6f,%.6f,%.2f" name base idle delta_pct ))
+          overhead));
   Printf.printf
     "overhead rows written to %s (idle plan = injector installed, no events;\n\
      the no-plan path is byte-identical to the pre-subsystem runner)\n\n"

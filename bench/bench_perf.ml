@@ -87,11 +87,58 @@ let record_readpath ~name ~writes ~reads ~extent ~reference =
       (json_escape name) writes reads ens rns (rns /. ens) ea ra
     :: !json_objs
 
+(* Scenario rows already on disk, one per line as this module wrote them.
+   Kept so separate harness invocations (e.g. `main.exe readpath` then
+   `main.exe failover`) merge into one snapshot instead of overwriting
+   each other; re-recorded names take the fresh value. *)
+let existing_rows () =
+  let path = Filename.concat out_dir "BENCH_PERF.json" in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         let t = String.trim (input_line ic) in
+         if String.length t > 1 && t.[0] = '{' then
+           rows :=
+             (if t.[String.length t - 1] = ',' then
+                String.sub t 0 (String.length t - 1)
+              else t)
+             :: !rows
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end
+
+let row_name row =
+  let key = "\"name\": \"" in
+  let klen = String.length key in
+  let rec find i =
+    if i + klen > String.length row then None
+    else if String.sub row i klen = key then Some (i + klen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> row
+  | Some j -> (
+    match String.index_from_opt row j '"' with
+    | None -> row
+    | Some k -> String.sub row j (k - j))
+
 let write_bench_json () =
   ensure_dir out_dir;
+  let fresh = List.rev !json_objs in
+  let fresh_names = List.map row_name fresh in
+  let kept =
+    List.filter
+      (fun r -> not (List.mem (row_name r) fresh_names))
+      (existing_rows ())
+  in
   let oc = open_out (Filename.concat out_dir "BENCH_PERF.json") in
   output_string oc "{\n  \"scenarios\": [\n";
-  let rows = List.rev !json_objs in
+  let rows = kept @ fresh in
   List.iteri
     (fun i row ->
       output_string oc ("    " ^ row);

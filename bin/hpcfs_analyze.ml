@@ -411,9 +411,13 @@ let plan_arg =
     "Fault plan, a $(b,;)-separated list of events: \
      $(b,crash:rank=R,io=N[,restart=D]) kills rank R on its N-th I/O call \
      (restarting D ticks later when $(b,restart) is given), \
-     $(b,crash:rank=R,t=T[,restart=D]) kills it at logical time T, and \
+     $(b,crash:rank=R,t=T[,restart=D]) kills it at logical time T, \
      $(b,drainfail:count=K[,node=N][,after=T]) makes the next K \
-     burst-buffer drain attempts fail transiently."
+     burst-buffer drain attempts fail transiently, \
+     $(b,ostfail:target=K,t=T[,recover=D][,failover=1]) fails storage \
+     target K at time T (recovering D ticks later; with $(b,failover) a \
+     standby replica keeps serving it), and $(b,mdsfail:t=T[,recover=D]) \
+     fails the metadata server."
   in
   Arg.(
     required
@@ -505,7 +509,9 @@ let faults_cmd =
     "Inject a fault plan into a configuration under each consistency engine \
      and report the crash-consistency outcome: bytes lost or torn at the \
      crash, burst-buffer bytes lost with the victim node, and whether the \
-     recovered files match a fault-free reference."
+     recovered files match a fault-free reference.  Plans with storage \
+     failures ($(b,ostfail)/$(b,mdsfail)) add columns for target failures, \
+     journal-replayed bytes, unreplayable bytes, and fsck verdicts."
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(

@@ -8,6 +8,10 @@ module Prng = Hpcfs_util.Prng
 module Tier = Hpcfs_bb.Tier
 module Obs = Hpcfs_obs.Obs
 module Injector = Hpcfs_fault.Injector
+module Plan = Hpcfs_fault.Plan
+module Journal = Hpcfs_fs.Journal
+module Recovery = Hpcfs_fs.Recovery
+module Target = Hpcfs_fs.Target
 
 type result = {
   records : Hpcfs_trace.Record.t list;
@@ -47,15 +51,88 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
       Tier.set_fault t ~prng:(Injector.drain_prng inj)
         (Some (fun ~node ~time -> Injector.drain_fault inj ~node ~time)))
     tier;
+  (* The client journal exists only when the plan can fail storage: without
+     an ostfail/mdsfail event the backend chain — and every byte of output —
+     is identical to a build without the failure domain. *)
+  let journal =
+    if Injector.has_target_events inj then
+      Some (Journal.create ~prng:(Injector.retry_prng inj) pfs)
+    else None
+  in
+  let base_backend =
+    match tier with
+    | None -> Hpcfs_fs.Backend.of_pfs pfs
+    | Some t -> Tier.backend t
+  in
   let backend =
     Injector.wrap_backend inj
-      (match tier with
-      | None -> Hpcfs_fs.Backend.of_pfs pfs
-      | Some t -> Tier.backend t)
+      (match journal with
+      | None -> base_backend
+      | Some j -> Journal.wrap j base_backend)
   in
   let events = ref [] in
   let crashes = ref [] in
   let restarts = ref 0 in
+  let target_records = ref [] in
+  (* The recovery delay the plan attached to the storage event that fires
+     at [at] (scheduled times are unique enough per kind+target). *)
+  let recover_of ~kind ~target ~at =
+    List.find_map
+      (function
+        | Plan.Ost_fail { target = k; at = a; recover; _ }
+          when kind = `Ost && k = target && a = at ->
+          Some recover
+        | Plan.Mds_fail { at = a; recover } when kind = `Mds && a = at ->
+          Some recover
+        | _ -> None)
+      plan.Plan.events
+    |> Option.join
+  in
+  let replay_journal ~time =
+    Option.iter (fun j -> ignore (Journal.replay j ~time)) journal
+  in
+  if Injector.has_target_events inj then
+    Injector.set_storage_hook inj (fun ~time action ->
+        match action with
+        | Injector.Fail_ost { target; failover } ->
+          let tr_stats, tr_per_file, _ranks, tr_evicted_locks =
+            Obs.span Obs.T_fs "target-fail" (fun () ->
+                Pfs.fail_target pfs ~time ~failover target)
+          in
+          Option.iter (fun j -> Journal.on_target_fail j ~time ~target) journal;
+          target_records :=
+            {
+              Injector.tr_kind = `Ost;
+              tr_target = target;
+              tr_time = time;
+              tr_failover = failover;
+              tr_recover = recover_of ~kind:`Ost ~target ~at:time;
+              tr_stats;
+              tr_per_file;
+              tr_evicted_locks;
+            }
+            :: !target_records;
+          (* A failover replica serves immediately: the journal replays its
+             dirty entries into the replica on the spot. *)
+          if failover then replay_journal ~time
+        | Injector.Recover_ost target ->
+          Pfs.recover_target pfs ~time target;
+          replay_journal ~time
+        | Injector.Fail_mds ->
+          Pfs.fail_mds pfs ~time;
+          target_records :=
+            {
+              Injector.tr_kind = `Mds;
+              tr_target = -1;
+              tr_time = time;
+              tr_failover = false;
+              tr_recover = recover_of ~kind:`Mds ~target:(-1) ~at:time;
+              tr_stats = Hpcfs_fs.Fdata.no_crash_stats;
+              tr_per_file = [];
+              tr_evicted_locks = 0;
+            }
+            :: !target_records
+        | Injector.Recover_mds -> Pfs.recover_mds pfs ~time);
   let rec attempt_loop ~clock ~attempt =
     (* Each attempt is a fresh job launch: new communicator, new library
        state, new open-file table — only the storage carries over. *)
@@ -82,8 +159,10 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
                 body env;
                 Mpi.barrier comm));
         `Done
-      with Injector.Crashed { rank; time; io_index } ->
+      with
+      | Injector.Crashed { rank; time; io_index } ->
         `Crashed (rank, time, io_index)
+      | Target.Mds_down { time } -> `Mds_down time
     in
     events := !events @ Mpi.events comm;
     match status with
@@ -102,6 +181,9 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
               ~keep_stripes:(fun ~total -> Injector.keep_stripes inj ~total)
               ())
       in
+      (* The lock manager fences the dead client: its grants cannot
+         outlive it (a restarted rank is a new client to the server). *)
+      ignore (Pfs.evict_client pfs ~client:rank);
       crashes :=
         {
           Injector.cr_rank = rank;
@@ -118,8 +200,40 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
         incr restarts;
         Obs.incr "fault.restarts";
         attempt_loop ~clock:(time + delay) ~attempt:(attempt + 1))
+    | `Mds_down time ->
+      (* A metadata-server failure aborts the job fail-stop (every rank's
+         next open/truncate would hang): reconcile pending data exactly
+         like a whole-job crash, with a synthetic victim rank of -1. *)
+      let stats, per_file =
+        Obs.span Obs.T_fs "crash-reconcile" (fun () ->
+            Pfs.crash pfs ~time
+              ~keep_stripes:(fun ~total -> Injector.keep_stripes inj ~total)
+              ())
+      in
+      crashes :=
+        {
+          Injector.cr_rank = -1;
+          cr_time = time;
+          cr_io_index = 0;
+          cr_stats = stats;
+          cr_per_file = per_file;
+          cr_bb_lost_bytes = 0;
+        }
+        :: !crashes;
+      (match Injector.mds_restart_time inj with
+      | None -> ()
+      | Some at ->
+        incr restarts;
+        Obs.incr "fault.restarts";
+        attempt_loop ~clock:(max at (time + 1)) ~attempt:(attempt + 1))
   in
   attempt_loop ~clock:0 ~attempt:0;
+  (* Flush storage transitions scheduled after the job's last step (e.g. a
+     recovery during the epilogue window), then give the journal its final
+     replay: an fsck pass that classifies every file. *)
+  let epilogue_time = 1 lsl 40 in
+  if Injector.has_target_events inj then
+    Injector.advance_targets inj ~time:epilogue_time;
   (* Surviving nodes' buffers are nonvolatile: the burst-buffer service
      stages out whatever is still buffered, crash or not. *)
   Option.iter
@@ -127,6 +241,13 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
       Obs.span Obs.T_bb "epilogue-drain" (fun () ->
           ignore (Tier.drain_all t ())))
     tier;
+  let recovery =
+    Option.map
+      (fun j ->
+        Obs.span Obs.T_fs "fsck" (fun () ->
+            Recovery.check j ~time:epilogue_time))
+      journal
+  in
   {
     records = Collector.records collector;
     events = !events;
@@ -141,6 +262,9 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
           o_crashes = List.rev !crashes;
           o_restarts = !restarts;
           o_drain_faults = Injector.injected_drain_faults inj;
+          o_target_failures = List.rev !target_records;
+          o_journal = Option.map Journal.stats journal;
+          o_recovery = recovery;
         };
   }
 

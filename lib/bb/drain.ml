@@ -27,28 +27,15 @@ let of_string s =
 
 let pp ppf t = Format.pp_print_string ppf (describe t)
 
-(* Retry policy for transient drain failures: exponential backoff with
-   jitter, capped per attempt and in attempt count.  Delays are logical
-   ticks; the tier accounts them rather than advancing the clock (drains
-   are driven with explicit timestamps). *)
-type retry = {
+(* The retry policy for transient drain failures is the simulator-wide
+   capped-backoff helper (Hpcfs_util.Backoff), re-exported here so tier
+   code and its callers keep their historical names. *)
+type retry = Hpcfs_util.Backoff.policy = {
   max_retries : int;  (* failed attempts before the extent is left staged *)
   base_delay : int;  (* backoff of the first retry, in ticks *)
   max_delay : int;  (* per-retry backoff cap *)
   jitter : float;  (* extra random fraction of the backoff, [0, jitter) *)
 }
 
-let default_retry =
-  { max_retries = 4; base_delay = 8; max_delay = 256; jitter = 0.5 }
-
-let backoff_delay retry prng ~attempt =
-  let attempt = max 0 attempt in
-  (* [base * 2^attempt] without overflow: the cap also bounds the shift. *)
-  let exp =
-    if attempt >= 30 then retry.max_delay
-    else min retry.max_delay (retry.base_delay * (1 lsl attempt))
-  in
-  let jitter_span =
-    int_of_float (Float.of_int exp *. retry.jitter)
-  in
-  exp + (if jitter_span > 0 then Hpcfs_util.Prng.int prng jitter_span else 0)
+let default_retry = Hpcfs_util.Backoff.default
+let backoff_delay = Hpcfs_util.Backoff.delay

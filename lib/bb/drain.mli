@@ -44,7 +44,7 @@ val of_string : string -> t option
 
 val pp : Format.formatter -> t -> unit
 
-type retry = {
+type retry = Hpcfs_util.Backoff.policy = {
   max_retries : int;
       (** Failed attempts tolerated before the extent is left staged for a
           later drain pass. *)

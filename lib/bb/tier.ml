@@ -77,6 +77,7 @@ type t = {
   mutable s_drain_retries : int;
   mutable s_backoff_ticks : int;
   mutable s_drain_aborts : int;
+  mutable s_drain_target_down : int;
   mutable s_crash_lost_bytes : int;
 }
 
@@ -111,6 +112,7 @@ let create ?(config = default_config) pfs =
     s_drain_retries = 0;
     s_backoff_ticks = 0;
     s_drain_aborts = 0;
+    s_drain_target_down = 0;
     s_crash_lost_bytes = 0;
   }
 
@@ -153,6 +155,14 @@ let hw_size t path = Option.value ~default:0 (Hashtbl.find_opt t.hw path)
 
 let file_size t path = max (Pfs.file_size t.pfs path) (hw_size t path)
 
+(* PFS reads issued on behalf of tier clients degrade rather than fail
+   when a storage target is down: the missing chunks read back as zeroes
+   and the node-local overlay still paints its staged data on top. *)
+let pfs_read t ~time ~rank path ~off ~len =
+  try Pfs.read t.pfs ~time ~rank path ~off ~len
+  with Hpcfs_fs.Target.Target_down _ ->
+    Pfs.read_degraded t.pfs ~time ~rank path ~off ~len
+
 (* Draining ---------------------------------------------------------------- *)
 
 (* One drain attempt may fail transiently when a fault hook is installed;
@@ -194,18 +204,29 @@ let drain_extent t ~time x =
   match x.x_state with
   | `Drained | `Dropped -> 0
   | `Staged when not (drain_admitted t ~time ~node:x.x_node) -> 0
-  | `Staged ->
-    Pfs.write t.pfs ~time:x.x_time ~rank:x.x_rank x.x_file
-      ~off:x.x_iv.Interval.lo x.x_data;
-    x.x_state <- `Drained;
-    let len = Interval.length x.x_iv in
-    let node = get_node t x.x_node in
-    node.n_undrained <- node.n_undrained - len;
-    t.occupancy <- t.occupancy - len;
-    t.s_drained <- t.s_drained + len;
-    Obs.incr ~by:len "bb.drained_bytes";
-    Obs.gauge "bb.backlog" t.occupancy;
-    len
+  | `Staged -> (
+    match
+      Pfs.write t.pfs ~time:x.x_time ~rank:x.x_rank x.x_file
+        ~off:x.x_iv.Interval.lo x.x_data
+    with
+    | exception Hpcfs_fs.Target.Target_down _ ->
+      (* The backing target is down: not a transient fault the backoff
+         loop can ride out.  The extent stays staged — the node-local
+         copy is the only one — and a later pass (after recovery or
+         failover) drains it. *)
+      t.s_drain_target_down <- t.s_drain_target_down + 1;
+      Obs.incr "bb.drain_target_down";
+      0
+    | () ->
+      x.x_state <- `Drained;
+      let len = Interval.length x.x_iv in
+      let node = get_node t x.x_node in
+      node.n_undrained <- node.n_undrained - len;
+      t.occupancy <- t.occupancy - len;
+      t.s_drained <- t.s_drained + len;
+      Obs.incr ~by:len "bb.drained_bytes";
+      Obs.gauge "bb.backlog" t.occupancy;
+      len)
 
 (* Drain a file's staged extents in staging order — every node's, or one
    node's — compacting the per-file queue as we go.  Extents whose drain
@@ -469,7 +490,7 @@ let read t ~time ~rank path ~off ~len =
         Obs.incr "bb.cache_hits";
         buf
       | _ ->
-        let base = Pfs.read t.pfs ~time ~rank path ~off ~len:n in
+        let base = pfs_read t ~time ~rank path ~off ~len:n in
         let buf = Bytes.make n '\000' in
         Bytes.blit base.Fdata.data 0 buf 0 (Bytes.length base.Fdata.data);
         List.iter (paint ~off buf) overlay;
@@ -500,7 +521,7 @@ let truncate t ~time path len =
 
 let stage_in t ~time ~rank path =
   let size = Pfs.file_size t.pfs path in
-  let r = Pfs.read t.pfs ~time ~rank path ~off:0 ~len:size in
+  let r = pfs_read t ~time ~rank path ~off:0 ~len:size in
   let node = get_node t (node_of_rank t rank) in
   Hashtbl.replace node.n_snapshots path r.Fdata.data;
   let n = Bytes.length r.Fdata.data in
@@ -599,6 +620,7 @@ type stats = {
   drain_retries : int;
   drain_backoff_ticks : int;
   drain_aborts : int;
+  drain_target_down : int;
   crash_lost_bytes : int;
 }
 
@@ -623,6 +645,7 @@ let stats t =
     drain_retries = t.s_drain_retries;
     drain_backoff_ticks = t.s_backoff_ticks;
     drain_aborts = t.s_drain_aborts;
+    drain_target_down = t.s_drain_target_down;
     crash_lost_bytes = t.s_crash_lost_bytes;
   }
 
@@ -650,4 +673,7 @@ let pp_stats ppf s =
        lost: %d B"
       s.drain_faults s.drain_retries s.drain_backoff_ticks s.drain_aborts
       s.crash_lost_bytes;
+  if s.drain_target_down > 0 then
+    Format.fprintf ppf "@,drains refused by down target: %d"
+      s.drain_target_down;
   Format.fprintf ppf "@]"

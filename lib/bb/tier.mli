@@ -157,6 +157,9 @@ type stats = {
   drain_backoff_ticks : int;  (** Total backoff delay accounted. *)
   drain_aborts : int;
       (** Drains abandoned after exhausting the retry budget. *)
+  drain_target_down : int;
+      (** Drain attempts refused because the backing storage target was
+          down; the extent stays staged for a post-recovery pass. *)
   crash_lost_bytes : int;  (** Undrained bytes lost to node crashes. *)
 }
 

@@ -14,12 +14,33 @@ type crash_event = {
 
 type drain_event = { d_node : int option; d_after : int; mutable d_left : int }
 
+(* A storage failure scheduled by the plan.  [`Armed] → (fail fires at
+   [te_at]) → [`Down] → (recovery, if scheduled, fires at
+   [te_at + recover]) → [`Done]. *)
+type target_event = {
+  te_kind : [ `Ost | `Mds ];
+  te_target : int;  (* -1 for the MDS *)
+  te_at : int;
+  te_recover : int option;
+  te_failover : bool;
+  mutable te_phase : [ `Armed | `Down | `Done ];
+}
+
+type storage_action =
+  | Fail_ost of { target : int; failover : bool }
+  | Recover_ost of int
+  | Fail_mds
+  | Recover_mds
+
 type t = {
   plan : Plan.t;
   tear_prng : Prng.t;  (* how many stripes of a torn write survive *)
   drain_prng : Prng.t;  (* backoff jitter of drain retries *)
+  retry_prng : Prng.t;  (* backoff jitter of client journal retries *)
   crashes : crash_event list;
   drains : drain_event list;
+  target_events : target_event list;
+  mutable storage_hook : (time:int -> storage_action -> unit) option;
   io_counts : (int, int ref) Hashtbl.t;
   mutable injected_crashes : int;
   mutable injected_drain_faults : int;
@@ -27,28 +48,47 @@ type t = {
 
 let create plan =
   (* Independent deterministic streams per concern, split off the plan's
-     seed: consuming jitter draws never perturbs tear decisions. *)
+     seed: consuming jitter draws never perturbs tear decisions.  Splits
+     only advance the parent, so adding the retry stream after the
+     existing two leaves their values untouched. *)
   let root = Prng.create plan.Plan.seed in
   let tear_prng = Prng.split root in
   let drain_prng = Prng.split root in
-  let crashes, drains =
+  let retry_prng = Prng.split root in
+  let crashes, drains, targets =
     List.fold_left
-      (fun (cs, ds) -> function
+      (fun (cs, ds, ts) -> function
         | Plan.Rank_crash { rank; trigger; restart_delay } ->
           ( { c_rank = rank; c_trigger = trigger; c_restart = restart_delay;
               c_fired = false }
             :: cs,
-            ds )
+            ds,
+            ts )
         | Plan.Drain_fault { node; after; failures } ->
-          (cs, { d_node = node; d_after = after; d_left = failures } :: ds))
-      ([], []) plan.Plan.events
+          (cs, { d_node = node; d_after = after; d_left = failures } :: ds, ts)
+        | Plan.Ost_fail { target; at; recover; failover } ->
+          ( cs,
+            ds,
+            { te_kind = `Ost; te_target = target; te_at = at;
+              te_recover = recover; te_failover = failover; te_phase = `Armed }
+            :: ts )
+        | Plan.Mds_fail { at; recover } ->
+          ( cs,
+            ds,
+            { te_kind = `Mds; te_target = -1; te_at = at; te_recover = recover;
+              te_failover = false; te_phase = `Armed }
+            :: ts ))
+      ([], [], []) plan.Plan.events
   in
   {
     plan;
     tear_prng;
     drain_prng;
+    retry_prng;
     crashes = List.rev crashes;
     drains = List.rev drains;
+    target_events = List.rev targets;
+    storage_hook = None;
     io_counts = Hashtbl.create 8;
     injected_crashes = 0;
     injected_drain_faults = 0;
@@ -56,7 +96,52 @@ let create plan =
 
 let plan t = t.plan
 let drain_prng t = t.drain_prng
+let retry_prng t = t.retry_prng
 let keep_stripes t ~total = Prng.int t.tear_prng (total + 1)
+let has_target_events t = t.target_events <> []
+
+(* When the job can come back from an MDS failure: the earliest scheduled
+   MDS recovery, [None] if the plan never recovers it. *)
+let mds_restart_time t =
+  List.fold_left
+    (fun acc e ->
+      match (e.te_kind, e.te_recover) with
+      | `Mds, Some d -> (
+        let at = e.te_at + d in
+        match acc with Some a when a <= at -> acc | _ -> Some at)
+      | _ -> acc)
+    None t.target_events
+
+let set_storage_hook t f = t.storage_hook <- Some f
+
+(* Fire every due storage transition, in plan order, at its *scheduled*
+   time — results depend on the plan, not on which operation first
+   observed that the clock passed it.  Pre-op and scheduler-step callers
+   keep the observation lag within one tick. *)
+let advance_targets t ~time =
+  match t.storage_hook with
+  | None -> ()
+  | Some hook ->
+    List.iter
+      (fun e ->
+        (if e.te_phase = `Armed && time >= e.te_at then begin
+           e.te_phase <- `Down;
+           Obs.incr "fault.target_failures";
+           match e.te_kind with
+           | `Ost ->
+             hook ~time:e.te_at
+               (Fail_ost { target = e.te_target; failover = e.te_failover })
+           | `Mds -> hook ~time:e.te_at Fail_mds
+         end);
+        match e.te_recover with
+        | Some d when e.te_phase = `Down && time >= e.te_at + d ->
+          e.te_phase <- `Done;
+          hook ~time:(e.te_at + d)
+            (match e.te_kind with
+            | `Ost -> Recover_ost e.te_target
+            | `Mds -> Recover_mds)
+        | _ -> ())
+      t.target_events
 
 let io_count t rank =
   match Hashtbl.find_opt t.io_counts rank with
@@ -91,8 +176,10 @@ let after_io t ~rank ~time =
     t.crashes
 
 (* Scheduler hook: kills the victim at a logical time even while it is
-   blocked (e.g. in a barrier) or computing between I/O calls. *)
+   blocked (e.g. in a barrier) or computing between I/O calls; also fires
+   storage transitions so a target can fail while every rank computes. *)
 let before_step t ~now rank =
+  advance_targets t ~time:now;
   List.iter
     (fun c ->
       if (not c.c_fired) && c.c_rank = rank then
@@ -129,29 +216,37 @@ let drain_fault t ~node ~time =
 let injected_crashes t = t.injected_crashes
 let injected_drain_faults t = t.injected_drain_faults
 
+(* Storage transitions fire before the operation (a write issued at or
+   after the failure time must find the target already down), the
+   operation runs, then the post-op crash triggers are evaluated. *)
 let wrap_backend t (b : Backend.t) =
   {
     b with
     Backend.open_file =
       (fun ~time ~rank ~create ~trunc path ->
+        advance_targets t ~time;
         let size = b.Backend.open_file ~time ~rank ~create ~trunc path in
         after_io t ~rank ~time;
         size);
     close_file =
       (fun ~time ~rank path ->
+        advance_targets t ~time;
         b.Backend.close_file ~time ~rank path;
         after_io t ~rank ~time);
     read =
       (fun ~time ~rank path ~off ~len ->
+        advance_targets t ~time;
         let r = b.Backend.read ~time ~rank path ~off ~len in
         after_io t ~rank ~time;
         r);
     write =
       (fun ~time ~rank path ~off data ->
+        advance_targets t ~time;
         b.Backend.write ~time ~rank path ~off data;
         after_io t ~rank ~time);
     fsync =
       (fun ~time ~rank path ->
+        advance_targets t ~time;
         b.Backend.fsync ~time ~rank path;
         after_io t ~rank ~time);
   }
@@ -167,17 +262,63 @@ type crash_record = {
   cr_bb_lost_bytes : int;
 }
 
+type target_record = {
+  tr_kind : [ `Ost | `Mds ];
+  tr_target : int;  (** -1 for the MDS. *)
+  tr_time : int;
+  tr_failover : bool;
+  tr_recover : int option;
+  tr_stats : Fdata.crash_stats;
+  tr_per_file : (string * Fdata.crash_stats) list;
+  tr_evicted_locks : int;
+}
+
 type outcome = {
   o_plan : Plan.t;
   o_crashes : crash_record list;  (** In firing order. *)
   o_restarts : int;
   o_drain_faults : int;
+  o_target_failures : target_record list;  (** In firing order. *)
+  o_journal : Hpcfs_fs.Journal.stats option;
+  o_recovery : Hpcfs_fs.Recovery.report option;
 }
 
+(* Total data loss of the run: whole-job crashes plus what storage-target
+   failures dropped and the journal could not replay.  A replayed byte is
+   not lost — the target records count the drop, so subtract what came
+   back, clamped per-field at zero (replay restores bytes, not the
+   original write records). *)
 let crash_stats outcome =
-  List.fold_left
-    (fun acc cr -> Fdata.add_crash_stats acc cr.cr_stats)
-    Fdata.no_crash_stats outcome.o_crashes
+  let crashes =
+    List.fold_left
+      (fun acc cr -> Fdata.add_crash_stats acc cr.cr_stats)
+      Fdata.no_crash_stats outcome.o_crashes
+  in
+  let targets =
+    List.fold_left
+      (fun acc tr -> Fdata.add_crash_stats acc tr.tr_stats)
+      Fdata.no_crash_stats outcome.o_target_failures
+  in
+  let replayed =
+    match outcome.o_journal with
+    | Some j -> j.Hpcfs_fs.Journal.replayed_bytes
+    | None -> 0
+  in
+  let target_lost = max 0 (targets.Fdata.lost_bytes - replayed) in
+  Fdata.add_crash_stats crashes
+    { targets with Fdata.lost_bytes = target_lost }
 
 let bb_lost_bytes outcome =
   List.fold_left (fun acc cr -> acc + cr.cr_bb_lost_bytes) 0 outcome.o_crashes
+
+let target_failure_count outcome = List.length outcome.o_target_failures
+
+let replayed_bytes outcome =
+  match outcome.o_journal with
+  | Some j -> j.Hpcfs_fs.Journal.replayed_bytes
+  | None -> 0
+
+let journal_lost_bytes outcome =
+  match outcome.o_journal with
+  | Some j -> j.Hpcfs_fs.Journal.outstanding_bytes
+  | None -> 0

@@ -38,6 +38,11 @@ val drain_prng : t -> Hpcfs_util.Prng.t
 (** The stream backoff jitter must be drawn from (pass to
     {!Hpcfs_bb.Tier.set_fault}). *)
 
+val retry_prng : t -> Hpcfs_util.Prng.t
+(** The stream client-journal retry jitter is drawn from (pass to
+    {!Hpcfs_fs.Journal.create}).  A separate split, so journaling never
+    perturbs tear or drain decisions. *)
+
 val keep_stripes : t -> total:int -> int
 (** Deterministic tear decision for one in-flight write: how many of its
     [total] stripe-aligned pieces survive (0..[total], inclusive). *)
@@ -48,6 +53,35 @@ val restart_delay_of : t -> rank:int -> int option
 
 val injected_crashes : t -> int
 val injected_drain_faults : t -> int
+
+(** {1 Storage failures} *)
+
+type storage_action =
+  | Fail_ost of { target : int; failover : bool }
+  | Recover_ost of int
+  | Fail_mds
+  | Recover_mds
+
+val has_target_events : t -> bool
+(** Does the plan schedule any OST/MDS failure?  Gates the creation of the
+    client journal: without one, runs are byte-identical to a build
+    without the failure domain. *)
+
+val set_storage_hook : t -> (time:int -> storage_action -> unit) -> unit
+(** Install the callback that applies storage transitions (the runner
+    wires it to {!Hpcfs_fs.Pfs.fail_target} and friends plus the journal).
+    Without a hook, scheduled events stay armed. *)
+
+val advance_targets : t -> time:int -> unit
+(** Fire every storage transition due at/before [time], in plan order,
+    each at its {e scheduled} time.  Called automatically before every
+    wrapped backend operation and from {!before_step}; callers only need
+    it directly to flush transitions at end of run (e.g. a recovery
+    scheduled after the last I/O). *)
+
+val mds_restart_time : t -> int option
+(** When the job can restart after an MDS failure: the earliest scheduled
+    MDS recovery time, [None] when the plan never recovers it. *)
 
 (** {1 Outcome} *)
 
@@ -61,14 +95,40 @@ type crash_record = {
   cr_bb_lost_bytes : int;  (** Undrained burst-buffer bytes lost. *)
 }
 
+type target_record = {
+  tr_kind : [ `Ost | `Mds ];
+  tr_target : int;  (** -1 for the MDS. *)
+  tr_time : int;
+  tr_failover : bool;
+  tr_recover : int option;
+  tr_stats : Hpcfs_fs.Fdata.crash_stats;
+      (** Volatile bytes the failure dropped (before any replay). *)
+  tr_per_file : (string * Hpcfs_fs.Fdata.crash_stats) list;
+      (** Affected files only, sorted by path. *)
+  tr_evicted_locks : int;  (** Lock grants recalled from affected clients. *)
+}
+
 type outcome = {
   o_plan : Plan.t;
   o_crashes : crash_record list;  (** In firing order. *)
   o_restarts : int;  (** Restarts actually performed. *)
   o_drain_faults : int;  (** Transient drain failures injected. *)
+  o_target_failures : target_record list;  (** In firing order. *)
+  o_journal : Hpcfs_fs.Journal.stats option;
+      (** Client journal counters; [None] when the plan scheduled no
+          storage failure (no journal interposed). *)
+  o_recovery : Hpcfs_fs.Recovery.report option;
+      (** Fsck verdicts after the final replay pass; [None] without a
+          journal. *)
 }
 
 val crash_stats : outcome -> Hpcfs_fs.Fdata.crash_stats
-(** Sum over all crashes. *)
+(** Net data loss: whole-job crashes plus target-failure drops minus the
+    bytes the journal replayed back (clamped at zero). *)
 
 val bb_lost_bytes : outcome -> int
+val target_failure_count : outcome -> int
+val replayed_bytes : outcome -> int
+val journal_lost_bytes : outcome -> int
+(** Bytes still parked/dirty/lost in the journal at end of run — the
+    unreplayable remainder. *)

@@ -3,6 +3,13 @@ type trigger = At_time of int | At_io of int
 type event =
   | Rank_crash of { rank : int; trigger : trigger; restart_delay : int option }
   | Drain_fault of { node : int option; after : int; failures : int }
+  | Ost_fail of {
+      target : int;
+      at : int;
+      recover : int option;
+      failover : bool;
+    }
+  | Mds_fail of { at : int; recover : int option }
 
 type t = { name : string; seed : int; events : event list }
 
@@ -14,9 +21,19 @@ let crash ?(rank = 0) ?restart_delay trigger =
 let drain_fault ?node ?(after = 0) failures =
   Drain_fault { node; after; failures }
 
+let ost_fail ?recover ?(failover = false) ~target at =
+  Ost_fail { target; at; recover; failover }
+
+let mds_fail ?recover at = Mds_fail { at; recover }
+
 let crash_count t =
   List.length
     (List.filter (function Rank_crash _ -> true | _ -> false) t.events)
+
+let has_target_failures t =
+  List.exists
+    (function Ost_fail _ | Mds_fail _ -> true | _ -> false)
+    t.events
 
 (* Spec syntax ------------------------------------------------------------- *)
 
@@ -40,28 +57,60 @@ let event_to_string = function
         | None -> "");
         (if after > 0 then Printf.sprintf ",after=%d" after else "");
       ]
+  | Ost_fail { target; at; recover; failover } ->
+    String.concat ""
+      [
+        Printf.sprintf "ostfail:target=%d,t=%d" target at;
+        (match recover with
+        | Some d -> Printf.sprintf ",recover=%d" d
+        | None -> "");
+        (if failover then ",failover=1" else "");
+      ]
+  | Mds_fail { at; recover } ->
+    String.concat ""
+      [
+        Printf.sprintf "mdsfail:t=%d" at;
+        (match recover with
+        | Some d -> Printf.sprintf ",recover=%d" d
+        | None -> "");
+      ]
 
 let to_string t = String.concat ";" (List.map event_to_string t.events)
 
 let ( let* ) = Result.bind
 
-let parse_int key s =
+(* Parse errors name the offending token and what the grammar accepts at
+   that position, so a typo in a CLI --plan is diagnosable from the
+   message alone. *)
+
+let parse_int head key s =
   match int_of_string_opt s with
   | Some v -> Ok v
-  | None -> Error (Printf.sprintf "%s: not an integer: %S" key s)
+  | None -> Error (Printf.sprintf "%s: %s: not an integer: %S" head key s)
 
-let parse_fields fields =
+let parse_fields head fields =
   List.fold_left
     (fun acc field ->
       let* acc = acc in
       match String.index_opt field '=' with
-      | None -> Error (Printf.sprintf "expected key=value, got %S" field)
+      | None -> Error (Printf.sprintf "%s: expected key=value, got %S" head field)
       | Some i ->
         let k = String.sub field 0 i in
         let v = String.sub field (i + 1) (String.length field - i - 1) in
-        let* v = parse_int k v in
+        let* v = parse_int head k v in
         Ok ((k, v) :: acc))
     (Ok []) fields
+
+let check_keys head ~accepted kvs =
+  List.fold_left
+    (fun acc (k, _) ->
+      let* () = acc in
+      if List.mem k accepted then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: unknown key %S (accepted: %s)" head k
+             (String.concat ", " accepted)))
+    (Ok ()) kvs
 
 let parse_event spec =
   let head, rest =
@@ -71,34 +120,64 @@ let parse_event spec =
         String.sub spec (i + 1) (String.length spec - i - 1) )
     | None -> (spec, "")
   in
+  let head = String.lowercase_ascii head in
   let fields =
     List.filter (fun f -> f <> "") (String.split_on_char ',' rest)
   in
-  let* kvs = parse_fields fields in
-  let get k = List.assoc_opt k kvs in
-  match String.lowercase_ascii head with
-  | "crash" ->
-    let rank = Option.value ~default:0 (get "rank") in
-    let* trigger =
-      match (get "io", get "t") with
-      | Some n, None -> Ok (At_io n)
-      | None, Some time -> Ok (At_time time)
-      | Some _, Some _ -> Error "crash: give io= or t=, not both"
-      | None, None -> Error "crash: missing trigger (io=N or t=T)"
-    in
-    Ok (Rank_crash { rank; trigger; restart_delay = get "restart" })
-  | "drainfail" ->
-    let* failures =
-      Option.to_result ~none:"drainfail: missing count=" (get "count")
-    in
-    Ok
-      (Drain_fault
-         {
-           node = get "node";
-           after = Option.value ~default:0 (get "after");
-           failures;
-         })
-  | other -> Error (Printf.sprintf "unknown fault event %S" other)
+  match head with
+  | "crash" | "drainfail" | "ostfail" | "mdsfail" -> (
+    let* kvs = parse_fields head fields in
+    let get k = List.assoc_opt k kvs in
+    match head with
+    | "crash" ->
+      let* () = check_keys head ~accepted:[ "rank"; "io"; "t"; "restart" ] kvs in
+      let rank = Option.value ~default:0 (get "rank") in
+      let* trigger =
+        match (get "io", get "t") with
+        | Some n, None -> Ok (At_io n)
+        | None, Some time -> Ok (At_time time)
+        | Some _, Some _ -> Error "crash: give io= or t=, not both"
+        | None, None -> Error "crash: missing trigger (io=N or t=T)"
+      in
+      Ok (Rank_crash { rank; trigger; restart_delay = get "restart" })
+    | "drainfail" ->
+      let* () = check_keys head ~accepted:[ "count"; "node"; "after" ] kvs in
+      let* failures =
+        Option.to_result ~none:"drainfail: missing count=K" (get "count")
+      in
+      Ok
+        (Drain_fault
+           {
+             node = get "node";
+             after = Option.value ~default:0 (get "after");
+             failures;
+           })
+    | "ostfail" ->
+      let* () =
+        check_keys head ~accepted:[ "target"; "t"; "recover"; "failover" ] kvs
+      in
+      let* target =
+        Option.to_result ~none:"ostfail: missing target=K" (get "target")
+      in
+      let* at = Option.to_result ~none:"ostfail: missing t=T" (get "t") in
+      Ok
+        (Ost_fail
+           {
+             target;
+             at;
+             recover = get "recover";
+             failover =
+               (match get "failover" with Some v -> v <> 0 | None -> false);
+           })
+    | _ ->
+      let* () = check_keys head ~accepted:[ "t"; "recover" ] kvs in
+      let* at = Option.to_result ~none:"mdsfail: missing t=T" (get "t") in
+      Ok (Mds_fail { at; recover = get "recover" }))
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown fault event %S; expected crash, drainfail, ostfail or mdsfail"
+         other)
 
 let of_string ?(name = "plan") ?(seed = 42) s =
   let specs =

@@ -20,6 +20,21 @@ type event =
       (** The next [failures] burst-buffer drain attempts at/after time
           [after] — on node [node], or on any node for [None] — fail
           transiently and are retried under the tier's backoff policy. *)
+  | Ost_fail of {
+      target : int;
+      at : int;
+      recover : int option;
+      failover : bool;
+    }
+      (** Storage target [target] fails at time [at], dropping its
+          volatile (unsettled) bytes.  With [failover] a standby replica
+          keeps serving the target's extents immediately; otherwise the
+          target is down until [recover] ticks after [at] ([None]: never —
+          its pending bytes are permanently lost). *)
+  | Mds_fail of { at : int; recover : int option }
+      (** The metadata server fails at time [at]: metadata operations
+          (open, truncate) are refused, which aborts the job fail-stop.
+          It restarts [recover] ticks later ([None]: never). *)
 
 type t = { name : string; seed : int; events : event list }
 
@@ -29,7 +44,18 @@ val make : ?name:string -> ?seed:int -> event list -> t
 val crash : ?rank:int -> ?restart_delay:int -> trigger -> event
 val drain_fault : ?node:int -> ?after:int -> int -> event
 
+val ost_fail : ?recover:int -> ?failover:bool -> target:int -> int -> event
+(** [ost_fail ~target at] fails [target] at time [at]; [failover] defaults
+    to false. *)
+
+val mds_fail : ?recover:int -> int -> event
+
 val crash_count : t -> int
+
+val has_target_failures : t -> bool
+(** Does the plan contain any [Ost_fail]/[Mds_fail] event?  (Gates the
+    client journal: without one, runs stay byte-identical to a build with
+    no failure domain.) *)
 
 val to_string : t -> string
 (** Compact spec, e.g. ["crash:rank=3,io=120,restart=64;drainfail:count=2"].
@@ -37,7 +63,11 @@ val to_string : t -> string
 
 val of_string : ?name:string -> ?seed:int -> string -> (t, string) result
 (** Parse a [;]-separated list of events:
-    [crash:rank=R,io=N|t=T[,restart=D]] and
-    [drainfail:count=K[,node=N][,after=T]]. *)
+    [crash:rank=R,io=N|t=T[,restart=D]],
+    [drainfail:count=K[,node=N][,after=T]],
+    [ostfail:target=K,t=T[,recover=D][,failover=1]] and
+    [mdsfail:t=T[,recover=D]].  Unknown event names and unknown keys are
+    errors; messages name the offending token and the accepted
+    alternatives. *)
 
 val pp : Format.formatter -> t -> unit

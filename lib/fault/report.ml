@@ -14,15 +14,23 @@ type row = {
   r_drain_faults : int;
   r_post_files : int;
   r_post_corrupted : int;
+  r_target_failures : int;
+  r_replayed_bytes : int;
+  r_journal_lost_bytes : int;
+  r_fsck_clean : int;
+  r_fsck_recovered : int;
+  r_fsck_corrupted : int;
 }
 
 let survives r =
   r.r_lost_writes = 0 && r.r_torn_writes = 0 && r.r_bb_lost_bytes = 0
+  && r.r_journal_lost_bytes = 0 && r.r_fsck_corrupted = 0
+  && r.r_post_corrupted = 0
 
 let recovered r = r.r_post_corrupted = 0
 
 let verdict r =
-  if not r.r_crashed then "no-crash"
+  if (not r.r_crashed) && r.r_target_failures = 0 then "no-crash"
   else if survives r then "survives"
   else if recovered r then "recovered"
   else "corrupted"
@@ -34,6 +42,14 @@ let row_of_outcome ~app ~semantics ~post_files ~post_corrupted
     match o.Injector.o_crashes with
     | [] -> (-1, -1)
     | c :: _ -> (c.Injector.cr_rank, c.Injector.cr_time)
+  in
+  let fsck_clean, fsck_recovered, fsck_corrupted =
+    match o.Injector.o_recovery with
+    | None -> (0, 0, 0)
+    | Some r ->
+      ( r.Hpcfs_fs.Recovery.clean,
+        r.Hpcfs_fs.Recovery.recovered,
+        r.Hpcfs_fs.Recovery.corrupted )
   in
   {
     r_app = app;
@@ -51,18 +67,32 @@ let row_of_outcome ~app ~semantics ~post_files ~post_corrupted
     r_drain_faults = o.Injector.o_drain_faults;
     r_post_files = post_files;
     r_post_corrupted = post_corrupted;
+    r_target_failures = Injector.target_failure_count o;
+    r_replayed_bytes = Injector.replayed_bytes o;
+    r_journal_lost_bytes = Injector.journal_lost_bytes o;
+    r_fsck_clean = fsck_clean;
+    r_fsck_recovered = fsck_recovered;
+    r_fsck_corrupted = fsck_corrupted;
   }
+
+(* The extended (target-failure) columns appear only when some row saw a
+   storage failure: plans without ostfail/mdsfail events render the exact
+   historical table and CSV, byte for byte. *)
+let extended rows = List.exists (fun r -> r.r_target_failures > 0) rows
 
 let csv_header =
   "app,semantics,plan,crashed,crash_rank,crash_time,restarts,lost_writes,lost_bytes,torn_writes,torn_bytes,bb_lost_bytes,drain_faults,post_files,post_corrupted,verdict"
+
+let csv_header_extended =
+  "app,semantics,plan,crashed,crash_rank,crash_time,restarts,lost_writes,lost_bytes,torn_writes,torn_bytes,bb_lost_bytes,drain_faults,post_files,post_corrupted,target_failures,replayed_bytes,journal_lost_bytes,fsck_clean,fsck_recovered,fsck_corrupted,verdict"
 
 let csv_quote s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
-let to_csv_row r =
-  String.concat ","
+let to_csv_row ~ext r =
+  let base =
     [
       csv_quote r.r_app;
       csv_quote r.r_semantics;
@@ -79,22 +109,57 @@ let to_csv_row r =
       string_of_int r.r_drain_faults;
       string_of_int r.r_post_files;
       string_of_int r.r_post_corrupted;
-      verdict r;
     ]
+  in
+  let tail =
+    if ext then
+      [
+        string_of_int r.r_target_failures;
+        string_of_int r.r_replayed_bytes;
+        string_of_int r.r_journal_lost_bytes;
+        string_of_int r.r_fsck_clean;
+        string_of_int r.r_fsck_recovered;
+        string_of_int r.r_fsck_corrupted;
+        verdict r;
+      ]
+    else [ verdict r ]
+  in
+  String.concat "," (base @ tail)
 
 let to_csv rows =
-  String.concat "\n" (csv_header :: List.map to_csv_row rows) ^ "\n"
+  let ext = extended rows in
+  let header = if ext then csv_header_extended else csv_header in
+  String.concat "\n" (header :: List.map (to_csv_row ~ext) rows) ^ "\n"
 
 let pp ppf rows =
   let open Format in
-  fprintf ppf "%-14s %-10s %7s %8s %10s %7s %10s %8s %7s %10s@."
-    "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_wr"
-    "torn_bytes" "bb_lost" "corrupt" "verdict";
-  List.iter
-    (fun r ->
-      fprintf ppf "%-14s %-10s %7s %8d %10d %7d %10d %8d %7d %10s@."
-        r.r_app r.r_semantics
-        (if r.r_crashed then "yes" else "no")
-        r.r_restarts r.r_lost_bytes r.r_torn_writes r.r_torn_bytes
-        r.r_bb_lost_bytes r.r_post_corrupted (verdict r))
-    rows
+  if extended rows then begin
+    fprintf ppf
+      "%-14s %-10s %7s %8s %10s %7s %10s %8s %8s %9s %9s %7s %10s@."
+      "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_wr"
+      "torn_bytes" "bb_lost" "ost_fail" "replayed" "jrnl_lost" "corrupt"
+      "verdict";
+    List.iter
+      (fun r ->
+        fprintf ppf
+          "%-14s %-10s %7s %8d %10d %7d %10d %8d %8d %9d %9d %7d %10s@."
+          r.r_app r.r_semantics
+          (if r.r_crashed then "yes" else "no")
+          r.r_restarts r.r_lost_bytes r.r_torn_writes r.r_torn_bytes
+          r.r_bb_lost_bytes r.r_target_failures r.r_replayed_bytes
+          r.r_journal_lost_bytes r.r_post_corrupted (verdict r))
+      rows
+  end
+  else begin
+    fprintf ppf "%-14s %-10s %7s %8s %10s %7s %10s %8s %7s %10s@."
+      "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_wr"
+      "torn_bytes" "bb_lost" "corrupt" "verdict";
+    List.iter
+      (fun r ->
+        fprintf ppf "%-14s %-10s %7s %8d %10d %7d %10d %8d %7d %10s@."
+          r.r_app r.r_semantics
+          (if r.r_crashed then "yes" else "no")
+          r.r_restarts r.r_lost_bytes r.r_torn_writes r.r_torn_bytes
+          r.r_bb_lost_bytes r.r_post_corrupted (verdict r))
+      rows
+  end

@@ -25,26 +25,43 @@ type row = {
   r_post_corrupted : int;
       (** Files whose final content diverges from the fault-free strong
           reference — data loss the recovery did not repair. *)
+  r_target_failures : int;  (** OST/MDS failures injected. *)
+  r_replayed_bytes : int;  (** Bytes the client journal replayed back. *)
+  r_journal_lost_bytes : int;  (** Journaled bytes that stayed unreplayable. *)
+  r_fsck_clean : int;  (** {!Hpcfs_fs.Recovery.check} verdict counts. *)
+  r_fsck_recovered : int;
+  r_fsck_corrupted : int;
 }
 
 val survives : row -> bool
-(** The crash cost nothing: no pending data was lost or torn and no
-    burst-buffer bytes vanished. *)
+(** The fault cost nothing: no pending data was lost or torn, no
+    burst-buffer bytes vanished, the client journal replayed everything it
+    parked, and fsck plus the post-run comparison found no corruption. *)
 
 val recovered : row -> bool
 (** The final file contents match the fault-free reference (the restart
     re-wrote whatever the crash destroyed). *)
 
 val verdict : row -> string
-(** ["no-crash"], ["survives"], ["recovered"], or ["corrupted"]. *)
+(** ["no-crash"], ["survives"], ["recovered"], or ["corrupted"].
+    ["no-crash"] requires that no rank crashed {e and} no storage target
+    failed. *)
 
 val row_of_outcome :
   app:string -> semantics:string -> post_files:int -> post_corrupted:int ->
   Injector.outcome -> row
 
 val csv_header : string
+(** The historical (no storage failures) column set. *)
+
+val csv_header_extended : string
+(** With the target-failure/journal/fsck columns. *)
+
 val to_csv : row list -> string
-(** Header plus one line per row, ["\n"]-terminated. *)
+(** Header plus one line per row, ["\n"]-terminated.  The extended columns
+    appear only when some row saw a storage failure, so plans without
+    ostfail/mdsfail events produce the historical CSV byte for byte. *)
 
 val pp : Format.formatter -> row list -> unit
-(** Fixed-width human-readable table. *)
+(** Fixed-width human-readable table; same conditional column rule as
+    {!to_csv}. *)

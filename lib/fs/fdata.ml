@@ -652,6 +652,116 @@ let crash t ~semantics ~time ~stripe_size ~keep_stripes =
   if pending <> [] then reindex t;
   !stats
 
+(* Insert a raw record carrying a surviving piece of a torn write: original
+   rank and issue time, fresh seq.  Callers must [reindex] afterwards. *)
+let append_raw t ~rank ~time iv data =
+  let w =
+    {
+      w_seq = t.log_n;
+      w_rank = rank;
+      w_time = time;
+      w_iv = iv;
+      w_data = data;
+      w_live = true;
+      pub_commit = ev_first_after (evl t.commits rank) time;
+      pub_close = ev_first_after (evl t.closes rank) time;
+    }
+  in
+  if t.log_n = Array.length t.log then begin
+    let a = Array.make (2 * t.log_n) w in
+    Array.blit t.log 0 a 0 t.log_n;
+    t.log <- a
+  end;
+  t.log.(t.log_n) <- w;
+  t.log_n <- t.log_n + 1;
+  t.live <- t.live + 1
+
+let crash_target t ~semantics ~time ~stripe_size ~server_count ~target =
+  if not t.monotonic then recompute_pubs t;
+  let lam_all =
+    match t.laminated_at with Some tl -> tl <= time | None -> false
+  in
+  if lam_all then (no_crash_stats, [])
+  else begin
+    let stats = ref no_crash_stats in
+    let ranks = Hashtbl.create 8 in
+    let appended = ref [] in
+    let changed = ref false in
+    let n = t.log_n in
+    for i = 0 to n - 1 do
+      let w = t.log.(i) in
+      if w.w_live && not (persisted t ~semantics ~time w) then begin
+        (* Partition the extent into stripe chunks, dropping those whose
+           chunk lands on the failed target and merging the contiguous
+           survivors.  All [Bytes.sub] pieces are taken before any
+           mutation of [w]. *)
+        let iv = w.w_iv and data = w.w_data in
+        let lo0 = iv.Interval.lo in
+        let kept = ref [] and dropped = ref 0 in
+        let pos = ref lo0 in
+        while !pos < iv.Interval.hi do
+          let next =
+            min iv.Interval.hi (((!pos / stripe_size) + 1) * stripe_size)
+          in
+          let len = next - !pos in
+          if !pos / stripe_size mod server_count = target then
+            dropped := !dropped + len
+          else begin
+            match !kept with
+            | (piv, pdata) :: rest when piv.Interval.hi = !pos ->
+              kept :=
+                ( Interval.make piv.Interval.lo next,
+                  Bytes.cat pdata (Bytes.sub data (!pos - lo0) len) )
+                :: rest
+            | _ ->
+              kept :=
+                (Interval.make !pos next, Bytes.sub data (!pos - lo0) len)
+                :: !kept
+          end;
+          pos := next
+        done;
+        if !dropped > 0 then begin
+          changed := true;
+          Hashtbl.replace ranks w.w_rank ();
+          match List.rev !kept with
+          | [] ->
+            stats :=
+              add_crash_stats !stats
+                {
+                  no_crash_stats with
+                  lost_writes = 1;
+                  lost_bytes = Interval.length iv;
+                };
+            w.w_live <- false;
+            t.live <- t.live - 1
+          | (fiv, fdata) :: rest ->
+            stats :=
+              add_crash_stats !stats
+                {
+                  lost_writes = 0;
+                  lost_bytes = !dropped;
+                  torn_writes = 1;
+                  torn_bytes = Interval.length iv - !dropped;
+                };
+            w.w_iv <- fiv;
+            w.w_data <- fdata;
+            List.iter
+              (fun (piv, pdata) ->
+                appended := (w.w_rank, w.w_time, piv, pdata) :: !appended)
+              rest
+        end
+      end
+    done;
+    List.iter
+      (fun (rank, time, iv, data) -> append_raw t ~rank ~time iv data)
+      (List.rev !appended);
+    if !changed then reindex t;
+    let affected =
+      List.sort compare (Hashtbl.fold (fun r () acc -> r :: acc) ranks [])
+    in
+    (!stats, affected)
+  end
+
 (* Reads ------------------------------------------------------------------ *)
 
 (* Count bytes where the issue-order winner differs from the visible

@@ -105,5 +105,26 @@ val crash :
     Session/commit event history survives — it describes operations that
     completed before the crash. *)
 
+val crash_target :
+  t ->
+  semantics:Consistency.t ->
+  time:int ->
+  stripe_size:int ->
+  server_count:int ->
+  target:int ->
+  crash_stats * int list
+(** [crash_target t ~semantics ~time ~stripe_size ~server_count ~target]
+    drops the volatile (non-persisted, under the same per-engine rules as
+    {!crash}) bytes stored on one failed storage target: every stripe chunk
+    of every unpersisted live write whose chunk maps to [target] under the
+    round-robin layout.  A write losing all of its chunks is lost outright;
+    one losing some is torn, its surviving chunks re-inserted with the
+    original rank and issue time.  Persisted data is untouched — it made it
+    to stable storage (or the failover replica) before the failure.
+
+    Returns the loss statistics and the sorted list of ranks that had at
+    least one byte dropped (their client state — locks, cached handles —
+    must be reconciled by the caller).  Laminated files lose nothing. *)
+
 val write_count : t -> int
 (** Number of recorded write extents (for tests and reports). *)

@@ -1,0 +1,85 @@
+(** Per-client operation journal: a write-ahead log of issued but not yet
+    settled data operations, the client side of the PFS failure domain.
+
+    Lustre-like file systems keep exactly this: a client retains each RPC
+    in memory until the server confirms it reached stable storage, so a
+    target failure (which discards volatile server state) can be repaired
+    by {e replaying} the unconfirmed operations against the recovered
+    target or its failover replica.  Here "confirmed" is the consistency
+    engine's durability rule — the same per-engine predicate
+    {!Fdata.persisted} applies at crash time:
+
+    - strong: a write settles on arrival;
+    - commit: once the writer fsyncs (or closes) strictly after it;
+    - session: once the writer closes strictly after it;
+    - eventual: once the propagation delay elapses.
+
+    Entry life cycle: [Applied] (issued and accepted) → [Settled] (durable,
+    dropped from the replay set) — or, on failure, [Parked] (refused while
+    its target was down) / [Dirty] (was applied, but its target failed
+    before it settled, so the volatile copy is gone) → replayed back to
+    [Applied]/[Settled], or [Lost] if the fsck pass gives up. *)
+
+type state = Applied | Parked | Dirty | Settled | Lost
+
+type t
+
+val create : ?retry:Hpcfs_util.Backoff.policy -> prng:Hpcfs_util.Prng.t -> Pfs.t -> t
+(** A journal for clients of [pfs].  [retry] (default {!Hpcfs_util.Backoff.default})
+    caps the per-operation retry loop; [prng] drives its backoff jitter
+    (pass a dedicated split so journaling never perturbs other seeded
+    streams). *)
+
+val pfs : t -> Pfs.t
+
+val wrap : t -> Backend.t -> Backend.t
+(** Interpose the journal on a backend: successful writes are recorded as
+    [Applied]; operations refused by a down target or MDS are retried
+    under the capped-backoff policy (retries are accounted, not slept —
+    target state cannot change within one operation, so the budget
+    deterministically exhausts) and then fall back — writes park in the
+    journal for later replay, reads degrade to {!Pfs.read_degraded},
+    metadata operations re-raise to the caller.  Close/fsync record the
+    publication watermarks that settle entries; truncate clips them. *)
+
+val on_target_fail : t -> time:int -> target:int -> unit
+(** Reclassify after target [target] failed at [time]: every [Applied]
+    entry with a stripe chunk on it either settles (it was durable — or
+    its file laminated — before the failure) or turns [Dirty].  Call
+    before any replay, right after {!Pfs.fail_target}. *)
+
+val replay : t -> time:int -> int
+(** Re-issue every [Parked]/[Dirty] entry, oldest first, against the PFS
+    at the entry's {e original} rank and timestamp — replay restores the
+    history the failure erased, it does not rewrite it.  Entries whose
+    target is still down stay pending; the rest return to [Applied] (or
+    [Settled] when their watermark already covers them).  Returns the
+    bytes successfully replayed. *)
+
+val mark_lost : t -> unit
+(** Give up on every still-pending entry (end of the fsck pass): they
+    become [Lost] and count as unreplayable. *)
+
+val outstanding : t -> int * int
+(** Pending ([Parked]/[Dirty]/[Lost]) writes and bytes. *)
+
+val file_outstanding : t -> string -> int * int
+(** {!outstanding} restricted to one path. *)
+
+val file_replayed_bytes : t -> string -> int
+(** Bytes successfully replayed into one path so far. *)
+
+type stats = {
+  recorded : int;  (** Writes journaled (every successful or parked write). *)
+  recorded_bytes : int;
+  retries : int;  (** Retry attempts against down targets. *)
+  giveups : int;  (** Operations that exhausted the retry budget. *)
+  backoff_ticks : int;  (** Logical ticks of backoff accounted. *)
+  parked_writes : int;  (** Writes refused and parked for replay. *)
+  replayed_writes : int;
+  replayed_bytes : int;
+  outstanding_writes : int;  (** Still pending (incl. [Lost]). *)
+  outstanding_bytes : int;
+}
+
+val stats : t -> stats

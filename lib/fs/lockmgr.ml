@@ -104,6 +104,25 @@ let release_client t ~file ~client =
     t.blocks;
   List.iter (fun (key, _) -> Hashtbl.remove t.blocks key) !to_remove
 
+let evict_client t ~client =
+  let evicted = ref 0 in
+  let to_remove = ref [] in
+  Hashtbl.iter
+    (fun key owner ->
+      match owner with
+      | Writer w when w = client ->
+        incr evicted;
+        to_remove := key :: !to_remove
+      | Readers readers when Hashtbl.mem readers client ->
+        incr evicted;
+        Hashtbl.remove readers client;
+        if Hashtbl.length readers = 0 then to_remove := key :: !to_remove
+      | Writer _ | Readers _ -> ())
+    t.blocks;
+  List.iter (fun key -> Hashtbl.remove t.blocks key) !to_remove;
+  revoked t !evicted;
+  !evicted
+
 let counters t =
   {
     acquisitions = t.acquisitions;

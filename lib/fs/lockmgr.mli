@@ -33,6 +33,14 @@ val access : t -> file:string -> client:int -> mode -> Hpcfs_util.Interval.t -> 
 val release_client : t -> file:string -> client:int -> unit
 (** Drop every lock [client] holds on [file] (called on close). *)
 
+val evict_client : t -> client:int -> int
+(** Forcibly recall every grant [client] holds across all files — the lock
+    manager's response to a dead client (rank crash) or a storage-target
+    failure that invalidated the client's cached state.  Each recalled
+    grant is counted as a revocation (the server must message the client,
+    or fence it, exactly as for a conflict recall).  Returns the number of
+    grants recalled. *)
+
 val counters : t -> counters
 
 val reset : t -> unit

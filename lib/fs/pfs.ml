@@ -7,6 +7,7 @@ type t = {
   namespace : Namespace.t;
   stripe : Stripe.t;
   lockmgr : Lockmgr.t;
+  targets : Target.t;
   (* Telemetry counter names, precomputed per consistency engine so the
      instrumented hot paths allocate nothing. *)
   m_read : string;
@@ -40,6 +41,7 @@ let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
     namespace = Namespace.create ();
     stripe;
     lockmgr = Lockmgr.create ~granularity:lock_granularity;
+    targets = Target.create ~count:stripe.Stripe.server_count;
     m_read = "fs.reads." ^ key;
     m_write = "fs.writes." ^ key;
     m_commit = "fs.commits." ^ key;
@@ -54,6 +56,37 @@ let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
 let semantics t = t.semantics
 let namespace t = t.namespace
 let stripe t = t.stripe
+let targets t = t.targets
+
+(* Availability checks.  [Target.all_up] is a single load, so the
+   fault-free hot path (every run without an ostfail/mdsfail plan) pays
+   nothing beyond it and produces byte-identical results to a build
+   without the failure domain. *)
+
+let check_mds t ~time =
+  if (not (Target.all_up t.targets)) && not (Target.mds_up t.targets) then begin
+    Target.note_rejected t.targets;
+    raise (Target.Mds_down { time })
+  end
+
+(* Data-path availability: a read or write whose extent touches a [Down]
+   target fails whole (no partial server-side application — the client
+   gives up before issuing any chunk).  Extents served by a [Degraded]
+   target's failover replica succeed and are counted. *)
+let check_data t ~time iv =
+  if (not (Target.all_up t.targets)) && not (Interval.is_empty iv) then begin
+    let degraded = ref false in
+    List.iter
+      (fun (srv, _) ->
+        match Target.state t.targets srv with
+        | Target.Down ->
+          Target.note_rejected t.targets;
+          raise (Target.Target_down { target = srv; time })
+        | Target.Degraded -> degraded := true
+        | Target.Up -> ())
+      (Stripe.split_extent t.stripe iv);
+    if !degraded then Obs.incr "fs.target.degraded_ops"
+  end
 
 let account_lock t ~file ~rank mode iv =
   match t.semantics with
@@ -68,6 +101,7 @@ let account_stripe t iv =
       "fs.stripe.requests"
 
 let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
+  check_mds t ~time;
   let fd =
     if create then Namespace.create_file t.namespace ~time path
     else Namespace.lookup_file t.namespace path
@@ -83,7 +117,8 @@ let close_file t ~time ~rank path =
   Obs.incr "fs.closes";
   Lockmgr.release_client t.lockmgr ~file:path ~client:rank
 
-let read t ~time ~rank path ~off ~len =
+(* The read body shared by the checked path and the degraded fallback. *)
+let do_read t ~time ~rank path ~off ~len =
   let fd = Namespace.lookup_file t.namespace path in
   if len > 0 then begin
     account_lock t ~file:path ~rank Lockmgr.Read (Interval.of_len off len);
@@ -106,9 +141,41 @@ let read t ~time ~rank path ~off ~len =
   Namespace.touch_atime t.namespace ~time path;
   result
 
+let read t ~time ~rank path ~off ~len =
+  if len > 0 then check_data t ~time (Interval.of_len off len);
+  do_read t ~time ~rank path ~off ~len
+
+(* Degraded read: serve whatever the reachable targets hold and return
+   zeroes for the chunks on down targets — what a client that already
+   exhausted its retries gets instead of blocking forever.  Never raises
+   for a down target; callers pick it explicitly. *)
+let read_degraded t ~time ~rank path ~off ~len =
+  let result = do_read t ~time ~rank path ~off ~len in
+  if (not (Target.all_up t.targets)) && len > 0 then begin
+    let data_hi = off + Bytes.length result.Fdata.data in
+    let unreachable = ref 0 in
+    List.iter
+      (fun (srv, piv) ->
+        if Target.state t.targets srv = Target.Down then begin
+          let lo = max piv.Interval.lo off
+          and hi = min piv.Interval.hi data_hi in
+          if hi > lo then begin
+            Bytes.fill result.Fdata.data (lo - off) (hi - lo) '\000';
+            unreachable := !unreachable + (hi - lo)
+          end
+        end)
+      (Stripe.split_extent t.stripe (Interval.of_len off len));
+    if !unreachable > 0 then begin
+      Obs.incr "fs.target.degraded_reads";
+      Obs.incr ~by:!unreachable "fs.target.unreachable_bytes"
+    end
+  end;
+  result
+
 let write t ~time ~rank path ~off data =
-  let fd = Namespace.lookup_file t.namespace path in
   let len = Bytes.length data in
+  if len > 0 then check_data t ~time (Interval.of_len off len);
+  let fd = Namespace.lookup_file t.namespace path in
   if len > 0 then begin
     account_lock t ~file:path ~rank Lockmgr.Write (Interval.of_len off len);
     account_stripe t (Interval.of_len off len)
@@ -129,6 +196,7 @@ let laminate t ~time path =
   Fdata.laminate (Namespace.lookup_file t.namespace path) ~time
 
 let truncate t ~time path len =
+  check_mds t ~time;
   let fd = Namespace.lookup_file t.namespace path in
   Fdata.truncate fd ~time len;
   Namespace.touch_mtime t.namespace ~time path
@@ -186,6 +254,52 @@ let crash t ~time ?(keep_stripes = fun ~total:_ -> 0) () =
       (Fdata.add_crash_stats acc s, (path, s) :: per_file))
     (Fdata.no_crash_stats, []) files
   |> fun (total, per_file) -> (total, List.rev per_file)
+
+(* Storage-target failure: mark the target and drop the volatile bytes it
+   held — each file's unpersisted stripe chunks on that target (see
+   {!Fdata.crash_target}).  Clients that lost bytes get their lock grants
+   recalled: the server cannot tell which of their cached state survived. *)
+let fail_target t ~time ?(failover = false) target =
+  Target.fail t.targets ~time ~failover target;
+  let stripe_size = t.stripe.Stripe.stripe_size in
+  let server_count = t.stripe.Stripe.server_count in
+  let files = List.sort compare (Namespace.all_files t.namespace) in
+  let total, per_file, ranks =
+    List.fold_left
+      (fun (acc, per_file, ranks) path ->
+        let fd = Namespace.lookup_file t.namespace path in
+        let s, rs =
+          Fdata.crash_target fd ~semantics:t.semantics ~time ~stripe_size
+            ~server_count ~target
+        in
+        if s.Fdata.lost_bytes > 0 then
+          Obs.incr ~by:s.Fdata.lost_bytes "fs.target.lost_bytes";
+        if s.Fdata.torn_bytes > 0 then
+          Obs.incr ~by:s.Fdata.torn_bytes "fs.target.torn_bytes";
+        let per_file =
+          if s = Fdata.no_crash_stats then per_file else (path, s) :: per_file
+        in
+        let ranks =
+          List.fold_left
+            (fun acc r -> if List.mem r acc then acc else r :: acc)
+            ranks rs
+        in
+        (Fdata.add_crash_stats acc s, per_file, ranks))
+      (Fdata.no_crash_stats, [], [])
+      files
+  in
+  let ranks = List.sort compare ranks in
+  let evicted =
+    List.fold_left
+      (fun acc r -> acc + Lockmgr.evict_client t.lockmgr ~client:r)
+      0 ranks
+  in
+  (total, List.rev per_file, ranks, evicted)
+
+let recover_target t ~time target = Target.recover t.targets ~time target
+let fail_mds t ~time = Target.fail_mds t.targets ~time
+let recover_mds t ~time = Target.recover_mds t.targets ~time
+let evict_client t ~client = Lockmgr.evict_client t.lockmgr ~client
 
 let observer_rank = -1
 

@@ -23,6 +23,11 @@ val semantics : t -> Consistency.t
 val namespace : t -> Namespace.t
 val stripe : t -> Stripe.t
 
+val targets : t -> Target.t
+(** The storage-target failure domain: one target per stripe server (see
+    {!Target}).  All up at creation; drive failures through
+    {!fail_target} / {!fail_mds} so pending data is reconciled too. *)
+
 val open_file :
   t -> time:int -> rank:int -> ?create:bool -> ?trunc:bool -> string -> int
 (** Open a file, recording the start of a session for [rank]; returns its
@@ -35,6 +40,16 @@ val close_file : t -> time:int -> rank:int -> string -> unit
 
 val read : t -> time:int -> rank:int -> string -> off:int -> len:int -> Fdata.read_result
 val write : t -> time:int -> rank:int -> string -> off:int -> bytes -> unit
+(** Data-path operations raise {!Target.Target_down} when any stripe chunk
+    of the extent maps to a [Down] target — before applying anything, so a
+    failed write is never partially visible.  {!open_file} and {!truncate}
+    raise {!Target.Mds_down} while the metadata server is down. *)
+
+val read_degraded :
+  t -> time:int -> rank:int -> string -> off:int -> len:int -> Fdata.read_result
+(** Like {!read} but never refuses service: chunks on [Down] targets read
+    back as zeroes (counted as [fs.target.unreachable_bytes]).  The escape
+    hatch a client uses after exhausting its retries. *)
 
 val fsync : t -> time:int -> rank:int -> string -> unit
 (** The commit operation of commit semantics. *)
@@ -73,6 +88,32 @@ val crash :
     aggregate loss statistics and the per-file breakdown, in sorted path
     order.  [keep_stripes] (default: keep nothing) decides how many whole
     stripes of each torn write reached storage. *)
+
+val fail_target :
+  t ->
+  time:int ->
+  ?failover:bool ->
+  int ->
+  Fdata.crash_stats * (string * Fdata.crash_stats) list * int list * int
+(** [fail_target t ~time k] fails storage target [k]: the target goes
+    [Down] ([Degraded] with [~failover:true] — a standby replica keeps
+    serving its extents) and every file's unpersisted stripe chunks on it
+    are dropped per the engine's durability rule ({!Fdata.crash_target}).
+    Returns [(stats, per_file, ranks, evicted)]: aggregate and per-file
+    (affected files only, sorted) loss statistics, the sorted ranks that
+    lost bytes, and how many lock grants their eviction recalled. *)
+
+val recover_target : t -> time:int -> int -> unit
+(** Bring a failed target back to [Up].  Recovered storage is empty of the
+    dropped volatile bytes — re-issuing them is the client's job (see
+    {!Journal}). *)
+
+val fail_mds : t -> time:int -> unit
+val recover_mds : t -> time:int -> unit
+
+val evict_client : t -> client:int -> int
+(** Recall every lock grant [client] holds (all files); returns the count.
+    Called when a client dies (rank crash) so its grants don't outlive it. *)
 
 val read_back : t -> time:int -> string -> Fdata.read_result
 (** Read a file's full contents as a fresh observer that opens after every

@@ -1,0 +1,68 @@
+(** Stateful storage targets: the PFS's own failure domain.
+
+    Each stripe server of a {!Stripe.t} layout is a storage target (an OST
+    in Lustre terms) that can fail and recover; the metadata server is a
+    separate single point.  This module is only the state machine and its
+    accounting — {!Pfs} maps extents to targets, raises the typed errors
+    on the data path, and reconciles pending data when a target dies.
+
+    Target states:
+    - [Up]: serving normally.
+    - [Degraded]: the primary died but a failover replica serves all
+      operations; data already settled is safe, volatile pending data on
+      the primary is still lost at the failure instant (the replica has
+      only what was settled or replayed to it).
+    - [Down]: unreachable.  Data-path operations touching the target fail
+      with {!Target_down}. *)
+
+type state = Up | Degraded | Down
+
+val state_name : state -> string
+(** ["up"], ["degraded"], ["down"]. *)
+
+exception Target_down of { target : int; time : int }
+(** Raised by data-path operations whose extent touches a [Down] target. *)
+
+exception Mds_down of { time : int }
+(** Raised by metadata operations (open, truncate) while the MDS is down. *)
+
+type t
+
+val create : count:int -> t
+(** All [count] targets start [Up], MDS up.  Raises [Invalid_argument] for
+    a non-positive count. *)
+
+val count : t -> int
+val state : t -> int -> state
+val available : t -> int -> bool
+(** [Up] or [Degraded] (a failover replica serves the target's extents). *)
+
+val all_up : t -> bool
+(** True iff every target is [Up] and the MDS is up — the single load the
+    fault-free hot path checks before skipping all per-extent work. *)
+
+val mds_up : t -> bool
+
+val fail : t -> time:int -> failover:bool -> int -> unit
+(** Fail target [k]: [Degraded] when a failover replica absorbs it,
+    [Down] otherwise. *)
+
+val recover : t -> time:int -> int -> unit
+(** Return target [k] to [Up] (no-op when already up). *)
+
+val fail_mds : t -> time:int -> unit
+val recover_mds : t -> time:int -> unit
+
+val note_rejected : t -> unit
+(** Count one operation refused because a target or the MDS was down. *)
+
+type counters = {
+  failures : int;  (** OST failures injected. *)
+  failovers : int;  (** Of which absorbed by a failover replica. *)
+  recoveries : int;  (** Targets returned to [Up]. *)
+  mds_failures : int;
+  mds_recoveries : int;
+  rejected_ops : int;  (** Operations refused with a typed error. *)
+}
+
+val counters : t -> counters

@@ -1,0 +1,18 @@
+type policy = {
+  max_retries : int;
+  base_delay : int;
+  max_delay : int;
+  jitter : float;
+}
+
+let default = { max_retries = 4; base_delay = 8; max_delay = 256; jitter = 0.5 }
+
+let delay policy prng ~attempt =
+  let attempt = max 0 attempt in
+  (* [base * 2^attempt] without overflow: the cap also bounds the shift. *)
+  let exp =
+    if attempt >= 30 then policy.max_delay
+    else min policy.max_delay (policy.base_delay * (1 lsl attempt))
+  in
+  let jitter_span = int_of_float (Float.of_int exp *. policy.jitter) in
+  exp + (if jitter_span > 0 then Prng.int prng jitter_span else 0)

@@ -10,6 +10,11 @@ module Consistency = Hpcfs_fs.Consistency
 module Pfs = Hpcfs_fs.Pfs
 module Fdata = Hpcfs_fs.Fdata
 module Stripe = Hpcfs_fs.Stripe
+module Target = Hpcfs_fs.Target
+module Journal = Hpcfs_fs.Journal
+module Recovery = Hpcfs_fs.Recovery
+module Backend = Hpcfs_fs.Backend
+module Prng = Hpcfs_util.Prng
 module Posix = Hpcfs_posix.Posix
 module Runner = Hpcfs_apps.Runner
 module Validation = Hpcfs_apps.Validation
@@ -30,6 +35,12 @@ let test_plan_roundtrip () =
       "drainfail:count=2";
       "drainfail:count=5,node=1,after=100";
       "crash:rank=1,io=7,restart=8;drainfail:count=3,node=0";
+      "ostfail:target=2,t=50";
+      "ostfail:target=0,t=10,recover=64";
+      "ostfail:target=1,t=10,failover=1";
+      "mdsfail:t=100";
+      "mdsfail:t=9,recover=5";
+      "crash:rank=1,io=7;ostfail:target=1,t=5,recover=8";
     ];
   List.iter
     (fun spec ->
@@ -43,7 +54,33 @@ let test_plan_roundtrip () =
       "drainfail:node=0";
       "meteor:rank=1";
       "crash:rank=x,io=2";
+      "ostfail:t=5";
+      "ostfail:target=2";
+      "mdsfail:recover=8";
+      "ostfail:target=1,t=5,mode=9";
     ]
+
+let test_plan_parse_error_messages () =
+  (* The satellite contract: a rejected spec names the offending token and
+     the accepted grammar, so a typo in a CI plan is diagnosable from the
+     message alone. *)
+  let err spec expected =
+    match Plan.of_string spec with
+    | Ok _ -> Alcotest.fail ("expected parse error: " ^ spec)
+    | Error e -> Alcotest.(check string) spec expected e
+  in
+  err "ostfail:t=5" "ostfail: missing target=K";
+  err "ostfail:target=2" "ostfail: missing t=T";
+  err "mdsfail:recover=8" "mdsfail: missing t=T";
+  err "ostfail:target=x,t=5" "ostfail: target: not an integer: \"x\"";
+  err "ostfail:target=1,t=5,mode=9"
+    "ostfail: unknown key \"mode\" (accepted: target, t, recover, failover)";
+  err "mdsfail:t" "mdsfail: expected key=value, got \"t\"";
+  err "crash:rank=1,io=2,restart=zz" "crash: restart: not an integer: \"zz\"";
+  err "drainfail:node=0" "drainfail: missing count=K";
+  err "meteor:rank=1"
+    "unknown fault event \"meteor\"; expected crash, drainfail, ostfail or \
+     mdsfail"
 
 let test_plan_constructors () =
   let plan =
@@ -215,6 +252,267 @@ let test_runner_crash_no_restart () =
     Alcotest.(check bool) "session run lost the victim's write" true
       ((Injector.crash_stats o).Fdata.lost_bytes > 0)
 
+(* Storage-target failures ------------------------------------------------- *)
+
+(* The headline differentiation, locked in exact bytes: two 32-byte writes
+   over 8-byte stripes on 4 servers put 8 bytes of each write on target 2
+   ([16,24) and [48,56)).  Failing that target between the fsync and any
+   close costs nothing under strong (settled on arrival) or commit (the
+   fsync published both), and exactly those 16 unsettled bytes under
+   session. *)
+let target_loss semantics =
+  let pfs =
+    Pfs.create ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4) semantics
+  in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/ck");
+  Pfs.write pfs ~time:2 ~rank:0 "/ck" ~off:0 (Bytes.make 32 'A');
+  Pfs.write pfs ~time:3 ~rank:0 "/ck" ~off:32 (Bytes.make 32 'B');
+  Pfs.fsync pfs ~time:4 ~rank:0 "/ck";
+  let stats, per_file, ranks, _ = Pfs.fail_target pfs ~time:5 2 in
+  (stats, per_file, ranks)
+
+let test_target_failure_differentiates_engines () =
+  let lost sem = let s, _, _ = target_loss sem in s.Fdata.lost_bytes in
+  Alcotest.(check int) "strong loses nothing" 0 (lost Consistency.Strong);
+  Alcotest.(check int) "commit loses nothing after the commit" 0
+    (lost Consistency.Commit);
+  Alcotest.(check int) "session loses exactly the target's unsettled chunks"
+    16 (lost Consistency.Session);
+  let stats, per_file, ranks = target_loss Consistency.Session in
+  (* Both writes lost their 8-byte middle chunk: torn, not dropped whole. *)
+  Alcotest.(check int) "both writes torn" 2 stats.Fdata.torn_writes;
+  Alcotest.(check int) "the off-target bytes survive" 48 stats.Fdata.torn_bytes;
+  Alcotest.(check int) "one affected file" 1 (List.length per_file);
+  Alcotest.(check (list int)) "the writer is the affected client" [ 0 ] ranks;
+  (* An engine that lost nothing reports no affected files or clients. *)
+  let _, per_file, ranks = target_loss Consistency.Strong in
+  Alcotest.(check int) "strong: no affected files" 0 (List.length per_file);
+  Alcotest.(check (list int)) "strong: no affected clients" [] ranks
+
+(* The client journal ------------------------------------------------------ *)
+
+let journal_scenario semantics ~publish =
+  let pfs =
+    Pfs.create ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4) semantics
+  in
+  let j = Journal.create ~prng:(Prng.create 3) pfs in
+  let b = Journal.wrap j (Backend.of_pfs pfs) in
+  ignore (b.Backend.open_file ~time:1 ~rank:0 ~create:true ~trunc:false "/f");
+  b.Backend.write ~time:2 ~rank:0 "/f" ~off:0 (Bytes.make 32 'A');
+  b.Backend.write ~time:3 ~rank:0 "/f" ~off:32 (Bytes.make 32 'B');
+  if publish then b.Backend.fsync ~time:4 ~rank:0 "/f";
+  let _ = Pfs.fail_target pfs ~time:5 2 in
+  Journal.on_target_fail j ~time:5 ~target:2;
+  (pfs, j, b)
+
+let test_journal_settle_rules () =
+  (* Settling mirrors Fdata.persisted: strong on arrival, commit at the
+     fsync, session never (no close here) — only unsettled entries turn
+     dirty when their target dies. *)
+  let outstanding sem ~publish =
+    let _, j, _ = journal_scenario sem ~publish in
+    Journal.outstanding j
+  in
+  Alcotest.(check (pair int int)) "strong: nothing pending" (0, 0)
+    (outstanding Consistency.Strong ~publish:false);
+  Alcotest.(check (pair int int)) "commit after fsync: nothing pending" (0, 0)
+    (outstanding Consistency.Commit ~publish:true);
+  Alcotest.(check (pair int int)) "commit without fsync: both entries dirty"
+    (2, 64)
+    (outstanding Consistency.Commit ~publish:false);
+  Alcotest.(check (pair int int)) "session: both entries dirty" (2, 64)
+    (outstanding Consistency.Session ~publish:false);
+  Alcotest.(check (pair int int)) "eventual: delay not yet elapsed" (2, 64)
+    (outstanding (Consistency.Eventual { delay = 100 }) ~publish:false)
+
+let test_journal_replay_restores_contents () =
+  let pfs, j, b = journal_scenario Consistency.Session ~publish:false in
+  (* While the target is down: new writes to it park (retried under the
+     capped backoff, accounted not slept), reads degrade to zeroes. *)
+  b.Backend.write ~time:6 ~rank:0 "/f" ~off:16 (Bytes.make 8 'C');
+  let st = Journal.stats j in
+  Alcotest.(check int) "write parked" 1 st.Journal.parked_writes;
+  Alcotest.(check bool) "retries and backoff accounted" true
+    (st.Journal.retries > 0 && st.Journal.backoff_ticks > 0);
+  let r = b.Backend.read ~time:7 ~rank:0 "/f" ~off:16 ~len:8 in
+  Alcotest.(check string) "degraded read serves zeroes" (String.make 8 '\000')
+    (Bytes.to_string r.Fdata.data);
+  (* Replay lands nothing while the target is still down... *)
+  Alcotest.(check int) "no replay while down" 0 (Journal.replay j ~time:8);
+  (* ...and everything once it recovers: the two dirty entries plus the
+     parked one, at their original ranks and timestamps. *)
+  Pfs.recover_target pfs ~time:9 2;
+  Alcotest.(check int) "replay lands all three entries" 72
+    (Journal.replay j ~time:10);
+  Alcotest.(check (pair int int)) "journal drained" (0, 0)
+    (Journal.outstanding j);
+  b.Backend.close_file ~time:11 ~rank:0 "/f";
+  let r = Pfs.read_back pfs ~time:20 "/f" in
+  Alcotest.(check string) "replay restored the history"
+    (String.make 16 'A' ^ String.make 8 'C' ^ String.make 8 'A'
+   ^ String.make 32 'B')
+    (Bytes.to_string r.Fdata.data);
+  (* fsck over a drained journal: every file clean, nothing lost. *)
+  let rep = Recovery.check j ~time:30 in
+  Alcotest.(check int) "no corrupted files" 0 rep.Recovery.corrupted;
+  Alcotest.(check int) "no lost bytes" 0 rep.Recovery.lost_bytes
+
+let test_recovery_verdicts () =
+  (* A target that never comes back: the dirty entries cannot replay, fsck
+     gives up on them and classifies the file corrupted. *)
+  let _, j, _ = journal_scenario Consistency.Session ~publish:false in
+  let rep = Recovery.check j ~time:100 in
+  Alcotest.(check int) "one corrupted file" 1 rep.Recovery.corrupted;
+  Alcotest.(check int) "both entries lost" 2 rep.Recovery.lost_writes;
+  Alcotest.(check int) "their bytes are gone" 64 rep.Recovery.lost_bytes;
+  (match rep.Recovery.files with
+  | [ f ] ->
+    Alcotest.(check bool) "verdict corrupted" true
+      (f.Recovery.f_verdict = Recovery.Corrupted)
+  | _ -> Alcotest.fail "expected one file report");
+  (* The same failure with a recovered target: fsck's final replay lands
+     everything and the file is recovered, not corrupted. *)
+  let pfs, j, _ = journal_scenario Consistency.Session ~publish:false in
+  Pfs.recover_target pfs ~time:9 2;
+  let rep = Recovery.check j ~time:100 in
+  Alcotest.(check int) "nothing corrupted" 0 rep.Recovery.corrupted;
+  Alcotest.(check int) "one recovered file" 1 rep.Recovery.recovered;
+  Alcotest.(check int) "all bytes replayed" 64 rep.Recovery.replayed_bytes
+
+(* Target failures through the runner -------------------------------------- *)
+
+let record_times p (result : Runner.result) =
+  List.sort compare
+    (List.filter_map
+       (fun (r : Hpcfs_trace.Record.t) ->
+         if p r.Hpcfs_trace.Record.func then Some r.Hpcfs_trace.Record.time
+         else None)
+       result.Runner.records)
+
+let has_prefix pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+(* The instant just before the first close: the closing rank has issued all
+   three of its pieces, none of them settled under session — so an OST
+   failure there is guaranteed to drop journaled-but-unsettled data.  The
+   default 1 MiB stripe puts every 96-byte checkpoint on target 0. *)
+let probe_fail_time () =
+  let reference = Runner.run ~semantics:Consistency.Session ~nprocs:4 ck_body in
+  (reference, List.hd (record_times (has_prefix "close") reference) - 1)
+
+let test_runner_target_failure_recovery () =
+  let reference, t_fail = probe_fail_time () in
+  let plan = Plan.make ~seed:5 [ Plan.ost_fail ~target:0 ~recover:32 t_fail ] in
+  let faulted =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4 ~faults:plan ck_body
+  in
+  (match faulted.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o ->
+    Alcotest.(check int) "one target failure" 1 (Injector.target_failure_count o);
+    Alcotest.(check int) "no rank crash" 0 (List.length o.Injector.o_crashes);
+    Alcotest.(check bool) "journal replayed the refused and dropped bytes"
+      true
+      (Injector.replayed_bytes o > 0);
+    Alcotest.(check int) "nothing unreplayable" 0 (Injector.journal_lost_bytes o);
+    (match o.Injector.o_recovery with
+    | None -> Alcotest.fail "expected an fsck report"
+    | Some rep ->
+      Alcotest.(check int) "fsck: nothing corrupted" 0 rep.Recovery.corrupted;
+      Alcotest.(check bool) "fsck: files recovered" true
+        (rep.Recovery.recovered > 0)));
+  Alcotest.(check (list (pair string string)))
+    "recovered to the fault-free state" (final_contents reference)
+    (final_contents faulted)
+
+let test_runner_target_failure_permanent () =
+  let reference, t_fail = probe_fail_time () in
+  ignore reference;
+  let plan = Plan.make ~seed:5 [ Plan.ost_fail ~target:0 t_fail ] in
+  let faulted =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4 ~faults:plan ck_body
+  in
+  match faulted.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o -> (
+    Alcotest.(check bool) "unreplayable bytes remain" true
+      (Injector.journal_lost_bytes o > 0);
+    match o.Injector.o_recovery with
+    | None -> Alcotest.fail "expected an fsck report"
+    | Some rep ->
+      Alcotest.(check bool) "fsck: corrupted files" true
+        (rep.Recovery.corrupted > 0);
+      Alcotest.(check bool) "fsck: lost bytes surfaced" true
+        (rep.Recovery.lost_bytes > 0))
+
+let test_runner_mds_failure () =
+  attempts_seen := [];
+  let reference = Runner.run ~semantics:Consistency.Session ~nprocs:4 ck_body in
+  let t_last_open =
+    List.hd (List.rev (record_times (has_prefix "open") reference))
+  in
+  let plan = Plan.make ~seed:5 [ Plan.mds_fail ~recover:16 (t_last_open - 1) ] in
+  let faulted =
+    Runner.run ~semantics:Consistency.Session ~nprocs:4 ~faults:plan ck_body
+  in
+  (match faulted.Runner.faults with
+  | None -> Alcotest.fail "expected a fault outcome"
+  | Some o -> (
+    Alcotest.(check int) "mds failure recorded" 1
+      (Injector.target_failure_count o);
+    Alcotest.(check int) "aborted once, restarted once" 1 o.Injector.o_restarts;
+    match o.Injector.o_crashes with
+    | [ c ] ->
+      Alcotest.(check int) "fail-stop job abort, not a rank crash" (-1)
+        c.Injector.cr_rank
+    | l ->
+      Alcotest.fail (Printf.sprintf "expected one abort, got %d" (List.length l))));
+  Alcotest.(check (list int)) "both attempts ran" [ 1; 0 ] !attempts_seen;
+  Alcotest.(check (list (pair string string)))
+    "the restart recovered the checkpoint" (final_contents reference)
+    (final_contents faulted)
+
+let test_target_crash_report_rows () =
+  let _, t_fail = probe_fail_time () in
+  let plan = Plan.make ~seed:5 [ Plan.ost_fail ~target:0 ~recover:32 t_fail ] in
+  let semantics =
+    [ Consistency.Strong; Consistency.Commit; Consistency.Session ]
+  in
+  let report () =
+    Validation.crash_report ~nprocs:4 ~semantics ~app:"ck-ost" ~plan ck_body
+  in
+  let rows = report () in
+  (match rows with
+  | [ strong; commit; session ] ->
+    (* Strong settled everything before the failure and the journal
+       replays everything refused during the outage: the fault costs
+       nothing.  Commit and session both lose unsettled extents at the
+       failure instant and win them back through replay. *)
+    Alcotest.(check string) "strong survives" "survives"
+      (Report.verdict strong);
+    Alcotest.(check string) "commit recovers via replay" "recovered"
+      (Report.verdict commit);
+    Alcotest.(check string) "session recovers via replay" "recovered"
+      (Report.verdict session);
+    List.iter
+      (fun r ->
+        Alcotest.(check int) "one target failure" 1 r.Report.r_target_failures;
+        Alcotest.(check bool) "no rank crash" false r.Report.r_crashed;
+        Alcotest.(check int) "no corruption left" 0 r.Report.r_post_corrupted;
+        Alcotest.(check int) "nothing unreplayable" 0
+          r.Report.r_journal_lost_bytes)
+      rows;
+    Alcotest.(check bool) "session replayed bytes" true
+      (session.Report.r_replayed_bytes > 0)
+  | _ -> Alcotest.fail "expected three rows");
+  (* Bit-identical across runs: same seed, same plan, same report. *)
+  let rows' = report () in
+  Alcotest.(check bool) "rows identical" true (rows = rows');
+  Alcotest.(check string) "CSV identical" (Report.to_csv rows)
+    (Report.to_csv rows');
+  Alcotest.(check bool) "target plans render the extended CSV" true
+    (has_prefix Report.csv_header_extended (Report.to_csv rows))
+
 (* The report -------------------------------------------------------------- *)
 
 let test_crash_report_rows_and_determinism () =
@@ -274,6 +572,12 @@ let test_report_verdicts () =
       r_drain_faults = 0;
       r_post_files = 1;
       r_post_corrupted = 0;
+      r_target_failures = 0;
+      r_replayed_bytes = 0;
+      r_journal_lost_bytes = 0;
+      r_fsck_clean = 0;
+      r_fsck_recovered = 0;
+      r_fsck_corrupted = 0;
     }
   in
   Alcotest.(check string) "survives" "survives" (Report.verdict base);
@@ -288,7 +592,16 @@ let test_report_verdicts () =
   let row = { base with Report.r_plan = "crash:rank=0,io=1" } in
   Alcotest.(check bool) "plan quoted in CSV" true
     (String.length (Report.to_csv [ row ]) > 0
-    && String.exists (fun c -> c = '"') (Report.to_csv [ row ]))
+    && String.exists (fun c -> c = '"') (Report.to_csv [ row ]));
+  (* Rows without storage failures keep the historical column set byte for
+     byte; a single target failure switches the whole table to the
+     extended one. *)
+  Alcotest.(check bool) "legacy rows render the legacy CSV" true
+    (has_prefix (Report.csv_header ^ "\n") (Report.to_csv [ base ]));
+  Alcotest.(check bool) "a target failure switches to the extended CSV" true
+    (has_prefix
+       (Report.csv_header_extended ^ "\n")
+       (Report.to_csv [ base; { base with Report.r_target_failures = 1 } ]))
 
 (* Drain faults through a tiered run --------------------------------------- *)
 
@@ -318,6 +631,8 @@ let test_tiered_drain_faults () =
 let suite =
   [
     Alcotest.test_case "plan spec roundtrip" `Quick test_plan_roundtrip;
+    Alcotest.test_case "plan parse error messages" `Quick
+      test_plan_parse_error_messages;
     Alcotest.test_case "plan constructors" `Quick test_plan_constructors;
     Alcotest.test_case "crash differentiates engines" `Quick
       test_crash_differentiates_engines;
@@ -334,4 +649,18 @@ let suite =
     Alcotest.test_case "report verdicts and CSV" `Quick test_report_verdicts;
     Alcotest.test_case "drain faults through tier" `Quick
       test_tiered_drain_faults;
+    Alcotest.test_case "target failure differentiates engines" `Quick
+      test_target_failure_differentiates_engines;
+    Alcotest.test_case "journal settle rules" `Quick test_journal_settle_rules;
+    Alcotest.test_case "journal replay restores contents" `Quick
+      test_journal_replay_restores_contents;
+    Alcotest.test_case "recovery verdicts" `Quick test_recovery_verdicts;
+    Alcotest.test_case "target failure and recovery through runner" `Quick
+      test_runner_target_failure_recovery;
+    Alcotest.test_case "permanent target failure loses bytes" `Quick
+      test_runner_target_failure_permanent;
+    Alcotest.test_case "mds failure aborts and restarts" `Quick
+      test_runner_mds_failure;
+    Alcotest.test_case "target crash report rows + determinism" `Quick
+      test_target_crash_report_rows;
   ]

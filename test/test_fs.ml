@@ -8,6 +8,7 @@ module Namespace = Hpcfs_fs.Namespace
 module Stripe = Hpcfs_fs.Stripe
 module Lockmgr = Hpcfs_fs.Lockmgr
 module Pfs = Hpcfs_fs.Pfs
+module Target = Hpcfs_fs.Target
 
 let b s = Bytes.of_string s
 
@@ -331,6 +332,62 @@ let test_stripe_requests () =
   let reqs = Stripe.requests_per_server s [ Interval.make 0 20; Interval.make 0 5 ] in
   Alcotest.(check (array int)) "request counts" [| 2; 1 |] reqs
 
+let test_stripe_split_edges () =
+  let s = Stripe.create ~stripe_size:10 ~server_count:4 in
+  (* Empty interval: no pieces, no load. *)
+  Alcotest.(check int) "empty interval has no pieces" 0
+    (List.length (Stripe.split_extent s (Interval.make 5 5)));
+  Alcotest.(check (array int)) "empty extent loads nothing" [| 0; 0; 0; 0 |]
+    (Stripe.server_load s [ Interval.make 5 5 ]);
+  (* Extent exactly on stripe boundaries: whole stripes, no slivers. *)
+  (match Stripe.split_extent s (Interval.make 10 30) with
+  | [ (s1, i1); (s2, i2) ] ->
+    Alcotest.(check int) "first piece on server 1" 1 s1;
+    Alcotest.(check int) "second piece on server 2" 2 s2;
+    Alcotest.(check bool) "boundaries preserved" true
+      (i1 = Interval.make 10 20 && i2 = Interval.make 20 30)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 pieces, got %d" (List.length l)));
+  (* Single-server layout: every piece lands on server 0 and the lengths
+     re-assemble the extent. *)
+  let solo = Stripe.create ~stripe_size:10 ~server_count:1 in
+  let pieces = Stripe.split_extent solo (Interval.make 3 47) in
+  Alcotest.(check bool) "all on server 0" true
+    (List.for_all (fun (srv, _) -> srv = 0) pieces);
+  Alcotest.(check int) "lengths add up" 44
+    (List.fold_left (fun a (_, i) -> a + Interval.length i) 0 pieces);
+  Alcotest.(check (array int)) "single server takes the whole load" [| 44 |]
+    (Stripe.server_load solo [ Interval.make 3 47 ])
+
+let qcheck_stripe_split_reconcatenates =
+  (* split_extent is a partition: the pieces are contiguous, in order,
+     cover exactly the input extent, stay within one stripe each, and name
+     the server that owns their bytes. *)
+  QCheck.Test.make ~name:"stripe split_extent pieces re-concatenate" ~count:500
+    QCheck.(
+      quad (int_range 1 16) (int_range 1 8) (int_bound 100) (int_bound 100))
+    (fun (stripe_size, server_count, lo, len) ->
+      let s = Stripe.create ~stripe_size ~server_count in
+      let iv = Interval.of_len lo len in
+      let pieces = Stripe.split_extent s iv in
+      let contiguous =
+        let rec go at = function
+          | [] -> at = iv.Interval.hi
+          | (_, p) :: rest -> p.Interval.lo = at && go p.Interval.hi rest
+        in
+        (if Interval.is_empty iv then pieces = [] else true)
+        && go iv.Interval.lo pieces
+      in
+      let well_placed =
+        List.for_all
+          (fun (srv, p) ->
+            (not (Interval.is_empty p))
+            && srv = Stripe.server_of_offset s p.Interval.lo
+            && srv = Stripe.server_of_offset s (p.Interval.hi - 1)
+            && p.Interval.lo / stripe_size = (p.Interval.hi - 1) / stripe_size)
+          pieces
+      in
+      contiguous && well_placed)
+
 (* Lock manager ------------------------------------------------------------ *)
 
 let test_lockmgr_accounting () =
@@ -361,6 +418,33 @@ let test_lockmgr_release () =
   Lockmgr.access lm ~file:"f" ~client:1 Lockmgr.Write (Interval.make 0 10);
   let c = Lockmgr.counters lm in
   Alcotest.(check int) "no revocation after release" 0 c.Lockmgr.revocations
+
+let test_lockmgr_evict_client () =
+  let lm = Lockmgr.create ~granularity:10 in
+  (* Client 0 holds write grants on two files, a read grant on a third;
+     client 1 shares the read block. *)
+  Lockmgr.access lm ~file:"a" ~client:0 Lockmgr.Write (Interval.make 0 20);
+  Lockmgr.access lm ~file:"b" ~client:0 Lockmgr.Write (Interval.make 0 10);
+  Lockmgr.access lm ~file:"c" ~client:0 Lockmgr.Read (Interval.make 0 10);
+  Lockmgr.access lm ~file:"c" ~client:1 Lockmgr.Read (Interval.make 0 10);
+  let before = Lockmgr.counters lm in
+  let evicted = Lockmgr.evict_client lm ~client:0 in
+  Alcotest.(check int) "four grants recalled" 4 evicted;
+  let after = Lockmgr.counters lm in
+  Alcotest.(check int) "recalls count as revocations" 4
+    (after.Lockmgr.revocations - before.Lockmgr.revocations);
+  Alcotest.(check bool) "recall+release messages accounted" true
+    (after.Lockmgr.messages > before.Lockmgr.messages);
+  (* The grants really are gone: re-acquiring revokes nothing new, and the
+     surviving reader still holds its block. *)
+  Lockmgr.access lm ~file:"a" ~client:2 Lockmgr.Write (Interval.make 0 20);
+  Alcotest.(check int) "no conflict with evicted grants" 4
+    (Lockmgr.counters lm).Lockmgr.revocations;
+  Lockmgr.access lm ~file:"c" ~client:1 Lockmgr.Read (Interval.make 0 10);
+  Alcotest.(check bool) "survivor's grant still cached" true
+    ((Lockmgr.counters lm).Lockmgr.hits > before.Lockmgr.hits);
+  Alcotest.(check int) "evicting a stranger recalls nothing" 0
+    (Lockmgr.evict_client lm ~client:99)
 
 (* Pfs --------------------------------------------------------------------- *)
 
@@ -406,6 +490,101 @@ let test_pfs_read_back () =
   Alcotest.(check string) "observer sees closed data" "xyz"
     (Bytes.to_string r.Fdata.data);
   Alcotest.(check int) "nothing stale" 0 r.Fdata.stale_bytes
+
+(* Storage targets --------------------------------------------------------- *)
+
+let test_pfs_target_states () =
+  let pfs =
+    Pfs.create
+      ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4)
+      Consistency.Strong
+  in
+  let tg = Pfs.targets pfs in
+  Alcotest.(check bool) "all up at creation" true (Target.all_up tg);
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "aaaaaaaabbbbbbbb");
+  let _ = Pfs.fail_target pfs ~time:3 1 in
+  Alcotest.(check bool) "target 1 down" true (Target.state tg 1 = Target.Down);
+  Alcotest.(check bool) "not all up" false (Target.all_up tg);
+  (* Writes touching the down target are refused before applying anything. *)
+  (try
+     Pfs.write pfs ~time:4 ~rank:0 "/f" ~off:8 (b "XXXXXXXX");
+     Alcotest.fail "write to a down target must raise"
+   with Target.Target_down { target; _ } ->
+     Alcotest.(check int) "typed error names the target" 1 target);
+  (* Reads confined to healthy targets still work; reads touching the down
+     one are refused. *)
+  let r = Pfs.read pfs ~time:5 ~rank:0 "/f" ~off:0 ~len:8 in
+  Alcotest.(check string) "healthy chunk readable" "aaaaaaaa"
+    (Bytes.to_string r.Fdata.data);
+  (try
+     ignore (Pfs.read pfs ~time:5 ~rank:0 "/f" ~off:8 ~len:8);
+     Alcotest.fail "read of a down target must raise"
+   with Target.Target_down _ -> ());
+  (* The degraded read never refuses: unreachable chunks come back as
+     zeroes (the data is durable — under strong it settled on arrival —
+     just unreachable). *)
+  let r = Pfs.read_degraded pfs ~time:6 ~rank:0 "/f" ~off:0 ~len:16 in
+  Alcotest.(check string) "down chunk reads as zeroes"
+    ("aaaaaaaa" ^ String.make 8 '\000')
+    (Bytes.to_string r.Fdata.data);
+  (* Recovery restores the durable bytes: strong settled them on arrival,
+     so nothing was dropped with the volatile state. *)
+  Pfs.recover_target pfs ~time:7 1;
+  Alcotest.(check bool) "all up again" true (Target.all_up tg);
+  let r = Pfs.read pfs ~time:8 ~rank:0 "/f" ~off:8 ~len:8 in
+  Alcotest.(check string) "settled data survived the outage" "bbbbbbbb"
+    (Bytes.to_string r.Fdata.data);
+  let c = Target.counters tg in
+  Alcotest.(check int) "failure counted" 1 c.Target.failures;
+  Alcotest.(check int) "recovery counted" 1 c.Target.recoveries;
+  Alcotest.(check bool) "rejections counted" true (c.Target.rejected_ops >= 2)
+
+let test_pfs_target_failover () =
+  let pfs =
+    Pfs.create
+      ~stripe:(Stripe.create ~stripe_size:8 ~server_count:4)
+      Consistency.Strong
+  in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "aaaaaaaabbbbbbbb");
+  let _ = Pfs.fail_target pfs ~time:3 ~failover:true 1 in
+  let tg = Pfs.targets pfs in
+  Alcotest.(check bool) "degraded, not down" true
+    (Target.state tg 1 = Target.Degraded);
+  Alcotest.(check bool) "still available" true (Target.available tg 1);
+  (* The standby replica keeps serving reads and accepting writes. *)
+  let r = Pfs.read pfs ~time:4 ~rank:0 "/f" ~off:8 ~len:8 in
+  Alcotest.(check string) "replica serves settled data" "bbbbbbbb"
+    (Bytes.to_string r.Fdata.data);
+  Pfs.write pfs ~time:5 ~rank:0 "/f" ~off:8 (b "CCCCCCCC");
+  let r = Pfs.read pfs ~time:6 ~rank:0 "/f" ~off:8 ~len:8 in
+  Alcotest.(check string) "replica accepts writes" "CCCCCCCC"
+    (Bytes.to_string r.Fdata.data)
+
+let test_pfs_mds_failure () =
+  let pfs = Pfs.create Consistency.Strong in
+  ignore (Pfs.open_file pfs ~time:1 ~rank:0 ~create:true "/f");
+  Pfs.write pfs ~time:2 ~rank:0 "/f" ~off:0 (b "abc");
+  Pfs.fail_mds pfs ~time:3;
+  (* Metadata operations are refused; the data path is unaffected (data
+     goes to the OSTs, not the MDS). *)
+  (try
+     ignore (Pfs.open_file pfs ~time:4 ~rank:1 "/f");
+     Alcotest.fail "open must raise while the MDS is down"
+   with Target.Mds_down _ -> ());
+  (try
+     Pfs.truncate pfs ~time:4 "/f" 1;
+     Alcotest.fail "truncate must raise while the MDS is down"
+   with Target.Mds_down _ -> ());
+  let r = Pfs.read pfs ~time:5 ~rank:0 "/f" ~off:0 ~len:3 in
+  Alcotest.(check string) "data path unaffected" "abc"
+    (Bytes.to_string r.Fdata.data);
+  Pfs.recover_mds pfs ~time:6;
+  ignore (Pfs.open_file pfs ~time:7 ~rank:1 "/f");
+  let c = Target.counters (Pfs.targets pfs) in
+  Alcotest.(check int) "mds failure counted" 1 c.Target.mds_failures;
+  Alcotest.(check int) "mds recovery counted" 1 c.Target.mds_recoveries
 
 (* Consistency table ------------------------------------------------------- *)
 
@@ -486,16 +665,22 @@ let suite =
     Alcotest.test_case "namespace stat" `Quick test_namespace_stat;
     Alcotest.test_case "stripe layout" `Quick test_stripe_layout;
     Alcotest.test_case "stripe requests" `Quick test_stripe_requests;
+    Alcotest.test_case "stripe split edge cases" `Quick test_stripe_split_edges;
     Alcotest.test_case "lockmgr accounting" `Quick test_lockmgr_accounting;
     Alcotest.test_case "lockmgr shared readers" `Quick test_lockmgr_shared_readers;
     Alcotest.test_case "lockmgr release" `Quick test_lockmgr_release;
+    Alcotest.test_case "lockmgr evict client" `Quick test_lockmgr_evict_client;
     Alcotest.test_case "pfs end to end" `Quick test_pfs_end_to_end;
     Alcotest.test_case "pfs stale accounting" `Quick test_pfs_stale_accounting;
     Alcotest.test_case "pfs locks only under strong" `Quick
       test_pfs_lock_stats_only_strong;
     Alcotest.test_case "pfs read_back" `Quick test_pfs_read_back;
+    Alcotest.test_case "pfs target states" `Quick test_pfs_target_states;
+    Alcotest.test_case "pfs target failover" `Quick test_pfs_target_failover;
+    Alcotest.test_case "pfs mds failure" `Quick test_pfs_mds_failure;
     Alcotest.test_case "consistency strength order" `Quick
       test_consistency_strength_order;
     Alcotest.test_case "consistency table 1" `Quick test_consistency_table1;
     QCheck_alcotest.to_alcotest qcheck_fdata_strong_matches_flat;
+    QCheck_alcotest.to_alcotest qcheck_stripe_split_reconcatenates;
   ]
