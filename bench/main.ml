@@ -27,6 +27,7 @@ let experiments =
     ( "failover",
       "storage-target failure, failover and journal replay",
       Bench_failover.failover );
+    ("sweep", "what-if sweep: workload-DSL grid across engines", Bench_sweep.sweep);
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
     ( "readpath",
       "extent-store read path vs reference log repaint",

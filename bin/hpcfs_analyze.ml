@@ -25,6 +25,8 @@ module Export_metrics = Hpcfs_obs.Export_metrics
 module App_report = Hpcfs_obs.App_report
 module Pfs = Hpcfs_fs.Pfs
 module Lockmgr = Hpcfs_fs.Lockmgr
+module Workload = Hpcfs_wl.Workload
+module Wl_compile = Hpcfs_wl.Compile
 
 open Cmdliner
 
@@ -62,15 +64,56 @@ let tier_config policy ranks_per_node =
     policy
 
 let app_arg =
-  let doc = "Application configuration (see $(b,list))." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  let doc =
+    "Application configuration (see $(b,list)), or a workload spec: \
+     $(b,wl:)$(i,SPEC) compiles the workload-DSL spec inline and \
+     $(b,@)$(i,FILE.wl) reads the spec from a file."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
-let find_app name =
-  match Registry.find name with
-  | Some e -> Ok e
-  | None ->
-    Error
-      (Printf.sprintf "unknown configuration %S; try `hpcfs_analyze list'" name)
+let workload_arg =
+  let doc =
+    "Run a workload-DSL spec instead of a catalogued application \
+     (equivalent to passing $(b,wl:)$(i,SPEC) as $(i,APP)); $(b,@)\
+     $(i,FILE.wl) reads the spec from a file.  See the DSL grammar in \
+     DESIGN.md."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "w"; "workload" ] ~docv:"SPEC" ~doc)
+
+(* A workload spec compiled to a synthetic registry entry; [@file.wl]
+   indirects through a file, its basename naming the workload. *)
+let workload_entry spec =
+  let ( let* ) = Result.bind in
+  let* name, spec =
+    if String.length spec > 0 && spec.[0] = '@' then begin
+      let path = String.sub spec 1 (String.length spec - 1) in
+      match In_channel.with_open_text path In_channel.input_all with
+      | contents ->
+        Ok (Filename.remove_extension (Filename.basename path), contents)
+      | exception Sys_error msg -> Error msg
+    end
+    else Ok ("spec", spec)
+  in
+  let* w = Workload.of_string ~name spec in
+  Ok (Wl_compile.entry w)
+
+let find_app ?workload app =
+  match (workload, app) with
+  | Some spec, None -> workload_entry spec
+  | None, Some name ->
+    if String.length name > 3 && String.lowercase_ascii (String.sub name 0 3) = "wl:"
+    then workload_entry (String.sub name 3 (String.length name - 3))
+    else if String.length name > 0 && name.[0] = '@' then workload_entry name
+    else (
+      match Registry.find name with
+      | Some e -> Ok e
+      | None ->
+        Error
+          (Printf.sprintf "unknown configuration %S; try `hpcfs_analyze list'"
+             name))
+  | Some _, Some _ -> Error "give either APP or --workload, not both"
+  | None, None -> Error "missing APP argument (or --workload SPEC)"
 
 let exits_of_result = function
   | Ok () -> ()
@@ -166,9 +209,25 @@ let save_obs ~dir ~app ~nprocs ?(extra = []) ~records sink =
 
 (* list --------------------------------------------------------------------- *)
 
+let conflicts_cell = function
+  | None -> "-"
+  | Some c when c = Registry.no_conflicts -> "clean"
+  | Some c ->
+    [
+      (c.Registry.waw_s, "WAWs");
+      (c.Registry.waw_d, "WAWd");
+      (c.Registry.raw_s, "RAWs");
+      (c.Registry.raw_d, "RAWd");
+    ]
+    |> List.filter_map (fun (set, name) -> if set then Some name else None)
+    |> String.concat ","
+
 let list_cmd =
   let run () =
-    let t = Table.create [ "Configuration"; "I/O library"; "Table 3"; "Description" ] in
+    let t =
+      Table.create
+        [ "Configuration"; "I/O library"; "Table 3"; "Table 4"; "Description" ]
+    in
     List.iter
       (fun e ->
         Table.add_row t
@@ -176,10 +235,19 @@ let list_cmd =
             Registry.label e;
             e.Registry.io_lib;
             e.Registry.expected_xy ^ " " ^ e.Registry.expected_structure;
+            conflicts_cell e.Registry.expected_conflicts;
             e.Registry.description;
           ])
       Registry.all;
-    Table.print t
+    Table.print t;
+    Printf.printf
+      "%d configurations (Table 4 column: expected conflict classes under \
+       session semantics).\n\
+       Anywhere APP is accepted, wl:SPEC or @FILE.wl runs a workload-DSL \
+       spec instead;\n\
+       try `hpcfs_analyze run --workload \
+       \"write:layout=shared,pattern=strided\"'.\n"
+      (List.length Registry.all)
   in
   let doc = "List the application configurations of the study." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
@@ -191,7 +259,7 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run app ranks trace_path tier ranks_per_node obs_dir =
+  let run app workload ranks trace_path tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -220,12 +288,12 @@ let run_cmd =
                  ~extra:(result_extras result) ~records:result.Runner.records
                  sink)
              obs)
-         (find_app app))
+         (find_app ?workload app))
   in
   let doc = "Run an application model and capture (or analyze) its trace." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ app_arg $ ranks_arg $ trace_arg $ tier_arg
+      const run $ app_arg $ workload_arg $ ranks_arg $ trace_arg $ tier_arg
       $ ranks_per_node_arg $ obs_arg)
 
 (* analyze ------------------------------------------------------------------ *)
@@ -280,7 +348,7 @@ let semantics_arg =
        & info [ "s"; "semantics" ] ~docv:"MODEL" ~doc)
 
 let conflicts_cmd =
-  let run app ranks semantics =
+  let run app workload ranks semantics =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -313,17 +381,17 @@ let conflicts_cmd =
              Table.print t;
              Printf.printf "%d conflicts\n" (List.length conflicts)
            end)
-         (find_app app))
+         (find_app ?workload app))
   in
   let doc = "List every detected conflict pair of a configuration." in
   Cmd.v
     (Cmd.info "conflicts" ~doc)
-    Term.(const run $ app_arg $ ranks_arg $ semantics_arg)
+    Term.(const run $ app_arg $ workload_arg $ ranks_arg $ semantics_arg)
 
 (* profile -------------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run app ranks =
+  let run app workload ranks =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -333,18 +401,19 @@ let profile_cmd =
              Hpcfs_core.Profile.build result.Runner.records report
            in
            Hpcfs_core.Profile.pp Format.std_formatter profile)
-         (find_app app))
+         (find_app ?workload app))
   in
   let doc =
     "Detailed I/O profile of a run: call counters, size histogram, per-file \
      activity and conflicts."
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ app_arg $ ranks_arg)
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ app_arg $ workload_arg $ ranks_arg)
 
 (* validate ------------------------------------------------------------------ *)
 
 let validate_cmd =
-  let run app ranks tier ranks_per_node obs_dir =
+  let run app workload ranks tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -389,7 +458,7 @@ let validate_cmd =
                   metrics.csv)\n"
                  dir)
              obs)
-         (find_app app))
+         (find_app ?workload app))
   in
   let doc =
     "Run a configuration under each consistency model on the PFS simulator \
@@ -398,8 +467,8 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc)
     Term.(
-      const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg
-      $ obs_arg)
+      const run $ app_arg $ workload_arg $ ranks_arg $ tier_arg
+      $ ranks_per_node_arg $ obs_arg)
 
 (* faults --------------------------------------------------------------------- *)
 
@@ -431,7 +500,8 @@ let plan_seed_arg =
 let sem_list_arg =
   let doc =
     "Comma-separated consistency engines to compare: $(b,strong), \
-     $(b,commit), $(b,session), $(b,eventual:DELAY)."
+     $(b,commit), $(b,session), $(b,eventual) (default visibility delay) \
+     or $(b,eventual:delay=N)."
   in
   Arg.(
     value
@@ -442,42 +512,14 @@ let csv_arg =
   let doc = "Also write the report as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
-let parse_semantics spec =
-  let parse_one s =
-    match String.lowercase_ascii (String.trim s) with
-    | "strong" -> Ok Consistency.Strong
-    | "commit" -> Ok Consistency.Commit
-    | "session" -> Ok Consistency.Session
-    | "eventual" -> Ok (Consistency.Eventual { delay = 16 })
-    | other -> (
-      match String.index_opt other ':' with
-      | Some i
-        when String.sub other 0 i = "eventual" -> (
-        let d = String.sub other (i + 1) (String.length other - i - 1) in
-        match int_of_string_opt d with
-        | Some delay when delay >= 0 -> Ok (Consistency.Eventual { delay })
-        | Some _ | None -> Error (Printf.sprintf "bad eventual delay: %S" d))
-      | _ -> Error (Printf.sprintf "unknown consistency engine %S" s))
-  in
-  List.fold_right
-    (fun s acc ->
-      Result.bind acc (fun tl -> Result.map (fun h -> h :: tl) (parse_one s)))
-    (List.filter
-       (fun s -> String.trim s <> "")
-       (String.split_on_char ',' spec))
-    (Ok [])
-
 let faults_cmd =
-  let run app ranks plan_spec plan_seed sem_spec tier ranks_per_node csv_path
-      obs_dir =
+  let run app workload ranks plan_spec plan_seed sem_spec tier ranks_per_node
+      csv_path obs_dir =
     exits_of_result
       (let ( let* ) = Result.bind in
-       let* entry = find_app app in
+       let* entry = find_app ?workload app in
        let* plan = Fault_plan.of_string ~seed:plan_seed plan_spec in
-       let* semantics = parse_semantics sem_spec in
-       let* semantics =
-         if semantics = [] then Error "empty --semantics list" else Ok semantics
-       in
+       let* semantics = Consistency.list_of_string sem_spec in
        let tier = tier_config tier ranks_per_node in
        with_obs obs_dir @@ fun obs ->
        let rows =
@@ -515,13 +557,13 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ app_arg $ ranks_arg $ plan_arg $ plan_seed_arg
+      const run $ app_arg $ workload_arg $ ranks_arg $ plan_arg $ plan_seed_arg
       $ sem_list_arg $ tier_arg $ ranks_per_node_arg $ csv_arg $ obs_arg)
 
 (* stats ---------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run app ranks tier ranks_per_node obs_dir =
+  let run app workload ranks tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -558,7 +600,7 @@ let stats_cmd =
                  ~extra:(result_extras result) ~records:result.Runner.records
                  sink)
              obs_dir)
-         (find_app app))
+         (find_app ?workload app))
   in
   let doc =
     "Run a configuration with telemetry enabled and print the metric \
@@ -566,8 +608,8 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const run $ app_arg $ ranks_arg $ tier_arg $ ranks_per_node_arg
-      $ obs_arg)
+      const run $ app_arg $ workload_arg $ ranks_arg $ tier_arg
+      $ ranks_per_node_arg $ obs_arg)
 
 (* main ----------------------------------------------------------------------- *)
 

@@ -193,6 +193,25 @@ let table4_entries =
 
 let label e = if e.variant = "" then e.app else e.app ^ "-" ^ e.variant
 
+(* Synthetic configurations (compiled workload-DSL specs) reuse the entry
+   shape so they run anywhere an app name works; the paper-table fields
+   hold placeholders. *)
+let dynamic ~label ?(io_lib = "POSIX") ?(description = "") body =
+  {
+    app = label;
+    variant = "";
+    io_lib;
+    version = "-";
+    description;
+    compiler = "-";
+    mpi = "-";
+    hdf5 = None;
+    expected_xy = "-";
+    expected_structure = "-";
+    expected_conflicts = None;
+    body;
+  }
+
 let find name =
   let name = String.lowercase_ascii name in
   List.find_opt (fun e -> String.lowercase_ascii (label e) = name) all

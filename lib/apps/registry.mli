@@ -39,3 +39,14 @@ val label : entry -> string
 
 val find : string -> entry option
 (** Look up by {!label} (case-insensitive). *)
+
+val dynamic :
+  label:string ->
+  ?io_lib:string ->
+  ?description:string ->
+  (Runner.env -> unit) ->
+  entry
+(** A synthetic configuration outside the paper's tables (e.g. a compiled
+    workload-DSL spec): the study-metadata fields hold ["-"] placeholders
+    and [expected_conflicts] is [None], so it is excluded from the Table 4
+    reproduction but runs anywhere an app name works. *)

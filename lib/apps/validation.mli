@@ -20,6 +20,15 @@ type outcome = {
 val correct : outcome -> bool
 (** No stale reads and no corrupted files. *)
 
+val sem_name : Hpcfs_fs.Consistency.t -> string
+(** Short engine label: ["strong"], ["commit"], ["session"] or
+    ["eventual:<delay>"]. *)
+
+val final_digests : Runner.result -> (string * Digest.t) list
+(** Digest of the final contents of every regular file, read back as a
+    fresh post-run observer — the comparison basis used by {!validate}
+    and by the sweep engine. *)
+
 val validate :
   ?obs:Hpcfs_obs.Obs.sink ->
   ?nprocs:int ->

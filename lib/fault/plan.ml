@@ -81,52 +81,19 @@ let ( let* ) = Result.bind
 
 (* Parse errors name the offending token and what the grammar accepts at
    that position, so a typo in a CLI --plan is diagnosable from the
-   message alone. *)
+   message alone.  The tokenization and message style live in
+   [Hpcfs_util.Spec], shared with the workload DSL. *)
 
-let parse_int head key s =
-  match int_of_string_opt s with
-  | Some v -> Ok v
-  | None -> Error (Printf.sprintf "%s: %s: not an integer: %S" head key s)
+module Spec = Hpcfs_util.Spec
 
-let parse_fields head fields =
-  List.fold_left
-    (fun acc field ->
-      let* acc = acc in
-      match String.index_opt field '=' with
-      | None -> Error (Printf.sprintf "%s: expected key=value, got %S" head field)
-      | Some i ->
-        let k = String.sub field 0 i in
-        let v = String.sub field (i + 1) (String.length field - i - 1) in
-        let* v = parse_int head k v in
-        Ok ((k, v) :: acc))
-    (Ok []) fields
-
-let check_keys head ~accepted kvs =
-  List.fold_left
-    (fun acc (k, _) ->
-      let* () = acc in
-      if List.mem k accepted then Ok ()
-      else
-        Error
-          (Printf.sprintf "%s: unknown key %S (accepted: %s)" head k
-             (String.concat ", " accepted)))
-    (Ok ()) kvs
+let check_keys = Spec.check_keys
 
 let parse_event spec =
-  let head, rest =
-    match String.index_opt spec ':' with
-    | Some i ->
-      ( String.sub spec 0 i,
-        String.sub spec (i + 1) (String.length spec - i - 1) )
-    | None -> (spec, "")
-  in
-  let head = String.lowercase_ascii head in
-  let fields =
-    List.filter (fun f -> f <> "") (String.split_on_char ',' rest)
-  in
+  let head, rest = Spec.split_head spec in
+  let fields = Spec.fields_of rest in
   match head with
   | "crash" | "drainfail" | "ostfail" | "mdsfail" -> (
-    let* kvs = parse_fields head fields in
+    let* kvs = Spec.parse_int_fields head fields in
     let get k = List.assoc_opt k kvs in
     match head with
     | "crash" ->

@@ -32,6 +32,18 @@ val name : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val default_eventual_delay : int
+(** Propagation delay assumed when an eventual spec gives none (16). *)
+
+val of_string : string -> (t, string) result
+(** Parse an engine spec: [strong], [commit], [session], [eventual]
+    (default delay), [eventual:N] or [eventual:delay=N].  Errors name the
+    offending token, e.g. ["eventual: delay: not an integer: \"x\""]. *)
+
+val list_of_string : string -> (t list, string) result
+(** Parse a comma-separated list of engine specs (as the [--semantics]
+    CLI flags accept); rejects an empty list. *)
+
 val table1 : (string * string list) list
 (** The paper's Table 1: category name paired with the production file
     systems in that category. *)

@@ -1,0 +1,67 @@
+(* Shared [head:key=value,...] tokenization for the flat spec languages
+   (fault plans, workload DSL).  Error messages name the offending token
+   and the accepted grammar; both parsers' messages are locked by tests, so
+   changes here are interface changes. *)
+
+let ( let* ) = Result.bind
+
+let split_head spec =
+  match String.index_opt spec ':' with
+  | Some i ->
+    ( String.lowercase_ascii (String.sub spec 0 i),
+      String.sub spec (i + 1) (String.length spec - i - 1) )
+  | None -> (String.lowercase_ascii spec, "")
+
+let fields_of rest =
+  List.filter (fun f -> f <> "") (String.split_on_char ',' rest)
+
+let parse_int head key s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: %s: not an integer: %S" head key s)
+
+let split_field head field =
+  match String.index_opt field '=' with
+  | None -> Error (Printf.sprintf "%s: expected key=value, got %S" head field)
+  | Some i ->
+    Ok
+      ( String.sub field 0 i,
+        String.sub field (i + 1) (String.length field - i - 1) )
+
+let parse_fields head fields =
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      let* kv = split_field head field in
+      Ok (kv :: acc))
+    (Ok []) fields
+
+let parse_int_fields head fields =
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      let* k, v = split_field head field in
+      let* v = parse_int head k v in
+      Ok ((k, v) :: acc))
+    (Ok []) fields
+
+let check_keys head ~accepted kvs =
+  List.fold_left
+    (fun acc (k, _) ->
+      let* () = acc in
+      if List.mem k accepted then Ok ()
+      else
+        Error
+          (Printf.sprintf "%s: unknown key %S (accepted: %s)" head k
+             (String.concat ", " accepted)))
+    (Ok ()) kvs
+
+let enum_field head key ~accepted v =
+  let vlow = String.lowercase_ascii v in
+  match List.assoc_opt vlow accepted with
+  | Some x -> Ok x
+  | None ->
+    Error
+      (Printf.sprintf "%s: %s: expected one of %s, got %S" head key
+         (String.concat ", " (List.map fst accepted))
+         v)

@@ -1,0 +1,45 @@
+(** Shared [head:key=value,...] spec parsing with precise errors.
+
+    Both the fault-plan language ([crash:rank=1,io=5]) and the workload DSL
+    ([write:layout=shared,pattern=strided]) are flat event specs: a
+    lowercase head naming the construct, then comma-separated [key=value]
+    fields.  This module owns the tokenization and the error style both
+    parsers share: every rejection names the offending token and what the
+    grammar accepts at that position, so a typo in a CLI spec is diagnosable
+    from the message alone. *)
+
+val split_head : string -> string * string
+(** [split_head "crash:rank=1"] is [("crash", "rank=1")]; the head is
+    lowercased, the rest is returned verbatim (empty when there is no
+    [':']). *)
+
+val fields_of : string -> string list
+(** Split the rest on [','], dropping empty fields. *)
+
+val parse_int : string -> string -> string -> (int, string) result
+(** [parse_int head key v] converts [v], failing with
+    ["head: key: not an integer: \"v\""]. *)
+
+val parse_fields : string -> string list -> ((string * string) list, string) result
+(** Split each ["key=value"] field; values stay raw strings.  The returned
+    list is in reverse field order, so [List.assoc_opt] sees the {e last}
+    occurrence of a repeated key, matching {!parse_int_fields}. *)
+
+val parse_int_fields : string -> string list -> ((string * int) list, string) result
+(** {!parse_fields} with every value converted through {!parse_int}
+    (fields are converted in input order, so the first bad value wins). *)
+
+val check_keys :
+  string -> accepted:string list -> (string * 'a) list -> (unit, string) result
+(** Reject the first binding whose key is not in [accepted] with
+    ["head: unknown key \"k\" (accepted: ...)"]. *)
+
+val enum_field :
+  string ->
+  string ->
+  accepted:(string * 'a) list ->
+  string ->
+  ('a, string) result
+(** [enum_field head key ~accepted v] looks [v] up (case-insensitively) in
+    [accepted], failing with
+    ["head: key: expected one of ..., got \"v\""]. *)

@@ -1,0 +1,172 @@
+(* Workload -> Runner body.  See compile.mli for the compilation scheme. *)
+
+module Runner = Hpcfs_apps.Runner
+module App_common = Hpcfs_apps.App_common
+module Registry = Hpcfs_apps.Registry
+module Posix = Hpcfs_posix.Posix
+module Mpi = Hpcfs_mpi.Mpi
+module Prng = Hpcfs_util.Prng
+open Workload
+
+type state = {
+  fds : (string, int * bool) Hashtbl.t;
+      (* open descriptors of this rank, with whether they can write: a
+         read phase may leave a read-only descriptor open (sync=none) that
+         a later write phase must displace, not reuse *)
+  created : (string, unit) Hashtbl.t;
+      (* shared paths the workload already created: identical on every
+         rank because every rank walks the same phase list *)
+  prng : Prng.t;
+  mutable tag : int;  (* distinct payload contents per burst *)
+}
+
+let dir_of w = "/wl/" ^ w.name
+
+let path_of w env i =
+  let base = dir_of w ^ "/" ^ i.file in
+  match i.layout with
+  | Shared -> base
+  | File_per_process -> Printf.sprintf "%s.%d" base (App_common.rank env)
+
+(* Participating ranks are the first [k]; rank 0 always participates, which
+   lets it double as the creator of shared files. *)
+let participants env i = min env.Runner.nprocs (Option.value ~default:env.Runner.nprocs i.ranks)
+
+let offset st i ~k ~rank op =
+  let b = i.block in
+  match (i.layout, i.order) with
+  | Shared, Consecutive -> op * b
+  | Shared, Segmented -> ((rank * i.count) + op) * b
+  | Shared, Strided -> ((op * k) + rank) * b
+  | Shared, Random -> Prng.int st.prng (k * i.count) * b
+  | File_per_process, (Consecutive | Segmented) -> op * b
+  | File_per_process, Strided -> 2 * op * b
+  | File_per_process, Random -> Prng.int st.prng (2 * i.count) * b
+
+(* A writable descriptor for [path], closing any read-only one a previous
+   read phase left open. *)
+let ensure_writable posix st path flags =
+  match Hashtbl.find_opt st.fds path with
+  | Some (_, true) -> ()
+  | Some (fd, false) ->
+    Posix.close posix fd;
+    Hashtbl.replace st.fds path (Posix.openf posix path flags, true)
+  | None -> Hashtbl.replace st.fds path (Posix.openf posix path flags, true)
+
+(* Open [path] for writing, creating it on the workload's first touch.
+   Shared files are created by rank 0 behind a barrier (every rank calls
+   the barrier, participant or not), so namespace creation is never racy
+   and O_TRUNC cannot wipe another rank's data. *)
+let open_write env st i path =
+  let posix = env.Runner.posix in
+  match i.layout with
+  | File_per_process ->
+    if App_common.rank env < participants env i then begin
+      let flags =
+        if Hashtbl.mem st.created path then [ Posix.O_RDWR ]
+        else [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ]
+      in
+      Hashtbl.replace st.created path ();
+      ensure_writable posix st path flags
+    end
+  | Shared ->
+    let fresh = not (Hashtbl.mem st.created path) in
+    if fresh then begin
+      Hashtbl.replace st.created path ();
+      if App_common.is_rank0 env then
+        ensure_writable posix st path
+          [ Posix.O_RDWR; Posix.O_CREAT; Posix.O_TRUNC ];
+      Mpi.barrier env.Runner.comm
+    end;
+    if App_common.rank env < participants env i then
+      ensure_writable posix st path [ Posix.O_RDWR ]
+
+let apply_sync env st i path =
+  match i.sync with
+  | Sync_none -> ()
+  | Fsync -> (
+    match Hashtbl.find_opt st.fds path with
+    | Some (fd, _) -> Posix.fsync env.Runner.posix fd
+    | None -> ())
+  | Close -> (
+    match Hashtbl.find_opt st.fds path with
+    | Some (fd, _) ->
+      Posix.close env.Runner.posix fd;
+      Hashtbl.remove st.fds path
+    | None -> ())
+
+let exec_write env st i path =
+  open_write env st i path;
+  let rank = App_common.rank env in
+  let k = participants env i in
+  if rank < k then begin
+    let fd, _ = Hashtbl.find st.fds path in
+    for op = 0 to i.count - 1 do
+      let off = offset st i ~k ~rank op in
+      ignore
+        (Posix.pwrite env.Runner.posix fd ~off
+           (App_common.payload ~len:i.block env (st.tag + op)))
+    done;
+    apply_sync env st i path
+  end;
+  st.tag <- st.tag + i.count
+
+let exec_read env st i path =
+  let rank = App_common.rank env in
+  let k = participants env i in
+  if rank < k then begin
+    let fd =
+      match Hashtbl.find_opt st.fds path with
+      | Some (fd, _) -> fd
+      | None ->
+        let fd = Posix.openf env.Runner.posix path [ Posix.O_RDONLY ] in
+        Hashtbl.replace st.fds path (fd, false);
+        fd
+    in
+    for op = 0 to i.count - 1 do
+      let off = offset st i ~k ~rank op in
+      ignore (Posix.pread env.Runner.posix fd ~off i.block)
+    done;
+    apply_sync env st i path
+  end;
+  st.tag <- st.tag + i.count
+
+let exec_phase w env st = function
+  | Write i -> exec_write env st i (path_of w env i)
+  | Read i -> exec_read env st i (path_of w env i)
+  | Checkpoint { io = i; steps; every } ->
+    for step = 1 to steps do
+      App_common.compute_allreduce env;
+      if step mod every = 0 then begin
+        let epoch = step / every in
+        let i = { i with file = Printf.sprintf "%s-%04d" i.file epoch } in
+        exec_write env st i (path_of w env i)
+      end
+    done
+  | Barrier -> Mpi.barrier env.Runner.comm
+  | Compute n ->
+    for _ = 1 to n do
+      App_common.compute_allreduce env
+    done
+
+let body w env =
+  let st =
+    {
+      fds = Hashtbl.create 8;
+      created = Hashtbl.create 8;
+      prng = Runner.rank_prng env;
+      tag = 0;
+    }
+  in
+  App_common.setup_dir env (dir_of w);
+  List.iter (exec_phase w env st) w.phases;
+  (* Process exit closes whatever is still open; path order keeps the
+     close sequence deterministic across Hashtbl layouts. *)
+  Hashtbl.fold (fun path (fd, _) acc -> (path, fd) :: acc) st.fds []
+  |> List.sort compare
+  |> List.iter (fun (_, fd) -> Posix.close env.Runner.posix fd);
+  App_common.compute env
+
+let entry ?label w =
+  let label = Option.value ~default:("wl:" ^ w.name) label in
+  Registry.dynamic ~label ~io_lib:"POSIX" ~description:(to_string w) (body w)

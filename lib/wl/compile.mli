@@ -1,0 +1,41 @@
+(** Compile a workload value to a runnable application body.
+
+    The compiled body drives the instrumented POSIX layer exactly as the
+    hand-written models do, so a DSL workload flows through the existing
+    Runner / Validation / fault-injection / telemetry stack unchanged:
+    traced records, conflict analysis, per-engine validation and crash
+    reports all apply.
+
+    Deterministic by construction: offsets derive from rank, phase and a
+    PRNG seeded from [env.seed] and the rank, so the same seed yields
+    bit-identical traces and reports.
+
+    Compilation scheme per phase (rank [r] of [n], [k] participating
+    ranks, block [b], op [i] of [count]):
+
+    - shared layout opens one file under [/wl/<name>/]; rank 0 creates it
+      (O_CREAT|O_TRUNC) on the workload's first touch, followed by a
+      barrier, so creation is never racy — the protocol every N-1 model in
+      [lib/apps] uses.  Offsets: consecutive [i*b] (all ranks overlap —
+      the conflicting what-if), segmented [(r*count + i)*b], strided
+      [(i*k + r)*b], random [uniform in the k*count-block span].
+    - fpp (file-per-process) opens [/wl/<name>/<file>.<r>] per rank.
+      Offsets: consecutive/segmented [i*b], strided [2*i*b], random
+      [uniform in a 2*count-block span].
+    - [sync=none] leaves the file open (a dirty session), [fsync]
+      publishes under commit semantics, [close] ends the session; files
+      still open when the workload ends are closed, in path order, before
+      a final barrier.
+    - checkpoint phases run [steps] allreduce compute steps and write a
+      fresh epoch file every [every]-th step.
+    - read phases reuse a still-open descriptor (same-session
+      read-your-writes) or open the file read-only. *)
+
+val body : Workload.t -> Hpcfs_apps.Runner.env -> unit
+(** The compiled body.  Reading a file no phase ever wrote raises the
+    POSIX layer's [Posix_error], as it would in any hand-written model. *)
+
+val entry : ?label:string -> Workload.t -> Hpcfs_apps.Registry.entry
+(** Wrap the compiled body as a synthetic registry entry (label defaults
+    to ["wl:<name>"]) so CLI commands and benches can treat a workload
+    like any catalogued application. *)

@@ -1,0 +1,72 @@
+open Workload
+module Gen = QCheck.Gen
+
+let layout_gen = Gen.oneofl [ Shared; File_per_process ]
+let order_gen = Gen.oneofl [ Consecutive; Strided; Segmented; Random ]
+let block_gen = Gen.oneofl [ 64; 256; 512; 1024 ]
+
+let write_gen =
+  let open Gen in
+  let* layout = layout_gen in
+  let* order = order_gen in
+  let* block = block_gen in
+  let* count = int_range 1 6 in
+  let* ranks = oneof [ return None; map (fun k -> Some (k + 1)) (int_bound 3) ] in
+  let* file = oneofl [ "f0"; "f1"; "f2" ] in
+  let* sync = oneofl [ Sync_none; Fsync; Close ] in
+  return { layout; order; block; count; ranks; file; sync }
+
+(* A read re-targets the (layout, file, ranks) of an earlier write, so the
+   paths it opens were created; the access shape is free.  [fsync] makes no
+   sense on a read-only descriptor, so reads only keep or close theirs. *)
+let read_gen written =
+  let open Gen in
+  let* w = oneofl written in
+  let* order = order_gen in
+  let* block = block_gen in
+  let* count = int_range 1 6 in
+  let* sync = oneofl [ Sync_none; Close ] in
+  return { w with order; block; count; sync }
+
+let checkpoint_gen =
+  let open Gen in
+  let* io = write_gen in
+  let* steps = int_range 1 8 in
+  let* every = int_range 1 steps in
+  return (Checkpoint { io = { io with file = "ck-" ^ io.file }; steps; every })
+
+let phases_gen =
+  let open Gen in
+  let* n = int_range 1 6 in
+  let rec build i written acc =
+    if i = n then return (List.rev acc)
+    else
+      let* choice =
+        frequency
+          [ (4, return `W); (3, return `R); (2, return `C); (1, return `B);
+            (1, return `K) ]
+      in
+      match choice with
+      | `R when written <> [] ->
+        let* io = read_gen written in
+        build (i + 1) written (Read io :: acc)
+      | `W | `R ->
+        (* a read with nothing written yet degrades to a write *)
+        let* io = write_gen in
+        build (i + 1) (io :: written) (Write io :: acc)
+      | `C ->
+        let* steps = int_range 1 3 in
+        build (i + 1) written (Compute steps :: acc)
+      | `B -> build (i + 1) written (Barrier :: acc)
+      | `K ->
+        let* ck = checkpoint_gen in
+        build (i + 1) written (ck :: acc)
+  in
+  build 0 [] []
+
+let gen =
+  let open Gen in
+  let* phases = phases_gen in
+  return { name = "soak"; phases }
+
+let arbitrary = QCheck.make ~print:to_string gen

@@ -1,0 +1,268 @@
+(* The workload value, its combinators, and the compact text syntax.  The
+   tokenizer and error style are shared with the fault-plan language via
+   Hpcfs_util.Spec. *)
+
+module Spec = Hpcfs_util.Spec
+
+type layout = Shared | File_per_process
+
+type order = Consecutive | Strided | Segmented | Random
+
+type sync = Sync_none | Fsync | Close
+
+type io = {
+  layout : layout;
+  order : order;
+  block : int;
+  count : int;
+  ranks : int option;
+  file : string;
+  sync : sync;
+}
+
+type phase =
+  | Write of io
+  | Read of io
+  | Checkpoint of { io : io; steps : int; every : int }
+  | Barrier
+  | Compute of int
+
+type t = { name : string; phases : phase list }
+
+let layout_name = function Shared -> "shared" | File_per_process -> "fpp"
+
+let order_name = function
+  | Consecutive -> "consecutive"
+  | Strided -> "strided"
+  | Segmented -> "segmented"
+  | Random -> "random"
+
+let sync_name = function Sync_none -> "none" | Fsync -> "fsync" | Close -> "close"
+
+(* Combinators -------------------------------------------------------------- *)
+
+let io ?(layout = Shared) ?(order = Consecutive) ?(block = 512) ?(count = 1)
+    ?ranks ?(file = "data") ?(sync = Close) () =
+  { layout; order; block; count; ranks; file; sync }
+
+let write ?layout ?order ?block ?count ?ranks ?file ?sync () =
+  Write (io ?layout ?order ?block ?count ?ranks ?file ?sync ())
+
+let read ?layout ?order ?block ?count ?ranks ?file ?sync () =
+  Read (io ?layout ?order ?block ?count ?ranks ?file ?sync ())
+
+let checkpoint ?layout ?order ?block ?count ?ranks ?(file = "ckpt") ?sync
+    ?(steps = 20) ?(every = 10) () =
+  Checkpoint
+    { io = io ?layout ?order ?block ?count ?ranks ~file ?sync (); steps; every }
+
+let barrier = Barrier
+let compute n = Compute n
+
+let make ?(name = "workload") phases = { name; phases }
+
+(* Printing ----------------------------------------------------------------- *)
+
+let default_io = io ()
+let default_ckpt_io = io ~file:"ckpt" ()
+
+let io_fields ~default i =
+  List.concat
+    [
+      (if i.layout <> default.layout then
+         [ "layout=" ^ layout_name i.layout ]
+       else []);
+      (if i.order <> default.order then
+         [ "pattern=" ^ order_name i.order ]
+       else []);
+      (if i.block <> default.block then
+         [ Printf.sprintf "block=%d" i.block ]
+       else []);
+      (if i.count <> default.count then
+         [ Printf.sprintf "count=%d" i.count ]
+       else []);
+      (match i.ranks with
+      | Some k -> [ Printf.sprintf "ranks=%d" k ]
+      | None -> []);
+      (if i.file <> default.file then [ "file=" ^ i.file ] else []);
+      (if i.sync <> default.sync then [ "sync=" ^ sync_name i.sync ] else []);
+    ]
+
+let phase_to_string = function
+  | Write i ->
+    let fields = io_fields ~default:default_io i in
+    if fields = [] then "write" else "write:" ^ String.concat "," fields
+  | Read i ->
+    let fields = io_fields ~default:default_io i in
+    if fields = [] then "read" else "read:" ^ String.concat "," fields
+  | Checkpoint { io = i; steps; every } ->
+    let fields =
+      [ Printf.sprintf "steps=%d" steps; Printf.sprintf "every=%d" every ]
+      @ io_fields ~default:default_ckpt_io i
+    in
+    "checkpoint:" ^ String.concat "," fields
+  | Barrier -> "barrier"
+  | Compute 1 -> "compute"
+  | Compute n -> Printf.sprintf "compute:n=%d" n
+
+let to_string t = String.concat ";" (List.map phase_to_string t.phases)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Validation --------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let check_io head i =
+  if i.block <= 0 then
+    Error (Printf.sprintf "%s: block must be positive, got %d" head i.block)
+  else if i.count <= 0 then
+    Error (Printf.sprintf "%s: count must be positive, got %d" head i.count)
+  else if (match i.ranks with Some k -> k <= 0 | None -> false) then
+    Error
+      (Printf.sprintf "%s: ranks must be positive, got %d" head
+         (Option.get i.ranks))
+  else if i.file = "" || String.contains i.file '/' then
+    Error (Printf.sprintf "%s: file must be a plain name, got %S" head i.file)
+  else Ok ()
+
+let check_phase = function
+  | Write i -> check_io "write" i
+  | Read i -> check_io "read" i
+  | Checkpoint { io = i; steps; every } ->
+    let* () = check_io "checkpoint" i in
+    if steps <= 0 then
+      Error (Printf.sprintf "checkpoint: steps must be positive, got %d" steps)
+    else if every <= 0 then
+      Error (Printf.sprintf "checkpoint: every must be positive, got %d" every)
+    else Ok ()
+  | Barrier -> Ok ()
+  | Compute n ->
+    if n <= 0 then
+      Error (Printf.sprintf "compute: n must be positive, got %d" n)
+    else Ok ()
+
+let validate t =
+  if t.phases = [] then Error "empty workload"
+  else
+    let* () =
+      List.fold_left
+        (fun acc p ->
+          let* () = acc in
+          check_phase p)
+        (Ok ()) t.phases
+    in
+    Ok t
+
+(* Parsing ------------------------------------------------------------------ *)
+
+let layouts = [ ("shared", Shared); ("fpp", File_per_process) ]
+
+let orders =
+  [
+    ("consecutive", Consecutive);
+    ("strided", Strided);
+    ("segmented", Segmented);
+    ("random", Random);
+  ]
+
+let syncs = [ ("none", Sync_none); ("fsync", Fsync); ("close", Close) ]
+
+let io_keys = [ "layout"; "pattern"; "block"; "count"; "ranks"; "file"; "sync" ]
+
+let parse_io head ~default kvs =
+  let get k = List.assoc_opt k kvs in
+  let* layout =
+    match get "layout" with
+    | None -> Ok default.layout
+    | Some v -> Spec.enum_field head "layout" ~accepted:layouts v
+  in
+  let* order =
+    match get "pattern" with
+    | None -> Ok default.order
+    | Some v -> Spec.enum_field head "pattern" ~accepted:orders v
+  in
+  let* block =
+    match get "block" with
+    | None -> Ok default.block
+    | Some v -> Spec.parse_int head "block" v
+  in
+  let* count =
+    match get "count" with
+    | None -> Ok default.count
+    | Some v -> Spec.parse_int head "count" v
+  in
+  let* ranks =
+    match get "ranks" with
+    | None -> Ok None
+    | Some v -> Result.map Option.some (Spec.parse_int head "ranks" v)
+  in
+  let file = Option.value ~default:default.file (get "file") in
+  let* sync =
+    match get "sync" with
+    | None -> Ok default.sync
+    | Some v -> Spec.enum_field head "sync" ~accepted:syncs v
+  in
+  Ok { layout; order; block; count; ranks; file; sync }
+
+let parse_phase spec =
+  let head, rest = Spec.split_head spec in
+  let fields = Spec.fields_of rest in
+  match head with
+  | "write" | "read" ->
+    let* kvs = Spec.parse_fields head fields in
+    let* () = Spec.check_keys head ~accepted:io_keys kvs in
+    let* i = parse_io head ~default:default_io kvs in
+    Ok (if head = "write" then Write i else Read i)
+  | "checkpoint" | "ckpt" ->
+    let head = "checkpoint" in
+    let* kvs = Spec.parse_fields head fields in
+    let* () =
+      Spec.check_keys head ~accepted:([ "steps"; "every" ] @ io_keys) kvs
+    in
+    let* i = parse_io head ~default:default_ckpt_io kvs in
+    let* steps =
+      match List.assoc_opt "steps" kvs with
+      | None -> Ok 20
+      | Some v -> Spec.parse_int head "steps" v
+    in
+    let* every =
+      match List.assoc_opt "every" kvs with
+      | None -> Ok 10
+      | Some v -> Spec.parse_int head "every" v
+    in
+    Ok (Checkpoint { io = i; steps; every })
+  | "barrier" ->
+    if fields = [] then Ok Barrier
+    else Error (Printf.sprintf "barrier: takes no keys, got %S" rest)
+  | "compute" ->
+    let* kvs = Spec.parse_fields head fields in
+    let* () = Spec.check_keys head ~accepted:[ "n" ] kvs in
+    let* n =
+      match List.assoc_opt "n" kvs with
+      | None -> Ok 1
+      | Some v -> Spec.parse_int head "n" v
+    in
+    Ok (Compute n)
+  | other ->
+    Error
+      (Printf.sprintf
+         "unknown workload phase %S; expected write, read, checkpoint, \
+          barrier or compute"
+         other)
+
+let of_string ?(name = "workload") s =
+  let specs =
+    List.filter (fun f -> String.trim f <> "") (String.split_on_char ';' s)
+  in
+  if specs = [] then Error "empty workload spec"
+  else
+    let* phases =
+      List.fold_left
+        (fun acc spec ->
+          let* acc = acc in
+          let* p = parse_phase (String.trim spec) in
+          Ok (p :: acc))
+        (Ok []) specs
+    in
+    validate { name; phases = List.rev phases }

@@ -305,6 +305,56 @@ let test_namespace_rename () =
   let fd' = Namespace.lookup_file ns "/x/new" in
   Alcotest.(check int) "payload moved" 4 (Fdata.size fd')
 
+let test_namespace_rename_onto_existing () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/x";
+  ignore (Namespace.create_file ns ~time:2 "/x/a");
+  Namespace.mkdir ns ~time:3 "/x/d";
+  ignore (Namespace.create_file ns ~time:4 "/x/d/child");
+  (* The destination exists (a non-empty directory): rename refuses rather
+     than clobbering the subtree. *)
+  Alcotest.check_raises "rename onto non-empty dir" (Namespace.Exists "/x/d")
+    (fun () -> Namespace.rename ns ~time:5 "/x/a" "/x/d");
+  Alcotest.(check bool) "source untouched" true (Namespace.exists ns "/x/a");
+  Alcotest.(check bool) "dest subtree untouched" true
+    (Namespace.exists ns "/x/d/child");
+  (* Same refusal when the destination is a plain file. *)
+  Alcotest.check_raises "rename onto file" (Namespace.Exists "/x/a") (fun () ->
+      Namespace.rename ns ~time:6 "/x/d" "/x/a")
+
+let test_namespace_rename_dir_across_parents () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/src";
+  Namespace.mkdir ns ~time:2 "/dst";
+  Namespace.mkdir ns ~time:3 "/src/sub";
+  let fd = Namespace.create_file ns ~time:4 "/src/sub/f" in
+  Fdata.write fd ~rank:0 ~time:5 ~off:0 (b "abc");
+  Namespace.rename ns ~time:6 "/src/sub" "/dst/moved";
+  Alcotest.(check bool) "old dir gone" false (Namespace.exists ns "/src/sub");
+  Alcotest.(check bool) "moved is dir" true (Namespace.is_dir ns "/dst/moved");
+  (* The subtree moved with its parent, payload intact. *)
+  let fd' = Namespace.lookup_file ns "/dst/moved/f" in
+  Alcotest.(check int) "payload moved with subtree" 3 (Fdata.size fd');
+  Alcotest.(check (list string)) "all files reflect the move"
+    [ "/dst/moved/f" ] (Namespace.all_files ns);
+  Alcotest.(check (list string)) "source parent now empty" []
+    (Namespace.readdir ns "/src")
+
+let test_namespace_readdir_after_unlink () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/d";
+  List.iter
+    (fun n -> ignore (Namespace.create_file ns ~time:2 ("/d/" ^ n)))
+    [ "c"; "a"; "b" ];
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    (Namespace.readdir ns "/d");
+  Namespace.unlink ns "/d/b";
+  Alcotest.(check (list string)) "sorted after unlink" [ "a"; "c" ]
+    (Namespace.readdir ns "/d");
+  ignore (Namespace.create_file ns ~time:3 "/d/b");
+  Alcotest.(check (list string)) "recreated entry re-sorts" [ "a"; "b"; "c" ]
+    (Namespace.readdir ns "/d")
+
 let test_namespace_stat () =
   let ns = Namespace.create () in
   let fd = Namespace.create_file ns ~time:5 "/f" in
@@ -662,6 +712,12 @@ let suite =
     Alcotest.test_case "namespace tree" `Quick test_namespace_tree;
     Alcotest.test_case "namespace errors" `Quick test_namespace_errors;
     Alcotest.test_case "namespace rename" `Quick test_namespace_rename;
+    Alcotest.test_case "namespace rename onto existing" `Quick
+      test_namespace_rename_onto_existing;
+    Alcotest.test_case "namespace rename dir across parents" `Quick
+      test_namespace_rename_dir_across_parents;
+    Alcotest.test_case "namespace readdir after unlink" `Quick
+      test_namespace_readdir_after_unlink;
     Alcotest.test_case "namespace stat" `Quick test_namespace_stat;
     Alcotest.test_case "stripe layout" `Quick test_stripe_layout;
     Alcotest.test_case "stripe requests" `Quick test_stripe_requests;

@@ -14,6 +14,7 @@ let () =
       ("apps", Test_apps.suite);
       ("bb", Test_bb.suite);
       ("fault", Test_fault.suite);
+      ("wl", Test_wl.suite);
       ("obs", Test_obs.suite);
       ("integration", Test_integration.suite);
       ("validation", Test_validation.suite);
