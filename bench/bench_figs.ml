@@ -15,10 +15,10 @@ let fig1 which () =
     match which with
     | `Global ->
       ( "Figure 1(a): global access pattern (PFS perspective)",
-        fun report -> report.Report.global_mix )
+        fun (report : Report.t) -> report.Report.global_mix )
     | `Local ->
       ( "Figure 1(b): local access pattern (per-process perspective)",
-        fun report -> report.Report.local_mix )
+        fun (report : Report.t) -> report.Report.local_mix )
   in
   section title;
   let t =

@@ -77,6 +77,28 @@ let record_scenario ~name ~ns ~allocs =
       (json_escape name) ns allocs
     :: !json_objs
 
+let record_codec ~name ~records ~bytes ~encode_s ~decode_s =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"records\": %d, \"bytes\": %d, \
+       \"bytes_per_record\": %.2f, \"encode_records_per_s\": %.0f, \
+       \"decode_records_per_s\": %.0f}"
+      (json_escape name) records bytes
+      (float_of_int bytes /. float_of_int (max 1 records))
+      (float_of_int records /. encode_s)
+      (float_of_int records /. decode_s)
+    :: !json_objs
+
+let record_stream ~name ~records ~seconds ~top_heap_mb =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"records\": %d, \"seconds\": %.2f, \
+       \"records_per_s\": %.0f, \"top_heap_mb\": %.0f}"
+      (json_escape name) records seconds
+      (float_of_int records /. seconds)
+      top_heap_mb
+    :: !json_objs
+
 let record_readpath ~name ~writes ~reads ~extent ~reference =
   let ens, ea = extent and rns, ra = reference in
   json_objs :=

@@ -29,6 +29,9 @@ let experiments =
       Bench_failover.failover );
     ("sweep", "what-if sweep: workload-DSL grid across engines", Bench_sweep.sweep);
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
+    ( "trace",
+      "binary trace codec throughput and streaming analysis",
+      Bench_trace.trace );
     ( "readpath",
       "extent-store read path vs reference log repaint",
       Bench_perf.readpath );

@@ -195,6 +195,7 @@ let save_obs ~dir ~app ~nprocs ?(extra = []) ~records sink =
   let extra =
     extra
     @ (match App_report.extent_section sink with Some s -> [ s ] | None -> [])
+    @ (match App_report.codec_section sink with Some s -> [ s ] | None -> [])
   in
   mkdir_p dir;
   Export_chrome.save ~path:(Filename.concat dir "trace.json") ~records sink;
@@ -258,8 +259,18 @@ let trace_arg =
   let doc = "Write the captured trace to $(docv)." in
   Arg.(value & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc)
 
+let format_conv =
+  Arg.enum [ ("text", Tracefile.Text); ("binary", Tracefile.Binary) ]
+
+let format_arg =
+  let doc =
+    "Trace format for $(b,--trace): $(b,text) (v1, line-oriented) or \
+     $(b,binary) (v2, compact chunked encoding)."
+  in
+  Arg.(value & opt format_conv Tracefile.Text & info [ "format" ] ~docv:"FMT" ~doc)
+
 let run_cmd =
-  let run app workload ranks trace_path tier ranks_per_node obs_dir =
+  let run app workload ranks trace_path format tier ranks_per_node obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -277,7 +288,7 @@ let run_cmd =
              result.Runner.tier;
            (match trace_path with
            | Some path ->
-             Tracefile.save path result.Runner.records;
+             Tracefile.save ~format path result.Runner.records;
              Printf.printf "trace written to %s\n" path
            | None ->
              let report = Report.analyze ~nprocs:ranks result.Runner.records in
@@ -293,8 +304,8 @@ let run_cmd =
   let doc = "Run an application model and capture (or analyze) its trace." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ app_arg $ workload_arg $ ranks_arg $ trace_arg $ tier_arg
-      $ ranks_per_node_arg $ obs_arg)
+      const run $ app_arg $ workload_arg $ ranks_arg $ trace_arg $ format_arg
+      $ tier_arg $ ranks_per_node_arg $ obs_arg)
 
 (* analyze ------------------------------------------------------------------ *)
 
@@ -310,29 +321,68 @@ let ranks_opt_arg =
   Arg.(value & opt (some int) None & info [ "r"; "ranks" ] ~docv:"N" ~doc)
 
 let analyze_cmd =
+  (* Streaming path: records go straight from the reader into the analysis
+     accumulators, so memory scales with the resolved data accesses, not
+     with the trace length (a binary trace never exists as a record list). *)
   let run path ranks =
     exits_of_result
-      (match Tracefile.load path with
-      | Error e -> Error e
-      | Ok records ->
-        let nprocs =
-          match ranks with
-          | Some n -> n
-          | None ->
-            let n =
-              List.fold_left
-                (fun acc r -> max acc (r.Hpcfs_trace.Record.rank + 1))
-                1 records
-            in
-            Printf.printf "ranks inferred from trace: %d\n" n;
-            n
-        in
-        let report = Report.analyze ~nprocs records in
-        Report.pp_summary Format.std_formatter report;
-        Ok ())
+      (let stream = Report.stream ?nprocs:ranks () in
+       match Tracefile.iter path ~f:(Report.feed stream) with
+       | Error e -> Error e
+       | Ok _ ->
+         let summary = Report.finish stream in
+         if ranks = None then
+           Printf.printf "ranks inferred from trace: %d\n"
+             summary.Report.nprocs;
+         Report.pp_digest Format.std_formatter summary;
+         Ok ())
   in
   let doc = "Analyze a saved trace: patterns, conflicts, recommendation." in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_arg $ ranks_opt_arg)
+
+(* convert ------------------------------------------------------------------ *)
+
+let convert_cmd =
+  let src_arg =
+    let doc = "Trace file to convert (text or binary, auto-detected)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC" ~doc)
+  in
+  let dst_arg =
+    let doc = "Output trace file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DST" ~doc)
+  in
+  let target_arg =
+    let doc =
+      "Target format, $(b,text) or $(b,binary); defaults to the opposite of \
+       the source format."
+    in
+    Arg.(value & opt (some format_conv) None & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run src dst target =
+    exits_of_result
+      (let ( let* ) = Result.bind in
+       let* src_format = Tracefile.detect_format src in
+       let target =
+         match target with
+         | Some f -> f
+         | None -> (
+           match src_format with
+           | Tracefile.Text -> Tracefile.Binary
+           | Tracefile.Binary -> Tracefile.Text)
+       in
+       let* n = Tracefile.convert ~src ~dst target in
+       Printf.printf "converted %d records: %s (%s) -> %s (%s)\n" n src
+         (Tracefile.format_name src_format)
+         dst
+         (Tracefile.format_name target);
+       Ok ())
+  in
+  let doc =
+    "Convert a trace between the text (v1) and binary (v2) formats, \
+     streaming record by record."
+  in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const run $ src_arg $ dst_arg $ target_arg)
 
 (* conflicts ---------------------------------------------------------------- *)
 
@@ -563,7 +613,7 @@ let faults_cmd =
 (* stats ---------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run app workload ranks tier ranks_per_node obs_dir =
+  let run app workload ranks tier ranks_per_node trace_path format obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -575,8 +625,15 @@ let stats_cmd =
                    Runner.run ~nprocs:ranks ?tier entry.Registry.body
                  in
                  ignore (Report.analyze ~nprocs:ranks result.Runner.records);
+                 (* Saved inside the sink's scope so the codec's
+                    [trace.codec.*] counters land in the registry below. *)
+                 Option.iter
+                   (fun path ->
+                     Tracefile.save ~format path result.Runner.records)
+                   trace_path;
                  result)
            in
+           Option.iter (Printf.printf "trace written to %s\n") trace_path;
            let spans = Obs.span_summary sink in
            if spans <> [] then begin
              let t = Table.create [ "span"; "calls"; "ticks"; "wall (s)" ] in
@@ -609,7 +666,7 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ app_arg $ workload_arg $ ranks_arg $ tier_arg
-      $ ranks_per_node_arg $ obs_arg)
+      $ ranks_per_node_arg $ trace_arg $ format_arg $ obs_arg)
 
 (* main ----------------------------------------------------------------------- *)
 
@@ -626,6 +683,7 @@ let () =
             list_cmd;
             run_cmd;
             analyze_cmd;
+            convert_cmd;
             conflicts_cmd;
             profile_cmd;
             validate_cmd;

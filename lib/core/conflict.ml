@@ -35,44 +35,44 @@ let session_conflict mode (w : Access.t) (second : Access.t) =
          ~reader:second.Access.rank ~file:w.Access.file w.Access.time
          second.Access.time)
 
-let of_pairs ?(mode = Annotated) semantics pairs =
-  List.filter_map
-    (fun (first, second) ->
-      if not (Access.is_write first) then None
-      else begin
-        let conflicting =
-          match semantics with
-          | Commit_semantics -> commit_conflict mode first second
-          | Session_semantics -> session_conflict mode first second
-        in
-        if not conflicting then None
-        else
-          Some
-            {
-              first;
-              second;
-              kind = (if Access.is_write second then WAW else RAW);
-              scope =
-                (if first.Access.rank = second.Access.rank then Same else Diff);
-            }
-      end)
-    pairs
+let classify ?(mode = Annotated) semantics (first, second) =
+  if not (Access.is_write first) then None
+  else begin
+    let conflicting =
+      match semantics with
+      | Commit_semantics -> commit_conflict mode first second
+      | Session_semantics -> session_conflict mode first second
+    in
+    if not conflicting then None
+    else
+      Some
+        {
+          first;
+          second;
+          kind = (if Access.is_write second then WAW else RAW);
+          scope =
+            (if first.Access.rank = second.Access.rank then Same else Diff);
+        }
+  end
+
+let of_pairs ?mode semantics pairs =
+  List.filter_map (classify ?mode semantics) pairs
 
 let detect ?mode semantics accesses =
   of_pairs ?mode semantics (Overlap.detect accesses)
 
 type summary = { waw_s : int; waw_d : int; raw_s : int; raw_d : int }
 
-let summarize conflicts =
-  List.fold_left
-    (fun s c ->
-      match (c.kind, c.scope) with
-      | WAW, Same -> { s with waw_s = s.waw_s + 1 }
-      | WAW, Diff -> { s with waw_d = s.waw_d + 1 }
-      | RAW, Same -> { s with raw_s = s.raw_s + 1 }
-      | RAW, Diff -> { s with raw_d = s.raw_d + 1 })
-    { waw_s = 0; waw_d = 0; raw_s = 0; raw_d = 0 }
-    conflicts
+let empty_summary = { waw_s = 0; waw_d = 0; raw_s = 0; raw_d = 0 }
+
+let count s c =
+  match (c.kind, c.scope) with
+  | WAW, Same -> { s with waw_s = s.waw_s + 1 }
+  | WAW, Diff -> { s with waw_d = s.waw_d + 1 }
+  | RAW, Same -> { s with raw_s = s.raw_s + 1 }
+  | RAW, Diff -> { s with raw_d = s.raw_d + 1 }
+
+let summarize conflicts = List.fold_left count empty_summary conflicts
 
 let no_conflicts s = s.waw_s = 0 && s.waw_d = 0 && s.raw_s = 0 && s.raw_d = 0
 

@@ -33,6 +33,10 @@ type mode =
       (** Binary-search the open/close/commit tables per pair (the paper's
           alternative method). Both must agree; benches compare them. *)
 
+val classify : ?mode:mode -> semantics -> Overlap.pair -> t option
+(** The conflict a time-ordered overlapping pair induces under
+    [semantics], if any.  Default mode is [Annotated]. *)
+
 val of_pairs : ?mode:mode -> semantics -> Overlap.pair list -> t list
 (** Filter and classify overlapping pairs into conflicts.  Default mode is
     [Annotated]. *)
@@ -41,6 +45,12 @@ val detect : ?mode:mode -> semantics -> Access.t list -> t list
 (** [Overlap.detect] composed with {!of_pairs}. *)
 
 type summary = { waw_s : int; waw_d : int; raw_s : int; raw_d : int }
+
+val empty_summary : summary
+
+val count : summary -> t -> summary
+(** Add one conflict to a summary — the streaming accumulator behind
+    {!summarize}. *)
 
 val summarize : t list -> summary
 

@@ -15,20 +15,22 @@ let issuer_of_origin = function
   | Record.O_hdf5 -> By_hdf5
   | Record.O_app | Record.O_netcdf | Record.O_adios | Record.O_silo -> By_app
 
-let inventory records =
-  let tbl : (string, issuer list ref) Hashtbl.t = Hashtbl.create 32 in
-  List.iter
-    (fun r ->
-      if
-        r.Record.layer = Record.L_posix
-        && Opclass.classify r.Record.func = Opclass.Metadata
-      then begin
-        let issuer = issuer_of_origin r.Record.origin in
-        match Hashtbl.find_opt tbl r.Record.func with
-        | Some l -> if not (List.mem issuer !l) then l := issuer :: !l
-        | None -> Hashtbl.add tbl r.Record.func (ref [ issuer ])
-      end)
-    records;
+type collector = (string, issuer list ref) Hashtbl.t
+
+let collector () : collector = Hashtbl.create 32
+
+let record tbl r =
+  if
+    r.Record.layer = Record.L_posix
+    && Opclass.classify r.Record.func = Opclass.Metadata
+  then begin
+    let issuer = issuer_of_origin r.Record.origin in
+    match Hashtbl.find_opt tbl r.Record.func with
+    | Some l -> if not (List.mem issuer !l) then l := issuer :: !l
+    | None -> Hashtbl.add tbl r.Record.func (ref [ issuer ])
+  end
+
+let usage tbl =
   (* Present in the monitored-operation order of the paper's footnote 3. *)
   List.filter_map
     (fun op ->
@@ -36,6 +38,11 @@ let inventory records =
       | Some issuers -> Some (op, List.sort compare !issuers)
       | None -> None)
     Opclass.monitored_metadata_ops
+
+let inventory records =
+  let tbl = collector () in
+  List.iter (record tbl) records;
+  usage tbl
 
 let used_ops usage = List.map fst usage
 

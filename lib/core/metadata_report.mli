@@ -16,6 +16,15 @@ type usage = (string * issuer list) list
 
 val inventory : Hpcfs_trace.Record.t list -> usage
 
+(** {2 Streaming} — the inventory as a one-record-at-a-time
+    accumulator; [inventory] is [collector]/[record]/[usage]. *)
+
+type collector
+
+val collector : unit -> collector
+val record : collector -> Hpcfs_trace.Record.t -> unit
+val usage : collector -> usage
+
 val used_ops : usage -> string list
 
 val never_used : usage list -> string list

@@ -19,6 +19,23 @@ type raw = {
   r_func : string;
 }
 
+type stream = {
+  events : Eventtab.t;
+  fds : (int * int, fd_state) Hashtbl.t;
+  sizes : (string, int) Hashtbl.t;
+  mutable skipped : int;
+  emit : raw -> unit;
+}
+
+let stream ~emit =
+  {
+    events = Eventtab.create ();
+    fds = Hashtbl.create 64;
+    sizes = Hashtbl.create 64;
+    skipped = 0;
+    emit;
+  }
+
 let has_flag record flag =
   match Record.arg record "flags" with
   | Some flags ->
@@ -30,134 +47,130 @@ let mode_is record prefix =
   | Some m -> String.length m > 0 && m.[0] = prefix
   | None -> false
 
+let size s file = Option.value ~default:0 (Hashtbl.find_opt s.sizes file)
+
+let grow s file hi = if hi > size s file then Hashtbl.replace s.sizes file hi
+
+let push s raw = if not (Interval.is_empty raw.r_iv) then s.emit raw
+
+let data s r op state count =
+  let off = if state.append then size s state.file else state.pos in
+  (match op with
+  | Access.Write -> grow s state.file (off + count)
+  | Access.Read -> ());
+  state.pos <- off + count;
+  push s
+    { r_time = r.Record.time; r_rank = r.Record.rank; r_file = state.file;
+      r_iv = Interval.of_len off count; r_op = op; r_func = r.Record.func }
+
+let explicit s r op file off count =
+  (match op with
+  | Access.Write -> grow s file (off + count)
+  | Access.Read -> ());
+  push s
+    { r_time = r.Record.time; r_rank = r.Record.rank; r_file = file;
+      r_iv = Interval.of_len off count; r_op = op; r_func = r.Record.func }
+
+let handle s r =
+  let rank = r.Record.rank in
+  let with_fd k =
+    match r.Record.fd with
+    | Some fd -> (
+      match Hashtbl.find_opt s.fds (rank, fd) with
+      | Some state -> k state
+      | None -> s.skipped <- s.skipped + 1)
+    | None -> s.skipped <- s.skipped + 1
+  in
+  match r.Record.func with
+  | "open" | "fopen" -> (
+    match (r.Record.file, r.Record.fd) with
+    | Some file, Some fd ->
+      let append = has_flag r "O_APPEND" || mode_is r 'a' in
+      let trunc = has_flag r "O_TRUNC" || mode_is r 'w' in
+      if trunc then Hashtbl.replace s.sizes file 0;
+      let pos = if append then size s file else 0 in
+      Hashtbl.replace s.fds (rank, fd) { file; pos; append };
+      Eventtab.add_open s.events ~rank ~file r.Record.time
+    | _ -> s.skipped <- s.skipped + 1)
+  | "close" | "fclose" ->
+    with_fd (fun state ->
+        Eventtab.add_close s.events ~rank ~file:state.file r.Record.time;
+        Eventtab.add_commit s.events ~rank ~file:state.file r.Record.time;
+        match r.Record.fd with
+        | Some fd -> Hashtbl.remove s.fds (rank, fd)
+        | None -> ())
+  | "fsync" | "fdatasync" | "fflush" | "msync" ->
+    with_fd (fun state ->
+        Eventtab.add_commit s.events ~rank ~file:state.file r.Record.time)
+  | "lseek" | "fseek" ->
+    with_fd (fun state ->
+        let off = Option.value ~default:0 r.Record.offset in
+        let base =
+          match Record.arg r "whence" with
+          | Some "SEEK_SET" | None -> 0
+          | Some "SEEK_CUR" -> state.pos
+          | Some "SEEK_END" -> size s state.file
+          | Some _ -> 0
+        in
+        state.pos <- max 0 (base + off))
+  | "read" | "fread" ->
+    with_fd (fun state ->
+        data s r Access.Read state (Option.value ~default:0 r.Record.count))
+  | "write" | "fwrite" ->
+    with_fd (fun state ->
+        data s r Access.Write state (Option.value ~default:0 r.Record.count))
+  | "pread" ->
+    with_fd (fun state ->
+        explicit s r Access.Read state.file
+          (Option.value ~default:0 r.Record.offset)
+          (Option.value ~default:0 r.Record.count))
+  | "pwrite" ->
+    with_fd (fun state ->
+        explicit s r Access.Write state.file
+          (Option.value ~default:0 r.Record.offset)
+          (Option.value ~default:0 r.Record.count))
+  | "truncate" -> (
+    match r.Record.file with
+    | Some file ->
+      Hashtbl.replace s.sizes file (Option.value ~default:0 r.Record.count)
+    | None -> s.skipped <- s.skipped + 1)
+  | "ftruncate" ->
+    with_fd (fun state ->
+        Hashtbl.replace s.sizes state.file
+          (Option.value ~default:0 r.Record.count))
+  | _ -> ()
+
+let feed s r = if r.Record.layer = Record.L_posix then handle s r
+
+let skipped s = s.skipped
+
+let seal s =
+  Eventtab.seal s.events;
+  s.events
+
+let annotate events raw =
+  {
+    Access.time = raw.r_time;
+    rank = raw.r_rank;
+    file = raw.r_file;
+    iv = raw.r_iv;
+    op = raw.r_op;
+    func = raw.r_func;
+    t_open =
+      Eventtab.last_open_before events ~rank:raw.r_rank ~file:raw.r_file
+        raw.r_time;
+    t_commit =
+      Eventtab.first_commit_after events ~rank:raw.r_rank ~file:raw.r_file
+        raw.r_time;
+    t_close =
+      Eventtab.first_close_after events ~rank:raw.r_rank ~file:raw.r_file
+        raw.r_time;
+  }
+
 let resolve records =
-  let events = Eventtab.create () in
-  let fds : (int * int, fd_state) Hashtbl.t = Hashtbl.create 64 in
-  let sizes : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let size file = Option.value ~default:0 (Hashtbl.find_opt sizes file) in
-  let grow file hi = if hi > size file then Hashtbl.replace sizes file hi in
-  let skipped = ref 0 in
   let out = ref [] in
-  let data r op state count =
-    let off = if state.append then size state.file else state.pos in
-    (match op with
-    | Access.Write -> grow state.file (off + count)
-    | Access.Read -> ());
-    state.pos <- off + count;
-    out :=
-      { r_time = r.Record.time; r_rank = r.Record.rank; r_file = state.file;
-        r_iv = Interval.of_len off count; r_op = op; r_func = r.Record.func }
-      :: !out
-  in
-  let explicit r op file off count =
-    (match op with
-    | Access.Write -> grow file (off + count)
-    | Access.Read -> ());
-    out :=
-      { r_time = r.Record.time; r_rank = r.Record.rank; r_file = file;
-        r_iv = Interval.of_len off count; r_op = op; r_func = r.Record.func }
-      :: !out
-  in
-  let handle r =
-    let rank = r.Record.rank in
-    let with_fd k =
-      match r.Record.fd with
-      | Some fd -> (
-        match Hashtbl.find_opt fds (rank, fd) with
-        | Some state -> k state
-        | None -> incr skipped)
-      | None -> incr skipped
-    in
-    match r.Record.func with
-    | "open" | "fopen" -> (
-      match (r.Record.file, r.Record.fd) with
-      | Some file, Some fd ->
-        let append =
-          has_flag r "O_APPEND" || mode_is r 'a'
-        in
-        let trunc =
-          has_flag r "O_TRUNC"
-          || mode_is r 'w'
-        in
-        if trunc then Hashtbl.replace sizes file 0;
-        let pos = if append then size file else 0 in
-        Hashtbl.replace fds (rank, fd) { file; pos; append };
-        Eventtab.add_open events ~rank ~file r.Record.time
-      | _ -> incr skipped)
-    | "close" | "fclose" ->
-      with_fd (fun state ->
-          Eventtab.add_close events ~rank ~file:state.file r.Record.time;
-          Eventtab.add_commit events ~rank ~file:state.file r.Record.time;
-          match r.Record.fd with
-          | Some fd -> Hashtbl.remove fds (rank, fd)
-          | None -> ())
-    | "fsync" | "fdatasync" | "fflush" | "msync" ->
-      with_fd (fun state ->
-          Eventtab.add_commit events ~rank ~file:state.file r.Record.time)
-    | "lseek" | "fseek" ->
-      with_fd (fun state ->
-          let off = Option.value ~default:0 r.Record.offset in
-          let base =
-            match Record.arg r "whence" with
-            | Some "SEEK_SET" | None -> 0
-            | Some "SEEK_CUR" -> state.pos
-            | Some "SEEK_END" -> size state.file
-            | Some _ -> 0
-          in
-          state.pos <- max 0 (base + off))
-    | "read" | "fread" ->
-      with_fd (fun state ->
-          data r Access.Read state (Option.value ~default:0 r.Record.count))
-    | "write" | "fwrite" ->
-      with_fd (fun state ->
-          data r Access.Write state (Option.value ~default:0 r.Record.count))
-    | "pread" ->
-      with_fd (fun state ->
-          explicit r Access.Read state.file
-            (Option.value ~default:0 r.Record.offset)
-            (Option.value ~default:0 r.Record.count))
-    | "pwrite" ->
-      with_fd (fun state ->
-          explicit r Access.Write state.file
-            (Option.value ~default:0 r.Record.offset)
-            (Option.value ~default:0 r.Record.count))
-    | "truncate" -> (
-      match r.Record.file with
-      | Some file ->
-        Hashtbl.replace sizes file (Option.value ~default:0 r.Record.count)
-      | None -> incr skipped)
-    | "ftruncate" ->
-      with_fd (fun state ->
-          Hashtbl.replace sizes state.file
-            (Option.value ~default:0 r.Record.count))
-    | _ -> ()
-  in
-  List.iter
-    (fun r -> if r.Record.layer = Record.L_posix then handle r)
-    records;
-  Eventtab.seal events;
-  let annotate raw =
-    {
-      Access.time = raw.r_time;
-      rank = raw.r_rank;
-      file = raw.r_file;
-      iv = raw.r_iv;
-      op = raw.r_op;
-      func = raw.r_func;
-      t_open =
-        Eventtab.last_open_before events ~rank:raw.r_rank ~file:raw.r_file
-          raw.r_time;
-      t_commit =
-        Eventtab.first_commit_after events ~rank:raw.r_rank ~file:raw.r_file
-          raw.r_time;
-      t_close =
-        Eventtab.first_close_after events ~rank:raw.r_rank ~file:raw.r_file
-          raw.r_time;
-    }
-  in
-  let accesses =
-    List.rev !out
-    |> List.filter (fun raw -> not (Interval.is_empty raw.r_iv))
-    |> List.map annotate
-  in
-  { accesses; events; skipped = !skipped }
+  let s = stream ~emit:(fun raw -> out := raw :: !out) in
+  List.iter (feed s) records;
+  let events = seal s in
+  let accesses = List.rev_map (annotate events) !out in
+  { accesses; events; skipped = skipped s }

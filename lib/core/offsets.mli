@@ -23,3 +23,41 @@ type result = {
 val resolve : Hpcfs_trace.Record.t list -> result
 (** Records from layers other than POSIX are ignored (they duplicate the
     POSIX calls the libraries issue underneath). *)
+
+(** {2 Streaming}
+
+    The replay above, split in two so a trace can be consumed one record
+    at a time without materializing the record list: resolution state
+    (fd positions, file sizes, event tables) is updated by {!feed}, and
+    each resolved data access is handed to the [emit] callback
+    immediately.  Annotation against the event tables is only possible
+    once the whole trace has been seen (a commit {e after} an access is
+    part of its annotation), so [emit] receives unannotated {!raw}
+    accesses; call {!seal} at end of trace and {!annotate} each buffered
+    raw access against the sealed tables. *)
+
+type raw = {
+  r_time : int;
+  r_rank : int;
+  r_file : string;
+  r_iv : Hpcfs_util.Interval.t;
+  r_op : Access.op;
+  r_func : string;
+}
+(** A resolved data access, before event annotation.  Empty intervals
+    (zero-byte operations) are never emitted. *)
+
+type stream
+
+val stream : emit:(raw -> unit) -> stream
+
+val feed : stream -> Hpcfs_trace.Record.t -> unit
+(** Replay one record (non-POSIX layers are ignored, as in {!resolve}).
+    Calls [emit] zero or more times. *)
+
+val skipped : stream -> int
+
+val seal : stream -> Eventtab.t
+(** End of trace: seal and return the event tables for {!annotate}. *)
+
+val annotate : Eventtab.t -> raw -> Access.t

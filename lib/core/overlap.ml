@@ -15,9 +15,8 @@ let group_by_file accesses =
   Hashtbl.fold (fun _ l acc -> !l :: acc) tbl []
 
 (* The inner loop of Algorithm 1 on an offset-sorted array. *)
-let scan_sorted arr =
+let iter_sorted arr ~f =
   let n = Array.length arr in
-  let pairs = ref [] in
   for i = 0 to n - 1 do
     let ai = arr.(i) in
     let rec inner j =
@@ -26,14 +25,17 @@ let scan_sorted arr =
         if aj.Access.iv.Interval.lo >= ai.Access.iv.Interval.hi then ()
           (* subsequent tuples cannot overlap T_i *)
         else begin
-          if Interval.overlaps ai.Access.iv aj.Access.iv then
-            pairs := by_time ai aj :: !pairs;
+          if Interval.overlaps ai.Access.iv aj.Access.iv then f (by_time ai aj);
           inner (j + 1)
         end
       end
     in
     inner (i + 1)
-  done;
+  done
+
+let scan_sorted arr =
+  let pairs = ref [] in
+  iter_sorted arr ~f:(fun p -> pairs := p :: !pairs);
   !pairs
 
 let detect accesses =
@@ -47,9 +49,10 @@ let detect accesses =
 (* K-way merge of per-rank streams, each sorted by offset.  Per-rank
    records arrive already sorted by time; one sort per rank by offset is
    still needed, but each stream is much smaller than the union. *)
-let detect_merge accesses =
-  List.concat_map
-    (fun file_accesses ->
+let merge_by_rank file_accesses =
+  match file_accesses with
+  | [] -> [||]
+  | _ :: _ ->
       let per_rank : (int, Access.t list ref) Hashtbl.t = Hashtbl.create 16 in
       List.iter
         (fun a ->
@@ -120,7 +123,14 @@ let detect_merge accesses =
         end;
         down 0
       done;
-      scan_sorted out)
+      out
+
+let iter_file_pairs file_accesses ~f =
+  iter_sorted (merge_by_rank file_accesses) ~f
+
+let detect_merge accesses =
+  List.concat_map
+    (fun file_accesses -> scan_sorted (merge_by_rank file_accesses))
     (group_by_file accesses)
 
 let detect_naive accesses =

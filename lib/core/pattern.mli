@@ -9,6 +9,12 @@
 
 type mix = { consecutive : int; monotonic : int; random : int }
 
+val zero : mix
+
+val add : mix -> mix -> mix
+(** Pointwise sum — mixes of disjoint streams combine additively, which
+    is what lets the streaming analysis fold them per file. *)
+
 val total : mix -> int
 
 val percentages : mix -> float * float * float

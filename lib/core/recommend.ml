@@ -7,14 +7,7 @@ type verdict = {
   needs_local_order : bool;
 }
 
-let analyze accesses =
-  let pairs = Overlap.detect accesses in
-  let session_summary =
-    Conflict.summarize (Conflict.of_pairs Conflict.Session_semantics pairs)
-  in
-  let commit_summary =
-    Conflict.summarize (Conflict.of_pairs Conflict.Commit_semantics pairs)
-  in
+let of_summaries ~session:session_summary ~commit:commit_summary =
   let semantics =
     if Conflict.only_same_process session_summary then Consistency.Session
     else if Conflict.only_same_process commit_summary then Consistency.Commit
@@ -29,6 +22,14 @@ let analyze accesses =
            commit_summary))
   in
   { semantics; session_summary; commit_summary; needs_local_order }
+
+let analyze accesses =
+  let pairs = Overlap.detect accesses in
+  of_summaries
+    ~session:
+      (Conflict.summarize (Conflict.of_pairs Conflict.Session_semantics pairs))
+    ~commit:
+      (Conflict.summarize (Conflict.of_pairs Conflict.Commit_semantics pairs))
 
 let describe v =
   Printf.sprintf "%s%s" (Consistency.name v.semantics)

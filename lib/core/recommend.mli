@@ -18,4 +18,9 @@ type verdict = {
 val analyze : Access.t list -> verdict
 (** Run both conflict detections and derive the weakest safe semantics. *)
 
+val of_summaries :
+  session:Conflict.summary -> commit:Conflict.summary -> verdict
+(** The decision procedure alone, on already-computed conflict summaries
+    (the streaming analysis path accumulates them without pair lists). *)
+
 val describe : verdict -> string

@@ -66,6 +66,111 @@ let analyze ~nprocs records =
 let session_summary t = Conflict.summarize t.session_conflicts
 let commit_summary t = Conflict.summarize t.commit_conflicts
 
+type summary = {
+  nprocs : int;
+  record_count : int;
+  access_count : int;
+  skipped : int;
+  sharing : Sharing.t;
+  local_mix : Pattern.mix;
+  global_mix : Pattern.mix;
+  session : Conflict.summary;
+  commit : Conflict.summary;
+  metadata : Metadata_report.usage;
+  verdict : Recommend.verdict;
+}
+
+let summary_of_report (t : t) : summary =
+  {
+    nprocs = t.nprocs;
+    record_count = t.record_count;
+    access_count = List.length t.accesses;
+    skipped = t.skipped;
+    sharing = t.sharing;
+    local_mix = t.local_mix;
+    global_mix = t.global_mix;
+    session = session_summary t;
+    commit = commit_summary t;
+    metadata = t.metadata;
+    verdict = t.verdict;
+  }
+
+type stream = {
+  given_nprocs : int option;
+  resolver : Offsets.stream;
+  by_file : (string, Offsets.raw list ref) Hashtbl.t;
+  meta : Metadata_report.collector;
+  naccesses : int ref;
+  mutable fed : int;
+  mutable max_rank : int;
+}
+
+let stream ?nprocs () =
+  let by_file = Hashtbl.create 64 in
+  let naccesses = ref 0 in
+  let emit raw =
+    incr naccesses;
+    match Hashtbl.find_opt by_file raw.Offsets.r_file with
+    | Some l -> l := raw :: !l
+    | None -> Hashtbl.add by_file raw.Offsets.r_file (ref [ raw ])
+  in
+  {
+    given_nprocs = nprocs;
+    resolver = Offsets.stream ~emit;
+    by_file;
+    meta = Metadata_report.collector ();
+    naccesses;
+    fed = 0;
+    max_rank = -1;
+  }
+
+let feed s r =
+  s.fed <- s.fed + 1;
+  if r.Hpcfs_trace.Record.rank > s.max_rank then
+    s.max_rank <- r.Hpcfs_trace.Record.rank;
+  Metadata_report.record s.meta r;
+  Offsets.feed s.resolver r
+
+let finish s : summary =
+  Obs.span Obs.T_core "analyze.stream" @@ fun () ->
+  let events = Offsets.seal s.resolver in
+  let nprocs =
+    match s.given_nprocs with Some n -> n | None -> max 1 (s.max_rank + 1)
+  in
+  let sharing_acc = Sharing.acc ~nprocs in
+  let local = ref Pattern.zero in
+  let global = ref Pattern.zero in
+  let session = ref Conflict.empty_summary in
+  let commit = ref Conflict.empty_summary in
+  Hashtbl.iter
+    (fun _file raws ->
+      (* [rev_map] restores emission (= timestamp) order per file. *)
+      let accesses = List.rev_map (Offsets.annotate events) !raws in
+      Sharing.add_file sharing_acc accesses;
+      local := Pattern.add !local (Pattern.local_mix accesses);
+      global := Pattern.add !global (Pattern.classify_stream accesses);
+      Overlap.iter_file_pairs accesses ~f:(fun pair ->
+          (match Conflict.classify Conflict.Session_semantics pair with
+          | Some c -> session := Conflict.count !session c
+          | None -> ());
+          match Conflict.classify Conflict.Commit_semantics pair with
+          | Some c -> commit := Conflict.count !commit c
+          | None -> ()))
+    s.by_file;
+  {
+    nprocs;
+    record_count = s.fed;
+    access_count = !(s.naccesses);
+    skipped = Offsets.skipped s.resolver;
+    sharing = Sharing.finish sharing_acc;
+    local_mix = !local;
+    global_mix = !global;
+    session = !session;
+    commit = !commit;
+    metadata = Metadata_report.usage s.meta;
+    verdict = Recommend.of_summaries ~session:!session ~commit:!commit;
+  }
+
 let pp_mix ppf mix =
   let c, m, r = Pattern.percentages mix in
   Format.fprintf ppf "%.1f%% consecutive, %.1f%% monotonic, %.1f%% random" c m
@@ -75,19 +180,19 @@ let pp_conflict_summary ppf (s : Conflict.summary) =
   Format.fprintf ppf "WAW-S:%d WAW-D:%d RAW-S:%d RAW-D:%d" s.Conflict.waw_s
     s.Conflict.waw_d s.Conflict.raw_s s.Conflict.raw_d
 
-let pp_summary ppf t =
+let pp_digest ppf (s : summary) =
   Format.fprintf ppf "records analyzed : %d (%d data accesses, %d skipped)@."
-    t.record_count (List.length t.accesses) t.skipped;
+    s.record_count s.access_count s.skipped;
   Format.fprintf ppf "sharing pattern  : %s, %s (%d ranks doing I/O on %d files)@."
-    (Sharing.xy_name t.sharing.Sharing.xy)
-    (Sharing.structure_name t.sharing.Sharing.structure)
-    t.sharing.Sharing.io_ranks t.sharing.Sharing.files;
-  Format.fprintf ppf "local pattern    : %a@." pp_mix t.local_mix;
-  Format.fprintf ppf "global pattern   : %a@." pp_mix t.global_mix;
-  Format.fprintf ppf "session conflicts: %a@." pp_conflict_summary
-    (session_summary t);
-  Format.fprintf ppf "commit conflicts : %a@." pp_conflict_summary
-    (commit_summary t);
+    (Sharing.xy_name s.sharing.Sharing.xy)
+    (Sharing.structure_name s.sharing.Sharing.structure)
+    s.sharing.Sharing.io_ranks s.sharing.Sharing.files;
+  Format.fprintf ppf "local pattern    : %a@." pp_mix s.local_mix;
+  Format.fprintf ppf "global pattern   : %a@." pp_mix s.global_mix;
+  Format.fprintf ppf "session conflicts: %a@." pp_conflict_summary s.session;
+  Format.fprintf ppf "commit conflicts : %a@." pp_conflict_summary s.commit;
   Format.fprintf ppf "metadata ops     : %s@."
-    (String.concat ", " (Metadata_report.used_ops t.metadata));
-  Format.fprintf ppf "weakest semantics: %s@." (Recommend.describe t.verdict)
+    (String.concat ", " (Metadata_report.used_ops s.metadata));
+  Format.fprintf ppf "weakest semantics: %s@." (Recommend.describe s.verdict)
+
+let pp_summary ppf t = pp_digest ppf (summary_of_report t)

@@ -23,3 +23,49 @@ val commit_summary : t -> Conflict.summary
 
 val pp_summary : Format.formatter -> t -> unit
 (** Multi-line human-readable digest (used by the CLI and quickstart). *)
+
+(** {2 Streaming analysis}
+
+    The same analysis fed one record at a time, for traces too large to
+    hold as a record list (the Recorder-at-scale mode): {!feed} streams
+    each record through offset resolution and the metadata inventory;
+    {!finish} seals the event tables and folds the buffered data accesses
+    file by file through the sharing, pattern, and conflict accumulators
+    — overlap pairs go straight into conflict summaries via
+    {!Overlap.iter_file_pairs}, never materializing a pair list.  Memory
+    is proportional to the resolved data accesses (and event tables),
+    not to the record count.
+
+    A {!summary} holds exactly what {!pp_summary} prints; the streaming
+    summary of a trace equals {!summary_of_report} of {!analyze} on the
+    same records (locked by tests). *)
+
+type summary = {
+  nprocs : int;
+  record_count : int;
+  access_count : int;
+  skipped : int;
+  sharing : Sharing.t;
+  local_mix : Pattern.mix;
+  global_mix : Pattern.mix;
+  session : Conflict.summary;
+  commit : Conflict.summary;
+  metadata : Metadata_report.usage;
+  verdict : Recommend.verdict;
+}
+
+val summary_of_report : t -> summary
+
+type stream
+
+val stream : ?nprocs:int -> unit -> stream
+(** Without [nprocs], the rank count is inferred at {!finish} as the
+    largest rank seen plus one (at least 1). *)
+
+val feed : stream -> Hpcfs_trace.Record.t -> unit
+
+val finish : stream -> summary
+
+val pp_digest : Format.formatter -> summary -> unit
+(** Same text as {!pp_summary} ([pp_summary] is [pp_digest] of
+    {!summary_of_report}). *)

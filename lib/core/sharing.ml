@@ -20,11 +20,6 @@ let structure_name = function
   | Strided -> "strided"
   | Strided_cyclic -> "strided cyclic"
 
-let distinct xs =
-  let tbl = Hashtbl.create 16 in
-  List.iter (fun x -> Hashtbl.replace tbl x ()) xs;
-  Hashtbl.length tbl
-
 let merge_runs intervals =
   let sorted = List.sort Interval.compare_lo intervals in
   let rec go acc = function
@@ -81,46 +76,83 @@ let file_structure ~nprocs accesses =
 
 let severity = function Consecutive -> 0 | Strided -> 1 | Strided_cyclic -> 2
 
-let classify ~nprocs accesses =
+(* One variant of the classification (writes-only and all-accesses run in
+   parallel; which one counts is only known once the whole trace has been
+   seen — Table 3 classifies output behaviour, but purely read-only
+   applications (LBANN) are classified from their reads). *)
+type variant = {
+  ranks : (int, unit) Hashtbl.t;
+  mutable vfiles : int;
+  mutable max_ranks_per_file : int;
+  mutable worst : structure;
+}
+
+type acc = {
+  nprocs : int;
+  w : variant;  (* writes only *)
+  a : variant;  (* all accesses *)
+  mutable any_writes : bool;
+}
+
+let variant () =
+  {
+    ranks = Hashtbl.create 16;
+    vfiles = 0;
+    max_ranks_per_file = 0;
+    worst = Consecutive;
+  }
+
+let acc ~nprocs = { nprocs; w = variant (); a = variant (); any_writes = false }
+
+let add_variant v ~nprocs accesses =
+  match accesses with
+  | [] -> ()
+  | _ :: _ ->
+    let file_ranks = Hashtbl.create 8 in
+    List.iter
+      (fun x ->
+        Hashtbl.replace file_ranks x.Access.rank ();
+        Hashtbl.replace v.ranks x.Access.rank ())
+      accesses;
+    let nr = Hashtbl.length file_ranks in
+    v.vfiles <- v.vfiles + 1;
+    if nr > v.max_ranks_per_file then v.max_ranks_per_file <- nr;
+    if nr >= 2 then begin
+      let s = file_structure ~nprocs accesses in
+      if severity s > severity v.worst then v.worst <- s
+    end
+
+let add_file t accesses =
   let writes = List.filter Access.is_write accesses in
-  (* Table 3 classifies output behaviour; purely read-only applications
-     (LBANN) are classified from their reads. *)
-  let considered = if writes = [] then accesses else writes in
-  let io_ranks = distinct (List.map (fun a -> a.Access.rank) considered) in
-  let files = distinct (List.map (fun a -> a.Access.file) considered) in
+  if writes <> [] then t.any_writes <- true;
+  add_variant t.w ~nprocs:t.nprocs writes;
+  add_variant t.a ~nprocs:t.nprocs accesses
+
+let finish t =
+  let v = if t.any_writes then t.w else t.a in
+  let io_ranks = Hashtbl.length v.ranks in
+  let files = v.vfiles in
   let x =
-    if io_ranks >= nprocs then "N" else if io_ranks = 1 then "1" else "M"
+    if io_ranks >= t.nprocs then "N" else if io_ranks = 1 then "1" else "M"
   in
+  (* Y reflects how a file is shared during an I/O phase, not how many
+     files the run produces over time: every I/O rank sharing each file is
+     X-1; one rank per file is X-X; group-shared files are X-M. *)
+  let y =
+    if files = 1 || v.max_ranks_per_file >= io_ranks then "1"
+    else if v.max_ranks_per_file <= 1 then x
+    else "M"
+  in
+  { xy = { x; y }; structure = v.worst; io_ranks; files }
+
+let classify ~nprocs accesses =
   let by_file : (string, Access.t list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun a ->
       match Hashtbl.find_opt by_file a.Access.file with
       | Some l -> l := a :: !l
       | None -> Hashtbl.add by_file a.Access.file (ref [ a ]))
-    considered;
-  (* Y reflects how a file is shared during an I/O phase, not how many
-     files the run produces over time: every I/O rank sharing each file is
-     X-1; one rank per file is X-X; group-shared files are X-M. *)
-  let max_ranks_per_file =
-    Hashtbl.fold
-      (fun _ l acc -> max acc (distinct (List.map (fun a -> a.Access.rank) !l)))
-      by_file 0
-  in
-  let y =
-    if files = 1 || max_ranks_per_file >= io_ranks then "1"
-    else if max_ranks_per_file <= 1 then x
-    else "M"
-  in
-  let shared_structures =
-    Hashtbl.fold
-      (fun _ l acc ->
-        let ranks = distinct (List.map (fun a -> a.Access.rank) !l) in
-        if ranks >= 2 then file_structure ~nprocs !l :: acc else acc)
-      by_file []
-  in
-  let structure =
-    List.fold_left
-      (fun worst s -> if severity s > severity worst then s else worst)
-      Consecutive shared_structures
-  in
-  { xy = { x; y }; structure; io_ranks; files }
+    accesses;
+  let t = acc ~nprocs in
+  Hashtbl.iter (fun _ l -> add_file t !l) by_file;
+  finish t

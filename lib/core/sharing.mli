@@ -26,6 +26,21 @@ val classify : nprocs:int -> Access.t list -> t
 (** Classify one application run's accesses.  [nprocs] is the number of
     ranks in the run (needed to tell N from M). *)
 
+(** {2 Streaming} — the same classification folded one file at a time,
+    so the analysis never needs the combined access list.  [classify] is
+    implemented on top of this accumulator, so both paths agree by
+    construction. *)
+
+type acc
+
+val acc : nprocs:int -> acc
+
+val add_file : acc -> Access.t list -> unit
+(** Fold in all accesses of one file (each file exactly once; order
+    within the list does not matter). *)
+
+val finish : acc -> t
+
 val xy_name : xy -> string
 (** e.g. ["N-1"]. *)
 

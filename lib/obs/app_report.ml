@@ -222,6 +222,43 @@ let extent_section sink =
   in
   if kvs = [] then None else Some ("PFS extent store", kvs)
 
+(* Codec health, read back from the metrics registry: what the binary
+   trace format costs per record, how much it saves over the text form,
+   and whether the collector had to spill chunks to disk. *)
+let codec_counter_keys =
+  [
+    "records_encoded"; "records_decoded"; "bytes_encoded"; "bytes_decoded";
+    "chunks_encoded"; "chunks_decoded"; "chunks_spilled"; "interned_strings";
+  ]
+
+let codec_section sink =
+  let v k = Obs.find_counter sink ("trace.codec." ^ k) in
+  let kvs =
+    List.filter_map
+      (fun k -> match v k with 0 -> None | n -> Some (k, string_of_int n))
+      codec_counter_keys
+  in
+  if kvs = [] then None
+  else begin
+    let derived = ref [] in
+    let records_encoded = v "records_encoded" in
+    let bytes_encoded = v "bytes_encoded" in
+    let text_bytes = v "text_bytes" in
+    if bytes_encoded > 0 && text_bytes > 0 then
+      derived :=
+        ( "text_compression_ratio",
+          Printf.sprintf "%.2fx"
+            (float_of_int text_bytes /. float_of_int bytes_encoded) )
+        :: !derived;
+    if records_encoded > 0 then
+      derived :=
+        ( "bytes_per_record",
+          Printf.sprintf "%.1f"
+            (float_of_int bytes_encoded /. float_of_int records_encoded) )
+        :: !derived;
+    Some ("trace codec", kvs @ !derived)
+  end
+
 let save ~path ~app ~nprocs ?extra records =
   let oc = open_out path in
   output_string oc (render ~app ~nprocs ?extra records);

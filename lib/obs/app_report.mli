@@ -15,6 +15,13 @@ val extent_section : Obs.sink -> (string * (string * string) list) option
     run recorded no extent-store activity, so reports of runs that never
     touch the PFS stay unchanged. *)
 
+val codec_section : Obs.sink -> (string * (string * string) list) option
+(** An extra section summarizing the trace-codec counters
+    (["trace.codec.*"]: records and bytes encoded/decoded, chunks,
+    collector spills, intern-table entries) plus two derived figures —
+    bytes per encoded record and the compression ratio against the text
+    format.  [None] when the run never touched the binary codec. *)
+
 val render :
   app:string ->
   nprocs:int ->

@@ -201,3 +201,9 @@ let reset s =
   s.names <- [];
   s.sp <- [];
   s.ev <- []
+
+(* The trace codec sits below this library in the dependency order, so it
+   cannot call [incr] itself; it exposes a meter hook, pointed here at the
+   registry when this library is linked in.  With no sink installed the
+   ticks stay single-branch no-ops, like every other call site. *)
+let () = Hpcfs_trace.Codec.set_meter ~enabled (fun name by -> incr ~by name)

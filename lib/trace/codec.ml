@@ -1,0 +1,425 @@
+let format_version = 2
+
+let magic = Printf.sprintf "hpcfstrace%c\n" (Char.chr format_version)
+
+let default_chunk_records = 4096
+
+let chunk_marker = '\xC4'
+
+let trailer_marker = '\xC5'
+
+(* Telemetry hook: the observability layer (which this library cannot
+   depend on) installs its counter sink here at load time; with nothing
+   installed every tick is a no-op closure call. *)
+let meter : (string -> int -> unit) ref = ref (fun _ _ -> ())
+
+let meter_on : (unit -> bool) ref = ref (fun () -> false)
+
+let set_meter ~enabled f =
+  meter_on := enabled;
+  meter := f
+
+let tick name by = !meter name by
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+let layer_code = function
+  | Record.L_posix -> 0
+  | Record.L_mpiio -> 1
+  | Record.L_hdf5 -> 2
+
+let layer_of_code = function
+  | 0 -> Some Record.L_posix
+  | 1 -> Some Record.L_mpiio
+  | 2 -> Some Record.L_hdf5
+  | _ -> None
+
+let origin_code = function
+  | Record.O_app -> 0
+  | Record.O_mpi -> 1
+  | Record.O_hdf5 -> 2
+  | Record.O_netcdf -> 3
+  | Record.O_adios -> 4
+  | Record.O_silo -> 5
+
+let origin_of_code = function
+  | 0 -> Some Record.O_app
+  | 1 -> Some Record.O_mpi
+  | 2 -> Some Record.O_hdf5
+  | 3 -> Some Record.O_netcdf
+  | 4 -> Some Record.O_adios
+  | 5 -> Some Record.O_silo
+  | _ -> None
+
+(* Encoding ---------------------------------------------------------------- *)
+
+type encoder = {
+  oc : out_channel;
+  chunk_records : int;
+  payload : Buffer.t;
+  scratch : Buffer.t;  (* chunk header assembly *)
+  strings : (string, int) Hashtbl.t;  (* per-chunk intern table *)
+  deltas : (int, int * int) Hashtbl.t;  (* rank -> last time, last offset *)
+  mutable nstrings : int;
+  mutable pending : int;  (* records in the open chunk *)
+  mutable records : int;
+  mutable bytes : int;
+  mutable chunks : int;
+  mutable interned : int;
+  mutable finished : bool;
+}
+
+type stats = { records : int; bytes : int; chunks : int; interned : int }
+
+let encoder ?(chunk_records = default_chunk_records) oc =
+  output_string oc magic;
+  {
+    oc;
+    chunk_records = max 1 chunk_records;
+    payload = Buffer.create 65536;
+    scratch = Buffer.create 32;
+    strings = Hashtbl.create 64;
+    deltas = Hashtbl.create 64;
+    nstrings = 0;
+    pending = 0;
+    records = 0;
+    bytes = String.length magic;
+    chunks = 0;
+    interned = 0;
+    finished = false;
+  }
+
+let intern e s =
+  match Hashtbl.find_opt e.strings s with
+  | Some id -> Varint.write e.payload id
+  | None ->
+    Varint.write e.payload e.nstrings;
+    Varint.write e.payload (String.length s);
+    Buffer.add_string e.payload s;
+    Hashtbl.add e.strings s e.nstrings;
+    e.nstrings <- e.nstrings + 1;
+    e.interned <- e.interned + 1;
+    tick "trace.codec.interned_strings" 1
+
+let flush_chunk e =
+  if e.pending > 0 then begin
+    let payload = Buffer.contents e.payload in
+    Buffer.clear e.scratch;
+    Buffer.add_char e.scratch chunk_marker;
+    Varint.write e.scratch e.pending;
+    Varint.write e.scratch (String.length payload);
+    let sum = adler32 payload in
+    for i = 0 to 3 do
+      Buffer.add_char e.scratch (Char.chr ((sum lsr (8 * i)) land 0xff))
+    done;
+    Buffer.output_buffer e.oc e.scratch;
+    output_string e.oc payload;
+    let frame = Buffer.length e.scratch + String.length payload in
+    e.bytes <- e.bytes + frame;
+    e.chunks <- e.chunks + 1;
+    tick "trace.codec.bytes_encoded" frame;
+    tick "trace.codec.chunks_encoded" 1;
+    Buffer.clear e.payload;
+    Hashtbl.reset e.strings;
+    Hashtbl.reset e.deltas;
+    e.nstrings <- 0;
+    e.pending <- 0
+  end
+
+let encode e (r : Record.t) =
+  if e.finished then invalid_arg "Codec.encode: encoder already finished";
+  let header =
+    layer_code r.Record.layer
+    lor (origin_code r.Record.origin lsl 2)
+    lor (if r.Record.file <> None then 1 lsl 5 else 0)
+    lor (if r.Record.fd <> None then 1 lsl 6 else 0)
+    lor (if r.Record.offset <> None then 1 lsl 7 else 0)
+    lor (if r.Record.count <> None then 1 lsl 8 else 0)
+    lor (List.length r.Record.args lsl 9)
+  in
+  Varint.write e.payload header;
+  Varint.write e.payload r.Record.rank;
+  let last_time, last_off =
+    Option.value ~default:(0, 0) (Hashtbl.find_opt e.deltas r.Record.rank)
+  in
+  Varint.write_signed e.payload (r.Record.time - last_time);
+  intern e r.Record.func;
+  Option.iter (intern e) r.Record.file;
+  Option.iter (Varint.write_signed e.payload) r.Record.fd;
+  let next_off =
+    match r.Record.offset with
+    | Some off ->
+      Varint.write_signed e.payload (off - last_off);
+      off
+    | None -> last_off
+  in
+  Hashtbl.replace e.deltas r.Record.rank (r.Record.time, next_off);
+  Option.iter (Varint.write_signed e.payload) r.Record.count;
+  List.iter
+    (fun (k, v) ->
+      intern e k;
+      intern e v)
+    r.Record.args;
+  e.pending <- e.pending + 1;
+  e.records <- e.records + 1;
+  tick "trace.codec.records_encoded" 1;
+  if !meter_on () then
+    tick "trace.codec.text_bytes" (String.length (Record.to_line r) + 1);
+  if e.pending >= e.chunk_records then flush_chunk e
+
+let finish e =
+  if not e.finished then begin
+    flush_chunk e;
+    Buffer.clear e.scratch;
+    Buffer.add_char e.scratch trailer_marker;
+    Varint.write e.scratch e.records;
+    Buffer.output_buffer e.oc e.scratch;
+    e.bytes <- e.bytes + Buffer.length e.scratch;
+    flush e.oc;
+    e.finished <- true
+  end
+
+let stats (e : encoder) =
+  { records = e.records; bytes = e.bytes; chunks = e.chunks;
+    interned = e.interned }
+
+(* Decoding ---------------------------------------------------------------- *)
+
+type decoder = {
+  ic : in_channel;
+  mutable chunk : Varint.reader;  (* current chunk payload *)
+  mutable remaining : int;  (* records left in the current chunk *)
+  mutable chunk_index : int;  (* 1-based, for error messages *)
+  mutable table : string array;  (* per-chunk intern table *)
+  mutable ntable : int;
+  rdeltas : (int, int * int) Hashtbl.t;
+  mutable total : int;
+  mutable at_end : bool;
+}
+
+let ( let* ) = Result.bind
+
+let read_varint_ic ic =
+  let rec go acc shift bytes =
+    if bytes > Varint.max_bytes then Error "varint too long"
+    else begin
+      match input_char ic with
+      | exception End_of_file -> Error "truncated varint"
+      | c ->
+        let b = Char.code c in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then Ok acc else go acc (shift + 7) (bytes + 1)
+    end
+  in
+  go 0 0 1
+
+let decoder ic =
+  let head =
+    match really_input_string ic (String.length magic) with
+    | s -> Some s
+    | exception End_of_file -> None
+  in
+  match head with
+  | None -> Error "not an hpcfs binary trace (file shorter than the magic)"
+  | Some head ->
+    if String.sub head 0 10 <> String.sub magic 0 10 then
+      Error "bad magic: not an hpcfs binary trace"
+    else begin
+      let version = Char.code head.[10] in
+      if version <> format_version then
+        Error
+          (Printf.sprintf
+             "unsupported binary trace version %d (this build reads v%d)"
+             version format_version)
+      else
+        Ok
+          {
+            ic;
+            chunk = { Varint.data = ""; pos = 0 };
+            remaining = 0;
+            chunk_index = 0;
+            table = Array.make 64 "";
+            ntable = 0;
+            rdeltas = Hashtbl.create 64;
+            total = 0;
+            at_end = false;
+          }
+    end
+
+let chunk_err d fmt =
+  Printf.ksprintf (fun s -> Error (Printf.sprintf "chunk %d: %s" d.chunk_index s)) fmt
+
+let add_string d s =
+  if d.ntable = Array.length d.table then begin
+    let bigger = Array.make (2 * d.ntable) "" in
+    Array.blit d.table 0 bigger 0 d.ntable;
+    d.table <- bigger
+  end;
+  d.table.(d.ntable) <- s;
+  d.ntable <- d.ntable + 1
+
+let read_string d =
+  let* id = Varint.read d.chunk in
+  if id < d.ntable then Ok d.table.(id)
+  else if id = d.ntable then begin
+    let* len = Varint.read d.chunk in
+    if len < 0 || d.chunk.Varint.pos + len > String.length d.chunk.Varint.data
+    then Error "truncated string"
+    else begin
+      let s = String.sub d.chunk.Varint.data d.chunk.Varint.pos len in
+      d.chunk.Varint.pos <- d.chunk.Varint.pos + len;
+      add_string d s;
+      Ok s
+    end
+  end
+  else Error (Printf.sprintf "dangling string reference %d" id)
+
+(* One frame: either the next chunk is loaded (returning true) or the
+   trailer was verified against a clean EOF (returning false). *)
+let read_frame d =
+  match input_char d.ic with
+  | exception End_of_file ->
+    Error
+      (Printf.sprintf
+         "truncated trace: missing trailer after chunk %d (%d records read)"
+         d.chunk_index d.total)
+  | c when c = trailer_marker ->
+    let* expected = read_varint_ic d.ic in
+    if expected <> d.total then
+      Error
+        (Printf.sprintf
+           "record count mismatch: trailer says %d, stream held %d" expected
+           d.total)
+    else begin
+      match input_char d.ic with
+      | _ -> Error "trailing bytes after trailer"
+      | exception End_of_file ->
+        d.at_end <- true;
+        Ok false
+    end
+  | c when c = chunk_marker ->
+    d.chunk_index <- d.chunk_index + 1;
+    let* nrecords =
+      Result.map_error (fun e -> Printf.sprintf "chunk %d: %s" d.chunk_index e)
+        (read_varint_ic d.ic)
+    in
+    let* len =
+      Result.map_error (fun e -> Printf.sprintf "chunk %d: %s" d.chunk_index e)
+        (read_varint_ic d.ic)
+    in
+    if nrecords <= 0 then chunk_err d "empty or corrupt record count"
+    else if len <= 0 then chunk_err d "empty or corrupt payload length"
+    else begin
+      let* sum =
+        match really_input_string d.ic 4 with
+        | s ->
+          Ok
+            (Char.code s.[0] lor (Char.code s.[1] lsl 8)
+            lor (Char.code s.[2] lsl 16)
+            lor (Char.code s.[3] lsl 24))
+        | exception End_of_file -> chunk_err d "truncated checksum"
+      in
+      let* payload =
+        match really_input_string d.ic len with
+        | s -> Ok s
+        | exception End_of_file ->
+          chunk_err d "truncated payload (%d bytes promised)" len
+      in
+      if adler32 payload <> sum then chunk_err d "checksum mismatch"
+      else begin
+        d.chunk <- { Varint.data = payload; pos = 0 };
+        d.remaining <- nrecords;
+        d.ntable <- 0;
+        Hashtbl.reset d.rdeltas;
+        tick "trace.codec.bytes_decoded" (len + 5);
+        tick "trace.codec.chunks_decoded" 1;
+        Ok true
+      end
+    end
+  | c ->
+    Error
+      (Printf.sprintf "corrupt trace: unexpected frame marker 0x%02X after \
+                       chunk %d"
+         (Char.code c) d.chunk_index)
+
+let decode_record d =
+  let* header = Varint.read d.chunk in
+  let* layer =
+    Option.to_result
+      ~none:(Printf.sprintf "bad layer code %d" (header land 0x3))
+      (layer_of_code (header land 0x3))
+  in
+  let* origin =
+    Option.to_result
+      ~none:(Printf.sprintf "bad origin code %d" ((header lsr 2) land 0x7))
+      (origin_of_code ((header lsr 2) land 0x7))
+  in
+  let nargs = header lsr 9 in
+  let* rank = Varint.read d.chunk in
+  let last_time, last_off =
+    Option.value ~default:(0, 0) (Hashtbl.find_opt d.rdeltas rank)
+  in
+  let* dt = Varint.read_signed d.chunk in
+  let time = last_time + dt in
+  let* func = read_string d in
+  let* file =
+    if header land (1 lsl 5) <> 0 then Result.map Option.some (read_string d)
+    else Ok None
+  in
+  let* fd =
+    if header land (1 lsl 6) <> 0 then
+      Result.map Option.some (Varint.read_signed d.chunk)
+    else Ok None
+  in
+  let* offset, next_off =
+    if header land (1 lsl 7) <> 0 then
+      let* doff = Varint.read_signed d.chunk in
+      let off = last_off + doff in
+      Ok (Some off, off)
+    else Ok (None, last_off)
+  in
+  let* count =
+    if header land (1 lsl 8) <> 0 then
+      Result.map Option.some (Varint.read_signed d.chunk)
+    else Ok None
+  in
+  let rec read_args n acc =
+    if n = 0 then Ok (List.rev acc)
+    else
+      let* k = read_string d in
+      let* v = read_string d in
+      read_args (n - 1) ((k, v) :: acc)
+  in
+  let* args = read_args nargs [] in
+  Hashtbl.replace d.rdeltas rank (time, next_off);
+  Ok { Record.time; rank; layer; origin; func; file; fd; offset; count; args }
+
+let rec next d =
+  if d.at_end then Ok None
+  else if d.remaining = 0 then
+    let* more = read_frame d in
+    if more then next d else Ok None
+  else begin
+    match decode_record d with
+    | Error e -> chunk_err d "%s" e
+    | Ok r ->
+      d.remaining <- d.remaining - 1;
+      d.total <- d.total + 1;
+      tick "trace.codec.records_decoded" 1;
+      if
+        d.remaining = 0
+        && d.chunk.Varint.pos <> String.length d.chunk.Varint.data
+      then
+        chunk_err d "%d leftover bytes after last record"
+          (String.length d.chunk.Varint.data - d.chunk.Varint.pos)
+      else Ok (Some r)
+  end
+
+let decoded d = d.total

@@ -1,0 +1,92 @@
+(** Versioned binary trace codec (format v2).
+
+    Recorder-style compact encoding: each record is a varint header plus
+    delta-encoded fields, so the common case — one rank's next operation,
+    close in time and offset to its previous one, on a function and file
+    already seen — costs a few bytes instead of a text line.
+
+    {b Layout.}  A file is a 12-byte magic ["hpcfstrace" ^ version ^ '\n'],
+    a sequence of chunks, and a trailer:
+
+    - chunk: marker byte [0xC4], varint record count, varint payload
+      length, 4-byte little-endian Adler-32 of the payload, payload;
+    - trailer: marker byte [0xC5], varint total record count.
+
+    Each chunk is self-contained: the string-intern table and the
+    per-rank delta state reset at every chunk boundary, so a reader needs
+    memory proportional to one chunk, and a corrupt chunk is detected by
+    its checksum without desynchronizing the rest of the stream.  A file
+    cut off anywhere — mid-chunk, or even exactly at a chunk boundary —
+    fails with a precise [Error] (the trailer is mandatory).
+
+    {b Record encoding.}  A varint header packs the layer (2 bits),
+    origin (3 bits), presence bits for file/fd/offset/count, and the
+    argument count; then rank (varint), time (zigzag varint delta against
+    the same rank's previous record), the interned function name,
+    optionally the interned file, fd, offset (zigzag delta against the
+    rank's previous offset), count, and interned key/value pairs.
+    Interned strings are back-references into the chunk's table: the
+    first occurrence writes [next-id, length, bytes], later ones a single
+    varint.
+
+    Encoded and decoded volumes are reported through the {!set_meter}
+    hook as [trace.codec.*] counters (the observability layer installs
+    itself there at load time). *)
+
+val magic : string
+(** The 12-byte file prefix, version byte included. *)
+
+val format_version : int
+
+val default_chunk_records : int
+
+(** {2 Encoding} *)
+
+type encoder
+
+val encoder : ?chunk_records:int -> out_channel -> encoder
+(** Write the magic and return a streaming encoder.  A chunk is flushed
+    every [chunk_records] records (default {!default_chunk_records}), so
+    encoder memory is bounded by one chunk regardless of trace length. *)
+
+val encode : encoder -> Record.t -> unit
+
+val finish : encoder -> unit
+(** Flush the final partial chunk and write the trailer.  The channel is
+    left open (the caller owns it).  Encoding after [finish] raises. *)
+
+type stats = {
+  records : int;
+  bytes : int;  (** Total bytes written, magic and trailer included. *)
+  chunks : int;
+  interned : int;  (** String-table entries created, summed over chunks. *)
+}
+
+val stats : encoder -> stats
+
+(** {2 Decoding} *)
+
+type decoder
+
+val decoder : in_channel -> (decoder, string) result
+(** Check the magic and version.  Fails with a descriptive error on a
+    non-binary file or an unsupported version. *)
+
+val next : decoder -> (Record.t option, string) result
+(** The next record, [None] at a clean end of trace (trailer verified,
+    no trailing bytes).  Truncation, checksum mismatches and malformed
+    payloads are reported as [Error] naming the offending chunk. *)
+
+val decoded : decoder -> int
+(** Records decoded so far. *)
+
+(** {2 Telemetry hook} *)
+
+val set_meter : enabled:(unit -> bool) -> (string -> int -> unit) -> unit
+(** Install the counter sink for [trace.codec.*] metrics.  [enabled]
+    gates the one derived metric whose computation is not free (the
+    text-equivalent byte count behind the compression ratio). *)
+
+val tick : string -> int -> unit
+(** Bump a counter through the installed meter (no-op without one); used
+    by the collector's spill mode for its own [trace.codec.*] counters. *)

@@ -1,30 +1,101 @@
-type t = { mutable records : Record.t list; mutable count : int }
+type spill = { path : string; chunk_records : int }
 
-let create () = { records = []; count = 0 }
+type disk = {
+  config : spill;
+  mutable oc : out_channel;
+  mutable enc : Codec.encoder;
+  mutable chunks_seen : int;
+  mutable finished : bool;
+}
+
+type backend = Memory of { mutable records : Record.t list } | Disk of disk
+
+type t = { mutable count : int; backend : backend }
+
+let open_disk config =
+  let oc = open_out_bin config.path in
+  let enc = Codec.encoder ~chunk_records:config.chunk_records oc in
+  { config; oc; enc; chunks_seen = 0; finished = false }
+
+let create ?spill () =
+  match spill with
+  | None -> { count = 0; backend = Memory { records = [] } }
+  | Some config -> { count = 0; backend = Disk (open_disk config) }
 
 let emit t r =
-  t.records <- r :: t.records;
+  (match t.backend with
+  | Memory m -> m.records <- r :: m.records
+  | Disk d ->
+    if d.finished then invalid_arg "Collector.emit: spill already finished";
+    Codec.encode d.enc r;
+    let chunks = (Codec.stats d.enc).Codec.chunks in
+    if chunks > d.chunks_seen then begin
+      Codec.tick "trace.codec.chunks_spilled" (chunks - d.chunks_seen);
+      d.chunks_seen <- chunks
+    end);
   t.count <- t.count + 1
+
+let finish t =
+  match t.backend with
+  | Memory _ -> ()
+  | Disk d ->
+    if not d.finished then begin
+      Codec.finish d.enc;
+      let chunks = (Codec.stats d.enc).Codec.chunks in
+      if chunks > d.chunks_seen then begin
+        Codec.tick "trace.codec.chunks_spilled" (chunks - d.chunks_seen);
+        d.chunks_seen <- chunks
+      end;
+      close_out d.oc;
+      d.finished <- true
+    end
+
+let spill_path t =
+  match t.backend with Memory _ -> None | Disk d -> Some d.config.path
+
+let iter t ~f =
+  match t.backend with
+  | Memory m ->
+    List.iter f (List.stable_sort Record.compare_time (List.rev m.records))
+  | Disk d -> (
+    finish t;
+    match Tracefile.iter d.config.path ~f with
+    | Ok _ -> ()
+    | Error e ->
+      failwith (Printf.sprintf "Collector: spill file %s: %s" d.config.path e))
 
 (* Simulator layers emit with monotonically increasing logical timestamps,
    so reversing the accumulation list already restores time order; the
    stable sort makes the documented ordering hold for any emission order
    (e.g. records replayed from several per-rank files) and costs one
    merge pass on already-sorted input. *)
-let records t = List.stable_sort Record.compare_time (List.rev t.records)
+let records t =
+  match t.backend with
+  | Memory m -> List.stable_sort Record.compare_time (List.rev m.records)
+  | Disk _ ->
+    let acc = ref [] in
+    iter t ~f:(fun r -> acc := r :: !acc);
+    List.stable_sort Record.compare_time (List.rev !acc)
 
 let by_rank t =
+  let rs = records t in
   let max_rank =
-    List.fold_left (fun acc r -> max acc r.Record.rank) (-1) t.records
+    List.fold_left (fun acc r -> max acc r.Record.rank) (-1) rs
   in
   let buckets = Array.make (max_rank + 1) [] in
-  List.iter
-    (fun r -> buckets.(r.Record.rank) <- r :: buckets.(r.Record.rank))
-    t.records;
-  Array.map (List.stable_sort Record.compare_time) buckets
+  List.iter (fun r -> buckets.(r.Record.rank) <- r :: buckets.(r.Record.rank)) rs;
+  Array.map List.rev buckets
 
 let count t = t.count
 
 let clear t =
-  t.records <- [];
+  (match t.backend with
+  | Memory m -> m.records <- []
+  | Disk d ->
+    if not d.finished then close_out_noerr d.oc;
+    let fresh = open_disk d.config in
+    d.oc <- fresh.oc;
+    d.enc <- fresh.enc;
+    d.chunks_seen <- 0;
+    d.finished <- false);
   t.count <- 0

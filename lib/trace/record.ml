@@ -54,10 +54,14 @@ let opt_str f = function None -> "-" | Some v -> f v
 (* Free-form fields (function names, paths, argument keys/values) may
    contain the tab that separates fields or the newline that separates
    records; escape both, plus the escape character itself, so every record
-   round-trips through a trace file. *)
-let escape s =
+   round-trips through a trace file.  Argument keys additionally escape
+   ['='] — the key/value separator — as ["\\="], otherwise a key like
+   ["a=b"] re-parses as key ["a"] with the rest glued onto the value. *)
+let escape_gen ~key s =
   if
-    String.exists (fun c -> c = '\t' || c = '\n' || c = '\\') s
+    String.exists
+      (fun c -> c = '\t' || c = '\n' || c = '\\' || (key && c = '='))
+      s
   then begin
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -66,11 +70,16 @@ let escape s =
         | '\\' -> Buffer.add_string b "\\\\"
         | '\t' -> Buffer.add_string b "\\t"
         | '\n' -> Buffer.add_string b "\\n"
+        | '=' when key -> Buffer.add_string b "\\="
         | c -> Buffer.add_char b c)
       s;
     Buffer.contents b
   end
   else s
+
+let escape s = escape_gen ~key:false s
+
+let escape_key s = escape_gen ~key:true s
 
 let unescape s =
   if not (String.contains s '\\') then s
@@ -107,11 +116,25 @@ let to_line t =
       opt_str string_of_int t.offset;
       opt_str string_of_int t.count;
     ]
-    @ List.map (fun (k, v) -> escape k ^ "=" ^ escape v) t.args
+    @ List.map (fun (k, v) -> escape_key k ^ "=" ^ escape v) t.args
   in
   String.concat "\t" fields
 
 let parse_opt f = function "-" -> Ok None | s -> Result.map Option.some (f s)
+
+(* First '=' that is a real separator, i.e. preceded by an even run of
+   backslashes (an odd run means the '=' itself is escaped key text). *)
+let index_key_sep kv =
+  let n = String.length kv in
+  let rec go i escaped =
+    if i >= n then None
+    else
+      match kv.[i] with
+      | '\\' -> go (i + 1) (not escaped)
+      | '=' when not escaped -> Some i
+      | _ -> go (i + 1) false
+  in
+  go 0 false
 
 let parse_int s =
   match int_of_string_opt s with
@@ -140,7 +163,7 @@ let of_line line =
       List.fold_left
         (fun acc kv ->
           let* acc = acc in
-          match String.index_opt kv '=' with
+          match index_key_sep kv with
           | Some i ->
             Ok
               ((unescape (String.sub kv 0 i),

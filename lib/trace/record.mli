@@ -49,8 +49,9 @@ val arg : t -> string -> string option
 val to_line : t -> string
 (** One-line tab-separated serialization.  Tabs, newlines and backslashes
     inside free-form fields (function name, path, argument keys and
-    values) are escaped ([\t], [\n], [\\]), so any record round-trips
-    through {!of_line}. *)
+    values) are escaped ([\t], [\n], [\\]), and ['='] inside argument
+    keys is escaped as [\=], so any record round-trips through
+    {!of_line}. *)
 
 val of_line : string -> (t, string) result
 (** Parse a line produced by {!to_line}, undoing the field escaping. *)

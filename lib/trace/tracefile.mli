@@ -1,15 +1,45 @@
-(** Text serialization of whole traces (one record per line).
+(** Whole-trace persistence: text v1 (one record per line) and binary v2
+    ({!Codec}), with format auto-detection and streaming readers.
 
-    Round-trips through {!Record.to_line}/{!Record.of_line}; the CLI uses it
-    to persist traces for later offline analysis, exactly as Recorder's
-    trace files decouple capture from analysis in the paper. *)
+    The CLI uses these to persist traces for later offline analysis,
+    exactly as Recorder's trace files decouple capture from analysis in
+    the paper.  The streaming {!iter}/{!fold} readers hold one line (text)
+    or one codec chunk (binary) at a time, so a trace of any length can be
+    analyzed in bounded memory. *)
 
-val save : string -> Record.t list -> unit
-(** Write records to a file, one per line, preceded by a comment header. *)
+type format = Text | Binary
+
+val format_name : format -> string
+(** ["text"] / ["binary"]. *)
+
+val detect_format : string -> (format, string) result
+(** Sniff a file's format from its first bytes (the binary magic). *)
+
+val save : ?format:format -> string -> Record.t list -> unit
+(** Write records to a file (default {!Text}, one per line preceded by a
+    comment header; {!Binary} streams through the codec). *)
 
 val load : string -> (Record.t list, string) result
-(** Read a trace back, skipping blank and ['#'] comment lines; reports the
-    first malformed line with its line number. *)
+(** Read a whole trace back, auto-detecting the format.  Text reading
+    skips blank and ['#'] comment lines and reports the first malformed
+    line with its line number; binary reading reports the offending
+    chunk.  Prefer {!iter}/{!fold} when the records need not all be in
+    memory at once. *)
+
+val iter : string -> f:(Record.t -> unit) -> (int, string) result
+(** Stream a trace through [f] one record at a time, auto-detecting the
+    format; returns the record count.  I/O errors mid-read surface as
+    [Error], after which no further records are delivered. *)
+
+val fold : string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
+(** Like {!iter}, threading an accumulator. *)
+
+val convert : src:string -> dst:string -> format -> (int, string) result
+(** Re-encode [src] into [dst] in the given format, streaming; returns
+    the record count.  Converting text to binary and back yields a
+    byte-identical text file (modulo the constant header comment). *)
+
+(** {2 Text helpers} *)
 
 val to_string : Record.t list -> string
 val of_string : string -> (Record.t list, string) result

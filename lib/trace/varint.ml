@@ -1,0 +1,42 @@
+(* OCaml ints are 63-bit; [lsr] treats the pattern as unsigned, so the
+   encode loop terminates for negative ints after at most ceil(63/7) = 9
+   bytes and the decoder reassembles the exact bit pattern. *)
+
+let max_bytes = 9
+
+let write buf n =
+  let u = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !u land 0x7f in
+    u := !u lsr 7;
+    if !u = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let write_signed buf n = write buf (zigzag n)
+
+type reader = { data : string; mutable pos : int }
+
+let read r =
+  let n = String.length r.data in
+  let rec go acc shift bytes =
+    if bytes > max_bytes then Error "varint too long"
+    else if r.pos >= n then Error "truncated varint"
+    else begin
+      let b = Char.code r.data.[r.pos] in
+      r.pos <- r.pos + 1;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then Ok acc else go acc (shift + 7) (bytes + 1)
+    end
+  in
+  go 0 0 1
+
+let read_signed r = Result.map unzigzag (read r)

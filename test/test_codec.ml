@@ -1,0 +1,498 @@
+(* Tests for the binary trace pipeline: varint primitives, the chunked
+   codec, format auto-detection and conversion, the collector's spill
+   mode, codec telemetry, and the streaming analysis path's equivalence
+   to the list-based one. *)
+
+module Record = Hpcfs_trace.Record
+module Varint = Hpcfs_trace.Varint
+module Codec = Hpcfs_trace.Codec
+module Tracefile = Hpcfs_trace.Tracefile
+module Collector = Hpcfs_trace.Collector
+module Obs = Hpcfs_obs.Obs
+module Report = Hpcfs_core.Report
+module Registry = Hpcfs_apps.Registry
+module Runner = Hpcfs_apps.Runner
+
+let sample ?(time = 1) ?(rank = 0) ?(layer = Record.L_posix)
+    ?(origin = Record.O_app) ?(func = "write") ?file ?fd ?offset ?count
+    ?(args = []) () =
+  Record.make ~time ~rank ~layer ~origin ~func ?file ?fd ?offset ?count ~args
+    ()
+
+let with_temp f =
+  let path = Filename.temp_file "hpcfs_codec" ".trace" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_binary ?chunk_records records path =
+  let oc = open_out_bin path in
+  let e = Codec.encoder ?chunk_records oc in
+  List.iter (Codec.encode e) records;
+  Codec.finish e;
+  close_out oc;
+  Codec.stats e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s = Out_channel.with_open_bin path (fun oc ->
+    Out_channel.output_string oc s)
+
+let contains msg substring =
+  let n = String.length substring and m = String.length msg in
+  let rec at i = i + n <= m && (String.sub msg i n = substring || at (i + 1)) in
+  at 0
+
+let expect_load_error ?(substring = "") path what =
+  match Tracefile.load path with
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error msg ->
+    if substring <> "" then
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" what msg substring)
+        true (contains msg substring)
+
+(* Varint primitives -------------------------------------------------------- *)
+
+let varint_edge_cases =
+  [ 0; 1; 2; 63; 64; 127; 128; 129; 255; 16383; 16384; 1 lsl 30;
+    max_int - 1; max_int; -1; -2; -127; -128; min_int + 1; min_int ]
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 16 in
+      Varint.write buf n;
+      Alcotest.(check bool)
+        (Printf.sprintf "%d fits in max_bytes" n)
+        true
+        (Buffer.length buf <= Varint.max_bytes);
+      let r = { Varint.data = Buffer.contents buf; pos = 0 } in
+      match Varint.read r with
+      | Ok n' ->
+        Alcotest.(check int) (Printf.sprintf "unsigned %d" n) n n';
+        Alcotest.(check int) "cursor at end" (Buffer.length buf) r.Varint.pos
+      | Error e -> Alcotest.fail e)
+    varint_edge_cases;
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 16 in
+      Varint.write_signed buf n;
+      let r = { Varint.data = Buffer.contents buf; pos = 0 } in
+      match Varint.read_signed r with
+      | Ok n' -> Alcotest.(check int) (Printf.sprintf "signed %d" n) n n'
+      | Error e -> Alcotest.fail e)
+    varint_edge_cases
+
+let test_varint_zigzag () =
+  List.iter
+    (fun (n, z) ->
+      Alcotest.(check int) (Printf.sprintf "zigzag %d" n) z (Varint.zigzag n))
+    [ (0, 0); (-1, 1); (1, 2); (-2, 3); (2, 4) ];
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "unzigzag (zigzag %d)" n)
+        n
+        (Varint.unzigzag (Varint.zigzag n)))
+    varint_edge_cases;
+  (* Small magnitudes of either sign must encode in one byte. *)
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 4 in
+      Varint.write_signed buf n;
+      Alcotest.(check int) (Printf.sprintf "%d is one byte" n) 1
+        (Buffer.length buf))
+    [ 0; 1; -1; 63; -64 ]
+
+let test_varint_errors () =
+  (* A continuation bit with nothing after it. *)
+  (match Varint.read { Varint.data = "\x80"; pos = 0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected truncated-varint error");
+  (* Ten continuation bytes can't be a 63-bit int. *)
+  match Varint.read { Varint.data = String.make 10 '\x80'; pos = 0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected over-long varint error"
+
+let qcheck_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip, arbitrary ints" ~count:500
+    QCheck.int (fun n ->
+      let buf = Buffer.create 16 in
+      Varint.write buf n;
+      Varint.write_signed buf n;
+      let r = { Varint.data = Buffer.contents buf; pos = 0 } in
+      match (Varint.read r, Varint.read_signed r) with
+      | Ok u, Ok s -> u = n && s = n
+      | _ -> false)
+
+(* Codec round trips -------------------------------------------------------- *)
+
+let adversarial_records =
+  [
+    sample ~time:5 ~rank:3 ~func:"open" ~file:"/a\tb\nc\\d" ~fd:7
+      ~args:[ ("flags", "O_CREAT|O_TRUNC"); ("mode=rw", "a=b") ]
+      ();
+    sample ~time:(-12) ~rank:0 ~func:"" ~args:[ ("", "") ] ();
+    (* Time runs backwards across ranks (skew-adjusted traces do this). *)
+    sample ~time:2 ~rank:1 ~layer:Record.L_mpiio ~origin:Record.O_mpi
+      ~func:"MPI_File_write_at" ~file:"/shared" ~offset:max_int ~count:max_int
+      ();
+    sample ~time:3 ~rank:1 ~layer:Record.L_hdf5 ~origin:Record.O_hdf5
+      ~func:"H5Dwrite" ~offset:0 ~count:0 ();
+    sample ~time:1 ~rank:2 ~func:"pwrite" ~file:"/shared" ~offset:(max_int - 1)
+      ~fd:0 ();
+    sample ~time:4 ~rank:2 ~func:"pwrite" ~file:"/shared" ~offset:1 ~fd:0
+      ~args:(List.init 12 (fun i -> (Printf.sprintf "k%d" i, string_of_int i)))
+      ();
+  ]
+
+let check_binary_roundtrip ?chunk_records records =
+  with_temp @@ fun path ->
+  let stats = write_binary ?chunk_records records path in
+  Alcotest.(check int) "stats.records" (List.length records)
+    stats.Codec.records;
+  match Tracefile.load path with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+    Alcotest.(check int) "count" (List.length records) (List.length decoded);
+    List.iter2
+      (fun a b ->
+        Alcotest.(check bool)
+          ("roundtrip: " ^ String.escaped (Record.to_line a))
+          true (a = b))
+      records decoded;
+    stats
+
+let test_codec_roundtrip () = ignore (check_binary_roundtrip adversarial_records)
+
+let test_codec_chunked_roundtrip () =
+  (* Chunk boundaries reset the intern table and the delta state; a
+     2-record chunk size forces several resets over the same records. *)
+  let stats = check_binary_roundtrip ~chunk_records:2 adversarial_records in
+  Alcotest.(check int) "chunks" 3 stats.Codec.chunks
+
+let test_codec_empty_trace () =
+  with_temp @@ fun path ->
+  ignore (write_binary [] path);
+  match Tracefile.load path with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected no records"
+  | Error e -> Alcotest.fail e
+
+let test_codec_deterministic () =
+  with_temp @@ fun p1 ->
+  with_temp @@ fun p2 ->
+  ignore (write_binary adversarial_records p1);
+  ignore (write_binary adversarial_records p2);
+  Alcotest.(check bool) "bit-identical encodings" true
+    (read_file p1 = read_file p2)
+
+let qcheck_codec_roundtrip =
+  let field_gen =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ 'a'; 'z'; '\t'; '\n'; '\\'; '='; '\x00' ])
+        (int_bound 8))
+  in
+  let record_gen =
+    QCheck.Gen.(
+      let* time = int_range (-1000) 1000 in
+      let* rank = int_bound 64 in
+      let* func = field_gen in
+      let* file = opt field_gen in
+      let* fd = opt (int_range (-2) 1000) in
+      let* offset = opt (oneofl [ 0; 1; 4096; max_int; max_int - 1 ]) in
+      let* count = opt (oneofl [ 0; 1; max_int ]) in
+      let* key = field_gen in
+      let* value = field_gen in
+      return (sample ~time ~rank ~func ?file ?fd ?offset ?count
+                ~args:[ (key, value) ] ()))
+  in
+  QCheck.Test.make ~name:"binary codec roundtrip, adversarial records"
+    ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 20) record_gen))
+    (fun records ->
+      with_temp @@ fun path ->
+      ignore (write_binary ~chunk_records:3 records path);
+      match Tracefile.load path with
+      | Ok decoded -> decoded = records
+      | Error _ -> false)
+
+(* Corruption --------------------------------------------------------------- *)
+
+let test_decoder_bad_magic () =
+  with_temp @@ fun path ->
+  write_file path "certainly not a binary trace\n";
+  (* A non-magic file auto-detects as text, so drive the decoder directly. *)
+  In_channel.with_open_bin path (fun ic ->
+      match Codec.decoder ic with
+      | Error msg ->
+        Alcotest.(check bool) "mentions magic" true
+          (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "expected bad-magic error");
+  with_temp @@ fun short ->
+  write_file short "hpcfs";
+  In_channel.with_open_bin short (fun ic ->
+      match Codec.decoder ic with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "expected short-file error")
+
+let test_decoder_unknown_version () =
+  with_temp @@ fun path ->
+  ignore (write_binary adversarial_records path);
+  let bytes = Bytes.of_string (read_file path) in
+  Bytes.set bytes 10 '\x09';
+  write_file path (Bytes.to_string bytes);
+  expect_load_error ~substring:"version 9" path "unknown version"
+
+let test_decoder_truncations () =
+  with_temp @@ fun path ->
+  let whole =
+    ignore (write_binary ~chunk_records:4 adversarial_records path);
+    read_file path
+  in
+  (* Cut mid-payload. *)
+  write_file path (String.sub whole 0 (String.length whole - 10));
+  expect_load_error ~substring:"chunk" path "mid-chunk truncation";
+  (* Cut exactly at a chunk boundary: only the trailer is missing, which
+     must still be an error (this is the silent-truncation case a
+     chunk-only format cannot detect). *)
+  write_file path (String.sub whole 0 (String.length whole - 2));
+  expect_load_error ~substring:"missing trailer" path "missing trailer";
+  (* Trailing garbage after the trailer. *)
+  write_file path (whole ^ "x");
+  expect_load_error ~substring:"trailing bytes" path "trailing bytes"
+
+let test_decoder_checksum_mismatch () =
+  with_temp @@ fun path ->
+  ignore (write_binary adversarial_records path);
+  let whole = read_file path in
+  let bytes = Bytes.of_string whole in
+  (* Flip one byte in the middle of the (single) chunk's payload. *)
+  let mid = String.length whole / 2 in
+  Bytes.set bytes mid (Char.chr (Char.code (Bytes.get bytes mid) lxor 0xff));
+  write_file path (Bytes.to_string bytes);
+  expect_load_error ~substring:"checksum mismatch" path "checksum"
+
+(* Cross-format ------------------------------------------------------------- *)
+
+let golden_records () =
+  let result =
+    Runner.run ~nprocs:4 (List.hd Registry.all).Registry.body
+  in
+  result.Runner.records
+
+let test_convert_golden () =
+  (* text -> binary -> text must reproduce the text file byte for byte. *)
+  let records = golden_records () in
+  with_temp @@ fun text1 ->
+  with_temp @@ fun binary ->
+  with_temp @@ fun text2 ->
+  Tracefile.save ~format:Tracefile.Text text1 records;
+  (match Tracefile.convert ~src:text1 ~dst:binary Tracefile.Binary with
+  | Ok n -> Alcotest.(check int) "records converted" (List.length records) n
+  | Error e -> Alcotest.fail e);
+  (match Tracefile.convert ~src:binary ~dst:text2 Tracefile.Text with
+  | Ok n -> Alcotest.(check int) "records back" (List.length records) n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "text roundtrip byte-identical" true
+    (read_file text1 = read_file text2);
+  Alcotest.(check bool) "binary is smaller than half the text" true
+    (2 * String.length (read_file binary) < String.length (read_file text1))
+
+let test_detect_format () =
+  let records = [ sample () ] in
+  with_temp @@ fun path ->
+  Tracefile.save ~format:Tracefile.Text path records;
+  Alcotest.(check bool) "text detected" true
+    (Tracefile.detect_format path = Ok Tracefile.Text);
+  Tracefile.save ~format:Tracefile.Binary path records;
+  Alcotest.(check bool) "binary detected" true
+    (Tracefile.detect_format path = Ok Tracefile.Binary);
+  match Tracefile.detect_format "/nonexistent/hpcfs/trace" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+
+let test_iter_streaming_counts () =
+  let records = adversarial_records in
+  with_temp @@ fun path ->
+  Tracefile.save ~format:Tracefile.Binary path records;
+  let seen = ref 0 in
+  (match Tracefile.iter path ~f:(fun _ -> incr seen) with
+  | Ok n ->
+    Alcotest.(check int) "iter count" (List.length records) n;
+    Alcotest.(check int) "callback count" (List.length records) !seen
+  | Error e -> Alcotest.fail e);
+  match Tracefile.fold path ~init:0 ~f:(fun acc _ -> acc + 1) with
+  | Ok n -> Alcotest.(check int) "fold count" (List.length records) n
+  | Error e -> Alcotest.fail e
+
+(* Collector spill ---------------------------------------------------------- *)
+
+let test_collector_spill_matches_memory () =
+  with_temp @@ fun path ->
+  let emits =
+    List.concat_map
+      (fun t -> [ (t, 1); (t + 100, 0) ])
+      [ 9; 2; 7; 4; 11; 1; 3; 8 ]
+  in
+  let mem = Collector.create () in
+  let disk = Collector.create ~spill:{ Collector.path; chunk_records = 4 } () in
+  List.iter
+    (fun (t, r) ->
+      Collector.emit mem (sample ~time:t ~rank:r ());
+      Collector.emit disk (sample ~time:t ~rank:r ()))
+    emits;
+  Alcotest.(check int) "counts agree" (Collector.count mem)
+    (Collector.count disk);
+  Alcotest.(check bool) "spill path" true (Collector.spill_path disk = Some path);
+  Alcotest.(check bool) "records agree" true
+    (Collector.records mem = Collector.records disk);
+  Alcotest.(check bool) "by_rank agrees" true
+    (Collector.by_rank mem = Collector.by_rank disk);
+  (* The spill file itself is a valid binary trace in emission order. *)
+  Collector.finish disk;
+  (match Tracefile.load path with
+  | Ok rs ->
+    Alcotest.(check (list (pair int int))) "emission order" emits
+      (List.map (fun r -> (r.Record.time, r.Record.rank)) rs)
+  | Error e -> Alcotest.fail e);
+  Collector.clear disk;
+  Alcotest.(check int) "cleared" 0 (Collector.count disk);
+  Collector.emit disk (sample ~time:42 ());
+  Alcotest.(check (list int)) "usable after clear" [ 42 ]
+    (List.map (fun r -> r.Record.time) (Collector.records disk))
+
+(* Telemetry ---------------------------------------------------------------- *)
+
+let test_codec_counters () =
+  let sink = Obs.create () in
+  let n = List.length adversarial_records in
+  Obs.with_sink sink (fun () ->
+      with_temp @@ fun path ->
+      Tracefile.save ~format:Tracefile.Binary path adversarial_records;
+      match Tracefile.load path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  let c name = Obs.find_counter sink ("trace.codec." ^ name) in
+  Alcotest.(check int) "records_encoded" n (c "records_encoded");
+  Alcotest.(check int) "records_decoded" n (c "records_decoded");
+  Alcotest.(check bool) "bytes_encoded > 0" true (c "bytes_encoded" > 0);
+  Alcotest.(check bool) "bytes_decoded > 0" true (c "bytes_decoded" > 0);
+  Alcotest.(check int) "chunks round trip" (c "chunks_encoded")
+    (c "chunks_decoded");
+  Alcotest.(check bool) "interned strings" true (c "interned_strings" > 0);
+  Alcotest.(check bool) "text equivalent measured" true
+    (c "text_bytes" > c "bytes_encoded")
+
+let test_spill_counter () =
+  let sink = Obs.create () in
+  with_temp @@ fun path ->
+  Obs.with_sink sink (fun () ->
+      let c =
+        Collector.create ~spill:{ Collector.path; chunk_records = 2 } ()
+      in
+      for t = 1 to 7 do
+        Collector.emit c (sample ~time:t ())
+      done;
+      Collector.finish c);
+  Alcotest.(check int) "chunks_spilled" 4
+    (Obs.find_counter sink "trace.codec.chunks_spilled")
+
+(* Streaming analysis ------------------------------------------------------- *)
+
+let check_stream_equals_analyze ~nprocs records =
+  let expected = Report.summary_of_report (Report.analyze ~nprocs records) in
+  let s = Report.stream ~nprocs () in
+  List.iter (Report.feed s) records;
+  let got = Report.finish s in
+  Alcotest.(check string) "digest equal"
+    (Format.asprintf "%a" Report.pp_digest expected)
+    (Format.asprintf "%a" Report.pp_digest got);
+  Alcotest.(check bool) "summaries structurally equal" true (got = expected)
+
+let test_stream_equals_analyze_apps () =
+  List.iter
+    (fun entry ->
+      let result = Runner.run ~nprocs:4 entry.Registry.body in
+      check_stream_equals_analyze ~nprocs:4 result.Runner.records)
+    (match Registry.all with a :: b :: c :: _ -> [ a; b; c ] | l -> l)
+
+let test_stream_equals_analyze_edge_cases () =
+  (* Unresolvable fds (skips), seeks, appends, truncation, read-only
+     ranks; the corners of offset resolution. *)
+  let t = ref 0 in
+  let r ?rank ?file ?fd ?offset ?count ?args func =
+    incr t;
+    sample ~time:!t ?rank ?file ?fd ?offset ?count ?args ~func ()
+  in
+  let records =
+    [
+      r ~rank:0 ~file:"/log" ~fd:3 ~args:[ ("flags", "O_CREAT|O_APPEND") ]
+        "open";
+      r ~rank:0 ~fd:3 ~count:10 "write";
+      r ~rank:1 ~fd:9 ~count:5 "write" (* no open: skipped *);
+      r ~rank:1 ~file:"/log" ~fd:4 ~args:[ ("flags", "O_APPEND") ] "open";
+      r ~rank:1 ~fd:4 ~count:7 "write";
+      r ~rank:0 ~fd:3 ~offset:0 ~args:[ ("whence", "SEEK_SET") ] "lseek";
+      r ~rank:0 ~fd:3 ~count:4 "read";
+      r ~rank:0 ~fd:3 "fsync";
+      r ~rank:1 ~fd:4 "close";
+      r ~rank:0 ~fd:3 "close";
+      r ~rank:2 ~file:"/log" "stat";
+      r ~rank:2 ~file:"/log" ~count:6 "truncate";
+    ]
+  in
+  check_stream_equals_analyze ~nprocs:3 records;
+  (* Inferred rank count: max rank + 1. *)
+  let s = Report.stream () in
+  List.iter (Report.feed s) records;
+  Alcotest.(check int) "inferred nprocs" 3 (Report.finish s).Report.nprocs;
+  (* Empty trace. *)
+  check_stream_equals_analyze ~nprocs:1 []
+
+let test_stream_from_binary_file () =
+  (* The acceptance path: records stream from a binary trace into the
+     analyzer without ever forming a record list. *)
+  let records = golden_records () in
+  with_temp @@ fun path ->
+  Tracefile.save ~format:Tracefile.Binary path records;
+  let expected = Report.summary_of_report (Report.analyze ~nprocs:4 records) in
+  let s = Report.stream ~nprocs:4 () in
+  (match Tracefile.iter path ~f:(Report.feed s) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "streamed summary equals analyze" true
+    (Report.finish s = expected)
+
+let suite =
+  [
+    Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+    Alcotest.test_case "varint zigzag" `Quick test_varint_zigzag;
+    Alcotest.test_case "varint errors" `Quick test_varint_errors;
+    Alcotest.test_case "codec roundtrip" `Quick test_codec_roundtrip;
+    Alcotest.test_case "codec chunked roundtrip" `Quick
+      test_codec_chunked_roundtrip;
+    Alcotest.test_case "codec empty trace" `Quick test_codec_empty_trace;
+    Alcotest.test_case "codec deterministic" `Quick test_codec_deterministic;
+    Alcotest.test_case "decoder bad magic" `Quick test_decoder_bad_magic;
+    Alcotest.test_case "decoder unknown version" `Quick
+      test_decoder_unknown_version;
+    Alcotest.test_case "decoder truncations" `Quick test_decoder_truncations;
+    Alcotest.test_case "decoder checksum mismatch" `Quick
+      test_decoder_checksum_mismatch;
+    Alcotest.test_case "convert golden" `Quick test_convert_golden;
+    Alcotest.test_case "detect format" `Quick test_detect_format;
+    Alcotest.test_case "iter/fold stream" `Quick test_iter_streaming_counts;
+    Alcotest.test_case "collector spill" `Quick
+      test_collector_spill_matches_memory;
+    Alcotest.test_case "codec counters" `Quick test_codec_counters;
+    Alcotest.test_case "spill counter" `Quick test_spill_counter;
+    Alcotest.test_case "stream = analyze (apps)" `Quick
+      test_stream_equals_analyze_apps;
+    Alcotest.test_case "stream = analyze (edge cases)" `Quick
+      test_stream_equals_analyze_edge_cases;
+    Alcotest.test_case "stream from binary file" `Quick
+      test_stream_from_binary_file;
+    QCheck_alcotest.to_alcotest qcheck_varint_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+  ]

@@ -6,6 +6,7 @@ let () =
       ("fs", Test_fs.suite);
       ("fdata-equiv", Test_fdata_equiv.suite);
       ("trace", Test_trace.suite);
+      ("codec", Test_codec.suite);
       ("posix", Test_posix.suite);
       ("mpiio", Test_mpiio.suite);
       ("hdf5", Test_hdf5.suite);

@@ -209,6 +209,21 @@ let test_roundtrip_separator_fields () =
   (* A value that looks like an escape sequence already. *)
   check_roundtrip (sample ~func:"write" ~args:[ ("k", "\\t\\n\\\\") ] ())
 
+let test_roundtrip_equals_in_key () =
+  (* Regression: '=' in an argument key used to re-parse as the key/value
+     separator, so ("a=b", "c") came back as ("a", "b=c"). *)
+  check_roundtrip (sample ~func:"write" ~args:[ ("a=b", "c") ] ());
+  check_roundtrip (sample ~func:"write" ~args:[ ("=", "=") ] ());
+  check_roundtrip (sample ~func:"write" ~args:[ ("a\\=b", "\\") ] ());
+  check_roundtrip
+    (sample ~func:"open" ~args:[ ("mode=rw", "O_CREAT"); ("k", "v=w") ] ());
+  (* The escaped key parses back to the original pair, not a resplit one. *)
+  let r = sample ~func:"write" ~args:[ ("a=b", "c") ] () in
+  match Record.of_line (Record.to_line r) with
+  | Ok r' -> Alcotest.(check (option string)) "key kept" (Some "c")
+               (Record.arg r' "a=b")
+  | Error e -> Alcotest.fail e
+
 let test_roundtrip_extreme_values () =
   (* Zero-length accesses and offsets at the integer edge must survive. *)
   check_roundtrip
@@ -238,9 +253,6 @@ let qcheck_record_roundtrip_adversarial =
   in
   QCheck.Test.make ~name:"record roundtrip, adversarial fields" ~count:500
     (QCheck.make gen) (fun (func, file, key, value, offset, count) ->
-      (* '=' cannot appear in an argument key (it is the key/value
-         separator); anything else goes. *)
-      let key = String.map (fun c -> if c = '=' then '_' else c) key in
       let r =
         Record.make ~time:1 ~rank:0 ~layer:Record.L_posix
           ~origin:Record.O_app ~func ?file ?offset ?count
@@ -292,6 +304,8 @@ let suite =
     Alcotest.test_case "skew max" `Quick test_skew_max;
     Alcotest.test_case "separator fields roundtrip" `Quick
       test_roundtrip_separator_fields;
+    Alcotest.test_case "equals in arg key roundtrip" `Quick
+      test_roundtrip_equals_in_key;
     Alcotest.test_case "extreme values roundtrip" `Quick
       test_roundtrip_extreme_values;
     QCheck_alcotest.to_alcotest qcheck_record_roundtrip;
