@@ -99,6 +99,14 @@ let record_stream ~name ~records ~seconds ~top_heap_mb =
       top_heap_mb
     :: !json_objs
 
+let record_metadata ~name ~creates_per_s ~stats_per_s ~hit_ratio ~stale_stats =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"creates_per_s\": %.0f, \"stats_per_s\": %.0f, \
+       \"cache_hit_ratio\": %.3f, \"stale_stats\": %d}"
+      (json_escape name) creates_per_s stats_per_s hit_ratio stale_stats
+    :: !json_objs
+
 let record_readpath ~name ~writes ~reads ~extent ~reference =
   let ens, ea = extent and rns, ra = reference in
   json_objs :=

@@ -28,6 +28,9 @@ let experiments =
       "storage-target failure, failover and journal replay",
       Bench_failover.failover );
     ("sweep", "what-if sweep: workload-DSL grid across engines", Bench_sweep.sweep);
+    ( "metadata",
+      "metadata storms: MDS shards x engine, modelled throughput",
+      Bench_metadata.metadata );
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
     ( "trace",
       "binary trace codec throughput and streaming analysis",

@@ -12,6 +12,8 @@ module Registry = Hpcfs_apps.Registry
 module Runner = Hpcfs_apps.Runner
 module Validation = Hpcfs_apps.Validation
 module Report = Hpcfs_core.Report
+module Metadata_report = Hpcfs_core.Metadata_report
+module Md = Hpcfs_md.Service
 module Conflict = Hpcfs_core.Conflict
 module Access = Hpcfs_core.Access
 module Tracefile = Hpcfs_trace.Tracefile
@@ -56,6 +58,14 @@ let tier_arg =
 let ranks_per_node_arg =
   let doc = "Ranks sharing one burst-buffer node (with $(b,--tier))." in
   Arg.(value & opt int 4 & info [ "ranks-per-node" ] ~docv:"N" ~doc)
+
+let mds_shards_arg =
+  let doc =
+    "Number of metadata-server shards.  Paths are partitioned by a hash \
+     of their parent directory, so file-per-process trees spread across \
+     shards while a shared-directory storm funnels into one."
+  in
+  Arg.(value & opt int 1 & info [ "mds-shards" ] ~docv:"K" ~doc)
 
 let tier_config policy ranks_per_node =
   Option.map
@@ -183,8 +193,26 @@ let tier_extra t =
       ("stale_reads", string_of_int s.Tier.stale_reads);
     ] )
 
+let md_extra (s : Md.stats) =
+  ( Printf.sprintf "Metadata service (%d shards)"
+      (List.length s.Md.shard_ops),
+    [
+      ("server_ops", string_of_int s.Md.server_ops);
+      ("shard_ops", String.concat "/" (List.map string_of_int s.Md.shard_ops));
+      ("makespan", string_of_int (Md.makespan s));
+      ("cache_hits", string_of_int s.Md.cache_hits);
+      ("cache_misses", string_of_int s.Md.cache_misses);
+      ("hit_ratio", Printf.sprintf "%.3f" (Md.hit_ratio s));
+      ("stale_stats", string_of_int s.Md.stale_stats);
+      ("stale_dents", string_of_int s.Md.stale_dents);
+      ("revalidations", string_of_int s.Md.revalidations);
+      ("invalidations", string_of_int s.Md.invalidations);
+      ("rejected", string_of_int s.Md.rejected);
+    ] )
+
 let result_extras (result : Runner.result) =
   pfs_extra result.Runner.stats
+  :: md_extra result.Runner.md
   :: (match result.Runner.tier with
      | Some t -> [ tier_extra t ]
      | None -> [])
@@ -223,23 +251,48 @@ let conflicts_cell = function
     |> List.filter_map (fun (set, name) -> if set then Some name else None)
     |> String.concat ","
 
+let meta_arg =
+  let doc =
+    "Append metadata-operation columns — total monitored metadata calls \
+     and the hottest operation, measured by running each configuration on \
+     8 ranks — and include the metadata-storm models in the listing."
+  in
+  Arg.(value & flag & info [ "meta" ] ~doc)
+
+let meta_cells e =
+  let result = Runner.run ~nprocs:8 e.Registry.body in
+  let counts = Metadata_report.inventory_counts result.Runner.records in
+  let top =
+    match
+      List.sort (fun (_, a) (_, b) -> compare (b : int) a) counts
+    with
+    | (op, n) :: _ -> Printf.sprintf "%s x%d" op n
+    | [] -> "-"
+  in
+  [ string_of_int (Metadata_report.total counts); top ]
+
 let list_cmd =
-  let run () =
+  let run meta =
+    let entries =
+      if meta then Registry.all @ Registry.storm_entries else Registry.all
+    in
     let t =
       Table.create
-        [ "Configuration"; "I/O library"; "Table 3"; "Table 4"; "Description" ]
+        ([ "Configuration"; "I/O library"; "Table 3"; "Table 4"; "Description" ]
+        @ if meta then [ "Meta calls"; "Hottest op" ] else [])
     in
     List.iter
       (fun e ->
         Table.add_row t
-          [
-            Registry.label e;
-            e.Registry.io_lib;
-            e.Registry.expected_xy ^ " " ^ e.Registry.expected_structure;
-            conflicts_cell e.Registry.expected_conflicts;
-            e.Registry.description;
-          ])
-      Registry.all;
+          ([
+             Registry.label e;
+             e.Registry.io_lib;
+             e.Registry.expected_xy ^ " " ^ e.Registry.expected_structure;
+             conflicts_cell e.Registry.expected_conflicts;
+             e.Registry.description;
+           ]
+          @ if meta then meta_cells e else []))
+      entries;
     Table.print t;
     Printf.printf
       "%d configurations (Table 4 column: expected conflict classes under \
@@ -248,10 +301,10 @@ let list_cmd =
        spec instead;\n\
        try `hpcfs_analyze run --workload \
        \"write:layout=shared,pattern=strided\"'.\n"
-      (List.length Registry.all)
+      (List.length entries)
   in
   let doc = "List the application configurations of the study." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ meta_arg)
 
 (* run ---------------------------------------------------------------------- *)
 
@@ -270,13 +323,16 @@ let format_arg =
   Arg.(value & opt format_conv Tracefile.Text & info [ "format" ] ~docv:"FMT" ~doc)
 
 let run_cmd =
-  let run app workload ranks trace_path format tier ranks_per_node obs_dir =
+  let run app workload ranks trace_path format tier ranks_per_node mds_shards
+      obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
            let tier = tier_config tier ranks_per_node in
            with_obs obs_dir @@ fun obs ->
-           let result = Runner.run ~nprocs:ranks ?tier entry.Registry.body in
+           let result =
+             Runner.run ~nprocs:ranks ?tier ~mds_shards entry.Registry.body
+           in
            Printf.printf "ran %s on %d ranks: %d trace records\n"
              (Registry.label entry) ranks
              (List.length result.Runner.records);
@@ -305,7 +361,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ workload_arg $ ranks_arg $ trace_arg $ format_arg
-      $ tier_arg $ ranks_per_node_arg $ obs_arg)
+      $ tier_arg $ ranks_per_node_arg $ mds_shards_arg $ obs_arg)
 
 (* analyze ------------------------------------------------------------------ *)
 
@@ -398,11 +454,13 @@ let semantics_arg =
        & info [ "s"; "semantics" ] ~docv:"MODEL" ~doc)
 
 let conflicts_cmd =
-  let run app workload ranks semantics =
+  let run app workload ranks mds_shards semantics =
     exits_of_result
       (Result.map
          (fun entry ->
-           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           let result =
+             Runner.run ~nprocs:ranks ~mds_shards entry.Registry.body
+           in
            let report = Report.analyze ~nprocs:ranks result.Runner.records in
            let conflicts =
              match semantics with
@@ -436,16 +494,20 @@ let conflicts_cmd =
   let doc = "List every detected conflict pair of a configuration." in
   Cmd.v
     (Cmd.info "conflicts" ~doc)
-    Term.(const run $ app_arg $ workload_arg $ ranks_arg $ semantics_arg)
+    Term.(
+      const run $ app_arg $ workload_arg $ ranks_arg $ mds_shards_arg
+      $ semantics_arg)
 
 (* profile -------------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run app workload ranks =
+  let run app workload ranks mds_shards =
     exits_of_result
       (Result.map
          (fun entry ->
-           let result = Runner.run ~nprocs:ranks entry.Registry.body in
+           let result =
+             Runner.run ~nprocs:ranks ~mds_shards entry.Registry.body
+           in
            let report = Report.analyze ~nprocs:ranks result.Runner.records in
            let profile =
              Hpcfs_core.Profile.build result.Runner.records report
@@ -458,7 +520,7 @@ let profile_cmd =
      activity and conflicts."
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ app_arg $ workload_arg $ ranks_arg)
+    Term.(const run $ app_arg $ workload_arg $ ranks_arg $ mds_shards_arg)
 
 (* validate ------------------------------------------------------------------ *)
 
@@ -613,7 +675,8 @@ let faults_cmd =
 (* stats ---------------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run app workload ranks tier ranks_per_node trace_path format obs_dir =
+  let run app workload ranks tier ranks_per_node mds_shards trace_path format
+      obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
@@ -622,7 +685,8 @@ let stats_cmd =
            let result =
              Obs.with_sink sink (fun () ->
                  let result =
-                   Runner.run ~nprocs:ranks ?tier entry.Registry.body
+                   Runner.run ~nprocs:ranks ?tier ~mds_shards
+                     entry.Registry.body
                  in
                  ignore (Report.analyze ~nprocs:ranks result.Runner.records);
                  (* Saved inside the sink's scope so the codec's
@@ -650,6 +714,32 @@ let stats_cmd =
              Table.print t;
              print_newline ()
            end;
+           (* Per-operation metadata counts from the trace, then the
+              metadata service's own accounting (shards, cache). *)
+           let counts =
+             Metadata_report.inventory_counts result.Runner.records
+           in
+           if counts <> [] then begin
+             let t = Table.create [ "metadata op"; "calls" ] in
+             List.iter
+               (fun (op, n) -> Table.add_row t [ op; string_of_int n ])
+               counts;
+             Table.add_row t
+               [ "total"; string_of_int (Metadata_report.total counts) ];
+             Table.print t;
+             print_newline ()
+           end;
+           let md = result.Runner.md in
+           Printf.printf
+             "metadata service : %d server ops on %d shard(s), makespan %d \
+              (server %d, clients %d)\n\
+              stat cache       : %d hits, %d misses (ratio %.3f), %d stale \
+              stats, %d stale dirlists\n\n"
+             md.Md.server_ops
+             (List.length md.Md.shard_ops)
+             (Md.makespan md) md.Md.server_makespan md.Md.client_makespan
+             md.Md.cache_hits md.Md.cache_misses (Md.hit_ratio md)
+             md.Md.stale_stats md.Md.stale_dents;
            print_string (Export_metrics.to_prometheus sink);
            Option.iter
              (fun dir ->
@@ -666,7 +756,7 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ app_arg $ workload_arg $ ranks_arg $ tier_arg
-      $ ranks_per_node_arg $ trace_arg $ format_arg $ obs_arg)
+      $ ranks_per_node_arg $ mds_shards_arg $ trace_arg $ format_arg $ obs_arg)
 
 (* main ----------------------------------------------------------------------- *)
 

@@ -1,0 +1,117 @@
+(* Metadata-storm application models.  Neither appears in the paper's
+   tables — they model the metadata-intensive workloads its Section 7
+   points at (parallel compilation on the PFS, ML data loaders touching
+   millions of small samples), scaled down like every model here.  Both
+   are stat-dominated: data payloads are tiny, so the run's cost is the
+   metadata path — where the directory layout lands on the MDS shards,
+   and how much the per-client stat cache absorbs under each engine. *)
+
+module Posix = Hpcfs_posix.Posix
+module Mpi = Hpcfs_mpi.Mpi
+
+(* A stat that tolerates losing a race (or being served a stale cached
+   negative) — storm traffic, not a correctness signal. *)
+let try_stat posix path =
+  try ignore (Posix.stat posix path) with Posix.Posix_error _ -> ()
+
+(* Compile-Storm: a parallel build on the PFS.  Every rank is one
+   compiler job: it stats the whole shared include directory (the
+   dependency scan every job repeats — the canonical shared-directory
+   stat storm), reads a few headers, and emits its object file into one
+   shared build directory.  Rank 0 then links: readdir over the build
+   directory plus a stat and read of every object. *)
+
+let headers = 24
+
+let include_dir = "/out/cstorm/include"
+let obj_dir = "/out/cstorm/obj"
+let header h = Printf.sprintf "%s/h%02d.h" include_dir h
+let obj r = Printf.sprintf "%s/u%d.o" obj_dir r
+
+let run_compile env =
+  let posix = env.Runner.posix in
+  App_common.setup_dir env include_dir;
+  App_common.setup_dir env obj_dir;
+  if App_common.is_rank0 env then
+    for h = 0 to headers - 1 do
+      let fd =
+        Posix.openf posix (header h)
+          [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+      in
+      ignore (Posix.write posix fd (App_common.payload ~len:64 env h));
+      Posix.close posix fd
+    done;
+  Mpi.barrier env.Runner.comm;
+  (* The dependency scan: every job stats every header, every time. *)
+  for h = 0 to headers - 1 do
+    try_stat posix (header h)
+  done;
+  (* ... and actually reads a few of them. *)
+  let r = App_common.rank env in
+  for i = 0 to 3 do
+    let fd = Posix.openf posix (header ((r + i) mod headers)) [ Posix.O_RDONLY ] in
+    ignore (Posix.read posix fd 64);
+    Posix.close posix fd
+  done;
+  let fd =
+    Posix.openf posix (obj r) [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+  in
+  ignore (Posix.write posix fd (App_common.payload ~len:128 env r));
+  Posix.close posix fd;
+  Mpi.barrier env.Runner.comm;
+  (* The link step: one rank walks and stats everyone's output. *)
+  if App_common.is_rank0 env then begin
+    let entries = Posix.opendir posix obj_dir in
+    List.iter (fun e -> try_stat posix (obj_dir ^ "/" ^ e)) entries;
+    List.iter
+      (fun e ->
+        let fd = Posix.openf posix (obj_dir ^ "/" ^ e) [ Posix.O_RDONLY ] in
+        ignore (Posix.read posix fd 128);
+        Posix.close posix fd)
+      entries
+  end;
+  App_common.compute env
+
+(* DataLoader-Storm: an ML input pipeline.  Rank 0 materializes a dataset
+   of small sample files in one shared directory; then every rank, every
+   epoch, re-lists the dataset and stats every sample before reading its
+   own shard — the existence sweep real loaders repeat per epoch, which a
+   warm stat cache absorbs almost entirely from the second epoch on. *)
+
+let samples = 48
+let epochs = 3
+
+let data_dir = "/out/dlstorm/data"
+let sample s = Printf.sprintf "%s/s%04d.bin" data_dir s
+
+let run_loader env =
+  let posix = env.Runner.posix in
+  App_common.setup_dir env data_dir;
+  if App_common.is_rank0 env then
+    for s = 0 to samples - 1 do
+      let fd =
+        Posix.openf posix (sample s)
+          [ Posix.O_WRONLY; Posix.O_CREAT; Posix.O_TRUNC ]
+      in
+      ignore (Posix.write posix fd (App_common.payload ~len:128 env s));
+      Posix.close posix fd
+    done;
+  Mpi.barrier env.Runner.comm;
+  let nprocs = env.Runner.nprocs in
+  let r = App_common.rank env in
+  for _epoch = 1 to epochs do
+    ignore (Posix.opendir posix data_dir);
+    for s = 0 to samples - 1 do
+      try_stat posix (sample s)
+    done;
+    (* Read this rank's shard of the samples. *)
+    let s = ref r in
+    while !s < samples do
+      let fd = Posix.openf posix (sample !s) [ Posix.O_RDONLY ] in
+      ignore (Posix.read posix fd 128);
+      Posix.close posix fd;
+      s := !s + nprocs
+    done;
+    App_common.compute_allreduce env
+  done;
+  App_common.compute env

@@ -34,11 +34,19 @@ val all : entry list
 
 val table4_entries : entry list
 
+val storm_entries : entry list
+(** Metadata-storm models ([Compile-Storm], [DataLoader-Storm]) — the
+    Section 7 workloads (parallel compilation, ML data loaders).  Not
+    part of {!all}, which is locked to the paper's 25 table
+    configurations; {!find} resolves them by name like any other
+    entry. *)
+
 val label : entry -> string
 (** e.g. ["LAMMPS-ADIOS"] or ["FLASH-fbs"]. *)
 
 val find : string -> entry option
-(** Look up by {!label} (case-insensitive). *)
+(** Look up by {!label} (case-insensitive), over {!all} and
+    {!storm_entries}. *)
 
 val dynamic :
   label:string ->

@@ -12,11 +12,13 @@ module Plan = Hpcfs_fault.Plan
 module Journal = Hpcfs_fs.Journal
 module Recovery = Hpcfs_fs.Recovery
 module Target = Hpcfs_fs.Target
+module Md = Hpcfs_md.Service
 
 type result = {
   records : Hpcfs_trace.Record.t list;
   events : Mpi.event list;
   stats : Pfs.stats;
+  md : Md.stats;
   pfs : Pfs.t;
   tier : Tier.t option;
   nprocs : int;
@@ -40,10 +42,11 @@ type env = {
    surviving file system with the logical clock continued past the crash,
    the recovery path of checkpoint/restart practice. *)
 let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
-    body =
+    ~mds_shards body =
   let inj = Injector.create plan in
   Hpcfs_hdf5.Hdf5.reset_registries ();
-  let pfs = Pfs.create ~local_order semantics in
+  let pfs = Pfs.create ~local_order ~mds_shards semantics in
+  let mds = Md.create pfs in
   let collector = Collector.create () in
   let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
   Option.iter
@@ -82,7 +85,7 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
         | Plan.Ost_fail { target = k; at = a; recover; _ }
           when kind = `Ost && k = target && a = at ->
           Some recover
-        | Plan.Mds_fail { at = a; recover } when kind = `Mds && a = at ->
+        | Plan.Mds_fail { at = a; recover; _ } when kind = `Mds && a = at ->
           Some recover
         | _ -> None)
       plan.Plan.events
@@ -118,26 +121,30 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
         | Injector.Recover_ost target ->
           Pfs.recover_target pfs ~time target;
           replay_journal ~time
-        | Injector.Fail_mds ->
-          Pfs.fail_mds pfs ~time;
+        | Injector.Fail_mds { shard } ->
+          Pfs.fail_mds ?shard pfs ~time;
+          let tr_target = match shard with Some k -> k | None -> -1 in
           target_records :=
             {
               Injector.tr_kind = `Mds;
-              tr_target = -1;
+              tr_target;
               tr_time = time;
               tr_failover = false;
-              tr_recover = recover_of ~kind:`Mds ~target:(-1) ~at:time;
+              tr_recover = recover_of ~kind:`Mds ~target:tr_target ~at:time;
               tr_stats = Hpcfs_fs.Fdata.no_crash_stats;
               tr_per_file = [];
               tr_evicted_locks = 0;
             }
             :: !target_records
-        | Injector.Recover_mds -> Pfs.recover_mds pfs ~time);
+        | Injector.Recover_mds { shard } -> Pfs.recover_mds ?shard pfs ~time);
   let rec attempt_loop ~clock ~attempt =
     (* Each attempt is a fresh job launch: new communicator, new library
-       state, new open-file table — only the storage carries over. *)
+       state, new open-file table — only the storage carries over.  Client
+       metadata caches die with the clients; the service (shard loads,
+       counters) carries over like the storage does. *)
     Hpcfs_hdf5.Hdf5.reset_registries ();
-    let posix = Posix.make_ctx_backend backend collector in
+    if attempt > 0 then Md.reset_clients mds;
+    let posix = Posix.make_ctx_backend ~mds backend collector in
     let comm = Mpi.world () in
     let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
     let env = { comm; posix; mpiio; tier; nprocs; seed; attempt } in
@@ -252,6 +259,7 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
     records = Collector.records collector;
     events = !events;
     stats = Pfs.stats pfs;
+    md = Md.stats mds;
     pfs;
     tier;
     nprocs;
@@ -269,21 +277,23 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
   }
 
 let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
-    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?tier ?faults body =
+    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?(mds_shards = 1) ?tier
+    ?faults body =
   let go () =
     match faults with
     | Some plan ->
       run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
-        body
+        ~mds_shards body
     | None ->
       Hpcfs_hdf5.Hdf5.reset_registries ();
-      let pfs = Pfs.create ~local_order semantics in
+      let pfs = Pfs.create ~local_order ~mds_shards semantics in
+      let mds = Md.create pfs in
       let collector = Collector.create () in
       let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
       let posix =
         match tier with
-        | None -> Posix.make_ctx pfs collector
-        | Some t -> Posix.make_ctx_backend (Tier.backend t) collector
+        | None -> Posix.make_ctx ~mds pfs collector
+        | Some t -> Posix.make_ctx_backend ~mds (Tier.backend t) collector
       in
       let comm = Mpi.world () in
       let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
@@ -306,6 +316,7 @@ let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
         records = Collector.records collector;
         events = Mpi.events comm;
         stats = Pfs.stats pfs;
+        md = Md.stats mds;
         pfs;
         tier;
         nprocs;

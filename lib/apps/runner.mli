@@ -7,6 +7,9 @@ type result = {
   events : Hpcfs_mpi.Mpi.event list;
       (** Communication log (all attempts concatenated, under faults). *)
   stats : Hpcfs_fs.Pfs.stats;
+  md : Hpcfs_md.Service.stats;
+      (** Metadata-path statistics: per-shard load, cache hit/staleness
+          counters (see {!Hpcfs_md.Service}). *)
   pfs : Hpcfs_fs.Pfs.t;  (** The file system after the run. *)
   tier : Hpcfs_bb.Tier.t option;
       (** The burst-buffer tier the run went through, if any. *)
@@ -37,6 +40,7 @@ val run :
   ?nprocs:int ->
   ?seed:int ->
   ?cb_nodes:int ->
+  ?mds_shards:int ->
   ?tier:Hpcfs_bb.Tier.config ->
   ?faults:Hpcfs_fault.Plan.t ->
   (env -> unit) ->
@@ -45,6 +49,11 @@ val run :
     semantics, seed 42, 6 collective-buffering aggregators).  A barrier is
     executed before and after the body, mirroring the paper's
     clock-alignment barrier.
+
+    [mds_shards] (default 1) sets the number of directory-partitioned
+    metadata shards; all POSIX metadata calls route through one shared
+    {!Hpcfs_md.Service} whose client caches are reset on every restart
+    attempt (caches die with the clients).
 
     With [?tier], all POSIX-level data operations route through a
     burst-buffer {!Hpcfs_bb.Tier.t} staged over the PFS instead of hitting

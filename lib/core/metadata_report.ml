@@ -15,7 +15,10 @@ let issuer_of_origin = function
   | Record.O_hdf5 -> By_hdf5
   | Record.O_app | Record.O_netcdf | Record.O_adios | Record.O_silo -> By_app
 
-type collector = (string, issuer list ref) Hashtbl.t
+type counts = (string * int) list
+
+type info = { mutable issuers : issuer list; mutable calls : int }
+type collector = (string, info) Hashtbl.t
 
 let collector () : collector = Hashtbl.create 32
 
@@ -26,23 +29,34 @@ let record tbl r =
   then begin
     let issuer = issuer_of_origin r.Record.origin in
     match Hashtbl.find_opt tbl r.Record.func with
-    | Some l -> if not (List.mem issuer !l) then l := issuer :: !l
-    | None -> Hashtbl.add tbl r.Record.func (ref [ issuer ])
+    | Some i ->
+      i.calls <- i.calls + 1;
+      if not (List.mem issuer i.issuers) then i.issuers <- issuer :: i.issuers
+    | None -> Hashtbl.add tbl r.Record.func { issuers = [ issuer ]; calls = 1 }
   end
 
-let usage tbl =
-  (* Present in the monitored-operation order of the paper's footnote 3. *)
+(* Both views present in the monitored-operation order of the paper's
+   footnote 3. *)
+let present tbl f =
   List.filter_map
     (fun op ->
       match Hashtbl.find_opt tbl op with
-      | Some issuers -> Some (op, List.sort compare !issuers)
+      | Some i -> Some (op, f i)
       | None -> None)
     Opclass.monitored_metadata_ops
 
-let inventory records =
+let usage tbl = present tbl (fun i -> List.sort compare i.issuers)
+let counts tbl = present tbl (fun i -> i.calls)
+
+let total counts = List.fold_left (fun acc (_, n) -> acc + n) 0 counts
+
+let of_records records =
   let tbl = collector () in
   List.iter (record tbl) records;
-  usage tbl
+  tbl
+
+let inventory records = usage (of_records records)
+let inventory_counts records = counts (of_records records)
 
 let used_ops usage = List.map fst usage
 

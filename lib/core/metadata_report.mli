@@ -16,14 +16,25 @@ type usage = (string * issuer list) list
 
 val inventory : Hpcfs_trace.Record.t list -> usage
 
+type counts = (string * int) list
+(** Call counts of the monitored operations actually used, in the same
+    (footnote 3) order as {!usage}; operations never used are absent. *)
+
+val inventory_counts : Hpcfs_trace.Record.t list -> counts
+
+val total : counts -> int
+(** Monitored metadata calls across all operations. *)
+
 (** {2 Streaming} — the inventory as a one-record-at-a-time
-    accumulator; [inventory] is [collector]/[record]/[usage]. *)
+    accumulator; [inventory] is [collector]/[record]/[usage], and
+    [inventory_counts] is [collector]/[record]/[counts]. *)
 
 type collector
 
 val collector : unit -> collector
 val record : collector -> Hpcfs_trace.Record.t -> unit
 val usage : collector -> usage
+val counts : collector -> counts
 
 val used_ops : usage -> string list
 

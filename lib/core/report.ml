@@ -10,6 +10,7 @@ type t = {
   session_conflicts : Conflict.t list;
   commit_conflicts : Conflict.t list;
   metadata : Metadata_report.usage;
+  meta_counts : Metadata_report.counts;
   verdict : Recommend.verdict;
 }
 
@@ -40,9 +41,11 @@ let analyze ~nprocs records =
         ( Conflict.of_pairs Conflict.Session_semantics pairs,
           Conflict.of_pairs Conflict.Commit_semantics pairs ))
   in
-  let metadata =
+  let metadata, meta_counts =
     Obs.span Obs.T_core "analyze.metadata" (fun () ->
-        Metadata_report.inventory records)
+        let c = Metadata_report.collector () in
+        List.iter (Metadata_report.record c) records;
+        (Metadata_report.usage c, Metadata_report.counts c))
   in
   let verdict =
     Obs.span Obs.T_core "analyze.recommend" (fun () ->
@@ -60,6 +63,7 @@ let analyze ~nprocs records =
     session_conflicts;
     commit_conflicts;
     metadata;
+    meta_counts;
     verdict;
   }
 
@@ -77,6 +81,7 @@ type summary = {
   session : Conflict.summary;
   commit : Conflict.summary;
   metadata : Metadata_report.usage;
+  meta_counts : Metadata_report.counts;
   verdict : Recommend.verdict;
 }
 
@@ -92,6 +97,7 @@ let summary_of_report (t : t) : summary =
     session = session_summary t;
     commit = commit_summary t;
     metadata = t.metadata;
+    meta_counts = t.meta_counts;
     verdict = t.verdict;
   }
 
@@ -168,6 +174,7 @@ let finish s : summary =
     session = !session;
     commit = !commit;
     metadata = Metadata_report.usage s.meta;
+    meta_counts = Metadata_report.counts s.meta;
     verdict = Recommend.of_summaries ~session:!session ~commit:!commit;
   }
 

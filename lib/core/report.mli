@@ -13,6 +13,8 @@ type t = {
   session_conflicts : Conflict.t list;
   commit_conflicts : Conflict.t list;
   metadata : Metadata_report.usage;
+  meta_counts : Metadata_report.counts;
+      (** Per-operation call counts behind {!field-metadata}. *)
   verdict : Recommend.verdict;
 }
 
@@ -51,6 +53,7 @@ type summary = {
   session : Conflict.summary;
   commit : Conflict.summary;
   metadata : Metadata_report.usage;
+  meta_counts : Metadata_report.counts;
   verdict : Recommend.verdict;
 }
 

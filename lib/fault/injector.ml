@@ -19,7 +19,7 @@ type drain_event = { d_node : int option; d_after : int; mutable d_left : int }
    [te_at + recover]) → [`Done]. *)
 type target_event = {
   te_kind : [ `Ost | `Mds ];
-  te_target : int;  (* -1 for the MDS *)
+  te_target : int;  (* -1 for the whole MDS, else the OST or MDS shard *)
   te_at : int;
   te_recover : int option;
   te_failover : bool;
@@ -29,8 +29,8 @@ type target_event = {
 type storage_action =
   | Fail_ost of { target : int; failover : bool }
   | Recover_ost of int
-  | Fail_mds
-  | Recover_mds
+  | Fail_mds of { shard : int option }
+  | Recover_mds of { shard : int option }
 
 type t = {
   plan : Plan.t;
@@ -72,10 +72,12 @@ let create plan =
             { te_kind = `Ost; te_target = target; te_at = at;
               te_recover = recover; te_failover = failover; te_phase = `Armed }
             :: ts )
-        | Plan.Mds_fail { at; recover } ->
+        | Plan.Mds_fail { at; recover; shard } ->
           ( cs,
             ds,
-            { te_kind = `Mds; te_target = -1; te_at = at; te_recover = recover;
+            { te_kind = `Mds;
+              te_target = (match shard with Some k -> k | None -> -1);
+              te_at = at; te_recover = recover;
               te_failover = false; te_phase = `Armed }
             :: ts ))
       ([], [], []) plan.Plan.events
@@ -131,7 +133,11 @@ let advance_targets t ~time =
            | `Ost ->
              hook ~time:e.te_at
                (Fail_ost { target = e.te_target; failover = e.te_failover })
-           | `Mds -> hook ~time:e.te_at Fail_mds
+           | `Mds ->
+             hook ~time:e.te_at
+               (Fail_mds
+                  { shard =
+                      (if e.te_target < 0 then None else Some e.te_target) })
          end);
         match e.te_recover with
         | Some d when e.te_phase = `Down && time >= e.te_at + d ->
@@ -139,7 +145,10 @@ let advance_targets t ~time =
           hook ~time:(e.te_at + d)
             (match e.te_kind with
             | `Ost -> Recover_ost e.te_target
-            | `Mds -> Recover_mds)
+            | `Mds ->
+              Recover_mds
+                { shard =
+                    (if e.te_target < 0 then None else Some e.te_target) })
         | _ -> ())
       t.target_events
 

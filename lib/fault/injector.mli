@@ -59,8 +59,9 @@ val injected_drain_faults : t -> int
 type storage_action =
   | Fail_ost of { target : int; failover : bool }
   | Recover_ost of int
-  | Fail_mds
-  | Recover_mds
+  | Fail_mds of { shard : int option }
+      (** [shard = None]: the whole metadata service (legacy). *)
+  | Recover_mds of { shard : int option }
 
 val has_target_events : t -> bool
 (** Does the plan schedule any OST/MDS failure?  Gates the creation of the

@@ -9,7 +9,7 @@ type event =
       recover : int option;
       failover : bool;
     }
-  | Mds_fail of { at : int; recover : int option }
+  | Mds_fail of { at : int; recover : int option; shard : int option }
 
 type t = { name : string; seed : int; events : event list }
 
@@ -24,7 +24,7 @@ let drain_fault ?node ?(after = 0) failures =
 let ost_fail ?recover ?(failover = false) ~target at =
   Ost_fail { target; at; recover; failover }
 
-let mds_fail ?recover at = Mds_fail { at; recover }
+let mds_fail ?recover ?shard at = Mds_fail { at; recover; shard }
 
 let crash_count t =
   List.length
@@ -66,10 +66,13 @@ let event_to_string = function
         | None -> "");
         (if failover then ",failover=1" else "");
       ]
-  | Mds_fail { at; recover } ->
+  | Mds_fail { at; recover; shard } ->
     String.concat ""
       [
         Printf.sprintf "mdsfail:t=%d" at;
+        (match shard with
+        | Some k -> Printf.sprintf ",shard=%d" k
+        | None -> "");
         (match recover with
         | Some d -> Printf.sprintf ",recover=%d" d
         | None -> "");
@@ -137,9 +140,9 @@ let parse_event spec =
                (match get "failover" with Some v -> v <> 0 | None -> false);
            })
     | _ ->
-      let* () = check_keys head ~accepted:[ "t"; "recover" ] kvs in
+      let* () = check_keys head ~accepted:[ "t"; "shard"; "recover" ] kvs in
       let* at = Option.to_result ~none:"mdsfail: missing t=T" (get "t") in
-      Ok (Mds_fail { at; recover = get "recover" }))
+      Ok (Mds_fail { at; recover = get "recover"; shard = get "shard" }))
   | other ->
     Error
       (Printf.sprintf

@@ -31,10 +31,11 @@ type event =
           keeps serving the target's extents immediately; otherwise the
           target is down until [recover] ticks after [at] ([None]: never —
           its pending bytes are permanently lost). *)
-  | Mds_fail of { at : int; recover : int option }
-      (** The metadata server fails at time [at]: metadata operations
-          (open, truncate) are refused, which aborts the job fail-stop.
-          It restarts [recover] ticks later ([None]: never). *)
+  | Mds_fail of { at : int; recover : int option; shard : int option }
+      (** The metadata server — or, with [shard], one directory-
+          partitioned metadata shard — fails at time [at]: metadata
+          operations on paths it owns are refused, which aborts the job
+          fail-stop.  It restarts [recover] ticks later ([None]: never). *)
 
 type t = { name : string; seed : int; events : event list }
 
@@ -48,7 +49,7 @@ val ost_fail : ?recover:int -> ?failover:bool -> target:int -> int -> event
 (** [ost_fail ~target at] fails [target] at time [at]; [failover] defaults
     to false. *)
 
-val mds_fail : ?recover:int -> int -> event
+val mds_fail : ?recover:int -> ?shard:int -> int -> event
 
 val crash_count : t -> int
 
@@ -66,7 +67,7 @@ val of_string : ?name:string -> ?seed:int -> string -> (t, string) result
     [crash:rank=R,io=N|t=T[,restart=D]],
     [drainfail:count=K[,node=N][,after=T]],
     [ostfail:target=K,t=T[,recover=D][,failover=1]] and
-    [mdsfail:t=T[,recover=D]].  Unknown event names and unknown keys are
+    [mdsfail:t=T[,shard=K][,recover=D]].  Unknown event names and unknown keys are
     errors; messages name the offending token and the accepted
     alternatives. *)
 

@@ -21,6 +21,7 @@ exception Exists of string
 exception Not_a_directory of string
 exception Is_a_directory of string
 exception Not_empty of string
+exception Invalid_rename of string
 
 let create () = { root = Hashtbl.create 16 }
 
@@ -108,17 +109,42 @@ let unlink t path =
   | Some (Dir _) -> raise (Is_a_directory path)
   | None -> raise (Not_found_path path)
 
+(* POSIX rename(2) semantics: an existing destination is atomically
+   replaced when the kinds agree (file onto file; directory onto *empty*
+   directory), renaming to the same path is a no-op, and moving a
+   directory into its own subtree is rejected ([EINVAL]). *)
 let rename t ~time src dst =
-  let stbl, sleaf = parent_and_leaf t src in
-  match Hashtbl.find_opt stbl sleaf with
-  | None -> raise (Not_found_path src)
-  | Some node ->
-    let dtbl, dleaf = parent_and_leaf t dst in
-    if Hashtbl.mem dtbl dleaf then raise (Exists dst);
-    Hashtbl.remove stbl sleaf;
-    (match node with
-    | File (_, m) | Dir (_, m) -> m.ctime <- time);
-    Hashtbl.replace dtbl dleaf node
+  let src_c = split_path src and dst_c = split_path dst in
+  if src_c = [] then invalid_arg "Namespace.rename: cannot rename the root";
+  if dst_c = [] then raise (Invalid_rename dst);
+  let rec is_prefix p q =
+    match (p, q) with
+    | [], _ -> true
+    | x :: p', y :: q' -> x = y && is_prefix p' q'
+    | _ :: _, [] -> false
+  in
+  if src_c = dst_c then ()
+  else if is_prefix src_c dst_c then
+    (* dst strictly inside src's subtree: the move would orphan it. *)
+    raise (Invalid_rename dst)
+  else begin
+    let stbl, sleaf = parent_and_leaf t src in
+    match Hashtbl.find_opt stbl sleaf with
+    | None -> raise (Not_found_path src)
+    | Some node ->
+      let dtbl, dleaf = parent_and_leaf t dst in
+      (match (node, Hashtbl.find_opt dtbl dleaf) with
+      | _, None -> ()
+      | File _, Some (File _) -> () (* replace the destination file *)
+      | File _, Some (Dir _) -> raise (Is_a_directory dst)
+      | Dir _, Some (File _) -> raise (Not_a_directory dst)
+      | Dir _, Some (Dir (sub, _)) ->
+        if Hashtbl.length sub > 0 then raise (Not_empty dst));
+      Hashtbl.remove stbl sleaf;
+      (match node with
+      | File (_, m) | Dir (_, m) -> m.ctime <- time);
+      Hashtbl.replace dtbl dleaf node
+  end
 
 let readdir t path =
   let components = split_path path in

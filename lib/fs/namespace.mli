@@ -1,9 +1,11 @@
 (** Hierarchical namespace of the simulated PFS.
 
-    Paths are absolute, '/'-separated.  Metadata (the directory tree, file
-    sizes, timestamps) is kept strongly consistent — the paper's analysis
-    relaxes only data operations and defers metadata semantics to future
-    work, so a single authoritative tree is the right model. *)
+    Paths are absolute, '/'-separated.  This single tree is the
+    {e authoritative server-side} metadata state; what clients of a
+    relaxed engine actually observe is decided above it, by the sharded
+    metadata service and its per-client caches in [lib/md] (the
+    ground-truth oracle those caches are compared against is exactly
+    this tree). *)
 
 type t
 
@@ -22,6 +24,9 @@ exception Exists of string
 exception Not_a_directory of string
 exception Is_a_directory of string
 exception Not_empty of string
+exception Invalid_rename of string
+(** Raised by {!rename} when the destination lies inside the source's
+    own subtree (POSIX [EINVAL]). *)
 
 val create : unit -> t
 (** A namespace containing only the root directory. *)
@@ -47,7 +52,13 @@ val unlink : t -> string -> unit
 (** Remove a regular file. *)
 
 val rename : t -> time:int -> string -> string -> unit
-(** Move a file or directory; the destination must not exist. *)
+(** Move a file or directory, with POSIX rename(2) semantics: an
+    existing destination is atomically replaced when the kinds agree —
+    a regular file replaces a regular file, a directory replaces an
+    {e empty} directory ({!Not_empty} otherwise).  Renaming a file onto
+    a directory raises {!Is_a_directory}; a directory onto a file,
+    {!Not_a_directory}.  Renaming a path to itself is a no-op; moving a
+    directory into its own subtree raises {!Invalid_rename}. *)
 
 val readdir : t -> string -> string list
 (** Entry names of a directory, sorted. *)

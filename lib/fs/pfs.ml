@@ -28,7 +28,7 @@ let sem_key = function
   | Consistency.Eventual _ -> "eventual"
 
 let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
-    semantics =
+    ?(mds_shards = 1) semantics =
   let stripe =
     match stripe with
     | Some s -> s
@@ -41,7 +41,7 @@ let create ?stripe ?(lock_granularity = 1 lsl 20) ?(local_order = true)
     namespace = Namespace.create ();
     stripe;
     lockmgr = Lockmgr.create ~granularity:lock_granularity;
-    targets = Target.create ~count:stripe.Stripe.server_count;
+    targets = Target.create ~mds_shards ~count:stripe.Stripe.server_count ();
     m_read = "fs.reads." ^ key;
     m_write = "fs.writes." ^ key;
     m_commit = "fs.commits." ^ key;
@@ -63,10 +63,19 @@ let targets t = t.targets
    nothing beyond it and produces byte-identical results to a build
    without the failure domain. *)
 
-let check_mds t ~time =
-  if (not (Target.all_up t.targets)) && not (Target.mds_up t.targets) then begin
-    Target.note_rejected t.targets;
-    raise (Target.Mds_down { time })
+let mds_shards t = Target.mds_shards t.targets
+
+(* A metadata operation is served by the shard owning the path's parent
+   directory; it fails only when *that* shard is down, so a partial MDS
+   outage takes out one directory subtree's worth of paths.  With one
+   shard this degenerates to the legacy whole-MDS check. *)
+let check_mds t ~time path =
+  if not (Target.all_up t.targets) then begin
+    let shard = Shardmap.shard ~shards:(Target.mds_shards t.targets) path in
+    if not (Target.mds_available t.targets shard) then begin
+      Target.note_rejected t.targets;
+      raise (Target.Mds_down { time })
+    end
   end
 
 (* Data-path availability: a read or write whose extent touches a [Down]
@@ -101,7 +110,7 @@ let account_stripe t iv =
       "fs.stripe.requests"
 
 let open_file t ~time ~rank ?(create = false) ?(trunc = false) path =
-  check_mds t ~time;
+  check_mds t ~time path;
   let fd =
     if create then Namespace.create_file t.namespace ~time path
     else Namespace.lookup_file t.namespace path
@@ -196,7 +205,7 @@ let laminate t ~time path =
   Fdata.laminate (Namespace.lookup_file t.namespace path) ~time
 
 let truncate t ~time path len =
-  check_mds t ~time;
+  check_mds t ~time path;
   let fd = Namespace.lookup_file t.namespace path in
   Fdata.truncate fd ~time len;
   Namespace.touch_mtime t.namespace ~time path
@@ -297,8 +306,8 @@ let fail_target t ~time ?(failover = false) target =
   (total, List.rev per_file, ranks, evicted)
 
 let recover_target t ~time target = Target.recover t.targets ~time target
-let fail_mds t ~time = Target.fail_mds t.targets ~time
-let recover_mds t ~time = Target.recover_mds t.targets ~time
+let fail_mds ?shard t ~time = Target.fail_mds ?shard t.targets ~time
+let recover_mds ?shard t ~time = Target.recover_mds ?shard t.targets ~time
 let evict_client t ~client = Lockmgr.evict_client t.lockmgr ~client
 
 let observer_rank = -1

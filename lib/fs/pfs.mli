@@ -13,11 +13,13 @@ type t
 
 val create :
   ?stripe:Stripe.t -> ?lock_granularity:int -> ?local_order:bool ->
-  Consistency.t -> t
+  ?mds_shards:int -> Consistency.t -> t
 (** [lock_granularity] (default 1 MiB) is used only under strong
     semantics, where accesses are accounted against the lock manager.
     [local_order] (default true) is the single-process write-ordering
-    guarantee; disable it to model BurstFS (Section 3.5). *)
+    guarantee; disable it to model BurstFS (Section 3.5).  [mds_shards]
+    (default 1) is the number of directory-partitioned metadata shards
+    in the failure domain (see {!Shardmap} and {!Target}). *)
 
 val semantics : t -> Consistency.t
 val namespace : t -> Namespace.t
@@ -108,8 +110,15 @@ val recover_target : t -> time:int -> int -> unit
     dropped volatile bytes — re-issuing them is the client's job (see
     {!Journal}). *)
 
-val fail_mds : t -> time:int -> unit
-val recover_mds : t -> time:int -> unit
+val mds_shards : t -> int
+(** Number of directory-partitioned metadata shards (1 = single MDS). *)
+
+val fail_mds : ?shard:int -> t -> time:int -> unit
+(** Fail one metadata shard, or all of them when [shard] is omitted (the
+    legacy whole-MDS event).  Metadata operations on paths owned by a
+    down shard raise {!Target.Mds_down}. *)
+
+val recover_mds : ?shard:int -> t -> time:int -> unit
 
 val evict_client : t -> client:int -> int
 (** Recall every lock grant [client] holds (all files); returns the count.

@@ -1,0 +1,27 @@
+(* Directory-partitioned shard map: a path is served by the metadata
+   shard owning its *parent directory*, so every entry of one directory
+   lives on one shard (readdir and create/unlink of siblings hit a single
+   server, like Lustre DNE or CephFS dirfrags).  File-per-process layouts
+   that give each rank its own subdirectory therefore spread across
+   shards, while a shared-directory create storm funnels into one — the
+   tradeoff the metadata bench measures. *)
+
+let parent path =
+  let components =
+    String.split_on_char '/' path |> List.filter (fun c -> c <> "")
+  in
+  match List.rev components with
+  | [] | [ _ ] -> "/"
+  | _leaf :: rev_dirs -> "/" ^ String.concat "/" (List.rev rev_dirs)
+
+(* 32-bit FNV-1a.  Deterministic across runs and platforms, cheap, and
+   well-mixed for short path strings. *)
+let hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+    s;
+  !h
+
+let shard ~shards path =
+  if shards <= 1 then 0 else hash (parent path) mod shards

@@ -22,7 +22,10 @@ type counters = {
 type t = {
   count : int;
   states : state array;
-  mutable mds_up : bool;
+  (* The metadata service's failure domain: one state per directory-
+     partitioned shard (see {!Shardmap}).  A single-shard array is the
+     legacy single-MDS behaviour. *)
+  mds : state array;
   (* Fast-path flag: true iff every target is [Up] and the MDS is up, so
      the hot data path pays a single load when nothing has ever failed. *)
   mutable all_up : bool;
@@ -34,12 +37,14 @@ type t = {
   mutable rejected_ops : int;
 }
 
-let create ~count =
+let create ?(mds_shards = 1) ~count () =
   if count <= 0 then invalid_arg "Target.create: count must be positive";
+  if mds_shards <= 0 then
+    invalid_arg "Target.create: mds_shards must be positive";
   {
     count;
     states = Array.make count Up;
-    mds_up = true;
+    mds = Array.make mds_shards Up;
     all_up = true;
     failures = 0;
     failovers = 0;
@@ -51,7 +56,15 @@ let create ~count =
 
 let count t = t.count
 let all_up t = t.all_up
-let mds_up t = t.mds_up
+let mds_shards t = Array.length t.mds
+let mds_up t = Array.for_all (fun s -> s = Up) t.mds
+
+let mds_state t k =
+  if k < 0 || k >= Array.length t.mds then
+    invalid_arg "Target.mds_state: bad shard";
+  t.mds.(k)
+
+let mds_available t k = mds_state t k <> Down
 
 let state t k =
   if k < 0 || k >= t.count then invalid_arg "Target.state: bad target";
@@ -60,7 +73,9 @@ let state t k =
 let available t k = state t k <> Down
 
 let refresh t =
-  t.all_up <- t.mds_up && Array.for_all (fun s -> s = Up) t.states
+  t.all_up <-
+    Array.for_all (fun s -> s = Up) t.mds
+    && Array.for_all (fun s -> s = Up) t.states
 
 let fail t ~time ~failover k =
   if k < 0 || k >= t.count then invalid_arg "Target.fail: bad target";
@@ -91,22 +106,61 @@ let recover t ~time k =
       "ost-recover"
   end
 
-let fail_mds t ~time =
-  if t.mds_up then begin
-    t.mds_up <- false;
+(* Without [shard] the whole metadata service fails/recovers (the legacy
+   single-MDS plan events); with it only the named shard transitions.
+   One plan event counts as one failure/recovery regardless of how many
+   shards it touched. *)
+let shard_range t = function
+  | Some k ->
+    if k < 0 || k >= Array.length t.mds then
+      invalid_arg "Target: bad MDS shard";
+    (k, k)
+  | None -> (0, Array.length t.mds - 1)
+
+let fail_mds ?shard t ~time =
+  let lo, hi = shard_range t shard in
+  let transitioned = ref false in
+  for k = lo to hi do
+    if t.mds.(k) <> Down then begin
+      t.mds.(k) <- Down;
+      transitioned := true
+    end
+  done;
+  if !transitioned then begin
     t.mds_failures <- t.mds_failures + 1;
     refresh t;
     Obs.incr "fs.target.mds_failures";
-    Obs.event Obs.T_fs ~args:[ ("time", string_of_int time) ] "mds-fail"
+    Obs.event Obs.T_fs
+      ~args:
+        (("time", string_of_int time)
+        ::
+        (match shard with
+        | Some k -> [ ("shard", string_of_int k) ]
+        | None -> []))
+      "mds-fail"
   end
 
-let recover_mds t ~time =
-  if not t.mds_up then begin
-    t.mds_up <- true;
+let recover_mds ?shard t ~time =
+  let lo, hi = shard_range t shard in
+  let transitioned = ref false in
+  for k = lo to hi do
+    if t.mds.(k) <> Up then begin
+      t.mds.(k) <- Up;
+      transitioned := true
+    end
+  done;
+  if !transitioned then begin
     t.mds_recoveries <- t.mds_recoveries + 1;
     refresh t;
     Obs.incr "fs.target.mds_recoveries";
-    Obs.event Obs.T_fs ~args:[ ("time", string_of_int time) ] "mds-recover"
+    Obs.event Obs.T_fs
+      ~args:
+        (("time", string_of_int time)
+        ::
+        (match shard with
+        | Some k -> [ ("shard", string_of_int k) ]
+        | None -> []))
+      "mds-recover"
   end
 
 let note_rejected t =

@@ -24,13 +24,16 @@ exception Target_down of { target : int; time : int }
 (** Raised by data-path operations whose extent touches a [Down] target. *)
 
 exception Mds_down of { time : int }
-(** Raised by metadata operations (open, truncate) while the MDS is down. *)
+(** Raised by metadata operations while the shard serving the path (or,
+    legacy single-MDS, the whole metadata service) is down. *)
 
 type t
 
-val create : count:int -> t
-(** All [count] targets start [Up], MDS up.  Raises [Invalid_argument] for
-    a non-positive count. *)
+val create : ?mds_shards:int -> count:int -> unit -> t
+(** All [count] targets start [Up]; the metadata service starts with
+    [mds_shards] (default 1) directory-partitioned shards, all [Up] (see
+    {!Shardmap} for the path-to-shard function).  Raises
+    [Invalid_argument] for non-positive counts. *)
 
 val count : t -> int
 val state : t -> int -> state
@@ -42,6 +45,17 @@ val all_up : t -> bool
     fault-free hot path checks before skipping all per-extent work. *)
 
 val mds_up : t -> bool
+(** True iff every metadata shard is [Up]. *)
+
+val mds_shards : t -> int
+(** Number of metadata shards (1 = legacy single MDS). *)
+
+val mds_state : t -> int -> state
+(** State of metadata shard [k].  Raises [Invalid_argument] for a bad
+    shard index. *)
+
+val mds_available : t -> int -> bool
+(** [Up] or [Degraded]. *)
 
 val fail : t -> time:int -> failover:bool -> int -> unit
 (** Fail target [k]: [Degraded] when a failover replica absorbs it,
@@ -50,8 +64,12 @@ val fail : t -> time:int -> failover:bool -> int -> unit
 val recover : t -> time:int -> int -> unit
 (** Return target [k] to [Up] (no-op when already up). *)
 
-val fail_mds : t -> time:int -> unit
-val recover_mds : t -> time:int -> unit
+val fail_mds : ?shard:int -> t -> time:int -> unit
+(** Fail metadata shard [shard], or the whole metadata service when no
+    shard is given (the legacy single-MDS event).  One call counts as
+    one failure regardless of how many shards it downed. *)
+
+val recover_mds : ?shard:int -> t -> time:int -> unit
 
 val note_rejected : t -> unit
 (** Count one operation refused because a target or the MDS was down. *)

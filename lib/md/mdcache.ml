@@ -1,0 +1,40 @@
+module Namespace = Hpcfs_fs.Namespace
+
+(* One client's metadata cache: attribute entries (a [stat] or a cached
+   negative lookup) and directory listings, each stamped with the logical
+   time it was filled.  The cache is pure mechanism — which entries may
+   be served, and when they are dropped, is the consistency protocol in
+   {!Service}. *)
+
+type 'a entry = { value : 'a; cached_at : int }
+
+type t = {
+  attrs : (string, Namespace.stat option entry) Hashtbl.t;
+  dents : (string, string list entry) Hashtbl.t;
+}
+
+let create () = { attrs = Hashtbl.create 64; dents = Hashtbl.create 16 }
+
+let clear t =
+  Hashtbl.reset t.attrs;
+  Hashtbl.reset t.dents
+
+let size t = Hashtbl.length t.attrs + Hashtbl.length t.dents
+
+let find_attr t path = Hashtbl.find_opt t.attrs path
+
+let put_attr t ~time path value =
+  Hashtbl.replace t.attrs path { value; cached_at = time }
+
+let find_dents t dir = Hashtbl.find_opt t.dents dir
+
+let put_dents t ~time dir entries =
+  Hashtbl.replace t.dents dir { value = entries; cached_at = time }
+
+(* Drop whatever is cached about one path: its attributes and, when it is
+   a directory, its listing. *)
+let drop t path =
+  Hashtbl.remove t.attrs path;
+  Hashtbl.remove t.dents path
+
+let drop_dents t dir = Hashtbl.remove t.dents dir

@@ -1,0 +1,31 @@
+(** One client's stat/attribute/dentry cache.
+
+    Pure mechanism: a table of attribute entries (a [Namespace.stat], or
+    a cached {e negative} lookup) and a table of directory listings,
+    each stamped with the logical time it was filled.  Which entries may
+    be served — and when the protocol drops them — is decided by
+    {!Service} according to the active consistency engine. *)
+
+type 'a entry = { value : 'a; cached_at : int }
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val size : t -> int
+(** Cached attribute entries plus cached listings. *)
+
+val find_attr : t -> string -> Hpcfs_fs.Namespace.stat option entry option
+(** [Some { value = None; _ }] is a cached negative lookup. *)
+
+val put_attr :
+  t -> time:int -> string -> Hpcfs_fs.Namespace.stat option -> unit
+
+val find_dents : t -> string -> string list entry option
+val put_dents : t -> time:int -> string -> string list -> unit
+
+val drop : t -> string -> unit
+(** Drop a path's attribute entry and (if a directory) its listing. *)
+
+val drop_dents : t -> string -> unit

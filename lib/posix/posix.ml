@@ -2,6 +2,7 @@ module Sched = Hpcfs_sim.Sched
 module Pfs = Hpcfs_fs.Pfs
 module Backend = Hpcfs_fs.Backend
 module Namespace = Hpcfs_fs.Namespace
+module Md = Hpcfs_md.Service
 module Record = Hpcfs_trace.Record
 module Collector = Hpcfs_trace.Collector
 
@@ -31,17 +32,23 @@ type rank_state = {
 type ctx = {
   backend : Backend.t;
   collector : Collector.t;
+  mds : Md.t;
   ranks : (int, rank_state) Hashtbl.t;
 }
 
-let make_ctx_backend backend collector =
-  { backend; collector; ranks = Hashtbl.create 16 }
+let make_ctx_backend ?mds backend collector =
+  let mds =
+    match mds with Some m -> m | None -> Md.create backend.Backend.pfs
+  in
+  { backend; collector; mds; ranks = Hashtbl.create 16 }
 
-let make_ctx pfs collector = make_ctx_backend (Backend.of_pfs pfs) collector
+let make_ctx ?mds pfs collector =
+  make_ctx_backend ?mds (Backend.of_pfs pfs) collector
 
 let pfs ctx = ctx.backend.Backend.pfs
 let backend ctx = ctx.backend
 let collector ctx = ctx.collector
+let mds ctx = ctx.mds
 
 let rank_state ctx =
   let r = Sched.self () in
@@ -53,6 +60,15 @@ let rank_state ctx =
     s
 
 let err func path msg = raise (Posix_error { func; path; msg })
+
+(* Descriptor operations resolve their path against the namespace on every
+   call, so a descriptor whose file another process unlinked behaves like
+   an NFS stale file handle ([ESTALE]) rather than the Unix
+   keep-until-last-close rule — the documented deviation of this
+   simulator (see DESIGN.md, "Metadata path").  [with_handle] turns the
+   raw namespace miss into that typed error. *)
+let with_handle func path f =
+  try f () with Namespace.Not_found_path _ -> err func path "stale file handle"
 
 let lookup_fd ctx func fd =
   let s = rank_state ctx in
@@ -98,6 +114,7 @@ let openf ctx ?(origin = Record.O_app) path flags =
   let create = List.mem O_CREAT flags in
   let trunc = List.mem O_TRUNC flags in
   let append = List.mem O_APPEND flags in
+  Md.note_open ctx.mds ~time ~client:(Sched.self ()) ~create abs;
   let size =
     try
       ctx.backend.Backend.open_file ~time ~rank:(Sched.self ()) ~create
@@ -105,6 +122,7 @@ let openf ctx ?(origin = Record.O_app) path flags =
     with Namespace.Not_found_path _ ->
       err "open" abs "no such file or directory"
   in
+  if trunc then Md.note_local_write ctx.mds ~client:(Sched.self ()) abs;
   let writable = List.mem O_WRONLY flags || List.mem O_RDWR flags in
   let readable = not (List.mem O_WRONLY flags) in
   let pos = if append then size else 0 in
@@ -114,7 +132,8 @@ let openf ctx ?(origin = Record.O_app) path flags =
 let close_named ctx ~origin ~func fd =
   let f = lookup_fd ctx func fd in
   let time = emit ctx ~origin ~func ~file:f.path ~fd () in
-  ctx.backend.Backend.close_file ~time ~rank:(Sched.self ()) f.path;
+  with_handle func f.path (fun () ->
+      ctx.backend.Backend.close_file ~time ~rank:(Sched.self ()) f.path);
   Hashtbl.remove (rank_state ctx).fds fd
 
 let close ctx ?(origin = Record.O_app) fd = close_named ctx ~origin ~func:"close" fd
@@ -127,7 +146,9 @@ let read_named ctx ~origin ~func fd len =
   if not f.readable then err func f.path "not open for reading";
   let time = Sched.tick () in
   let result =
-    ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off:f.pos ~len
+    with_handle func f.path (fun () ->
+        ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off:f.pos
+          ~len)
   in
   let transferred = Bytes.length result.Hpcfs_fs.Fdata.data in
   Collector.emit ctx.collector
@@ -142,10 +163,16 @@ let read ctx ?(origin = Record.O_app) fd len =
 let write_named ctx ~origin ~func fd data =
   let f = lookup_fd ctx func fd in
   if not f.writable then err func f.path "not open for writing";
-  if f.append then f.pos <- ctx.backend.Backend.file_size f.path;
+  if f.append then
+    f.pos <-
+      with_handle func f.path (fun () ->
+          ctx.backend.Backend.file_size f.path);
   let len = Bytes.length data in
   let time = emit ctx ~origin ~func ~file:f.path ~fd ~count:len () in
-  ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off:f.pos data;
+  with_handle func f.path (fun () ->
+      ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off:f.pos
+        data);
+  Md.note_local_write ctx.mds ~client:(Sched.self ()) f.path;
   f.pos <- f.pos + len;
   len
 
@@ -157,7 +184,8 @@ let pread ctx ?(origin = Record.O_app) fd ~off len =
   if not f.readable then err "pread" f.path "not open for reading";
   let time = Sched.tick () in
   let result =
-    ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off ~len
+    with_handle "pread" f.path (fun () ->
+        ctx.backend.Backend.read ~time ~rank:(Sched.self ()) f.path ~off ~len)
   in
   let transferred = Bytes.length result.Hpcfs_fs.Fdata.data in
   Collector.emit ctx.collector
@@ -172,7 +200,9 @@ let pwrite ctx ?(origin = Record.O_app) fd ~off data =
   let time =
     emit ctx ~origin ~func:"pwrite" ~file:f.path ~fd ~offset:off ~count:len ()
   in
-  ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off data;
+  with_handle "pwrite" f.path (fun () ->
+      ctx.backend.Backend.write ~time ~rank:(Sched.self ()) f.path ~off data);
+  Md.note_local_write ctx.mds ~client:(Sched.self ()) f.path;
   len
 
 let whence_name = function
@@ -189,7 +219,8 @@ let seek_named ctx ~origin ~func fd offset whence =
     match whence with
     | SEEK_SET -> 0
     | SEEK_CUR -> f.pos
-    | SEEK_END -> ctx.backend.Backend.file_size f.path
+    | SEEK_END ->
+      with_handle func f.path (fun () -> ctx.backend.Backend.file_size f.path)
   in
   let target = base + offset in
   if target < 0 then err func f.path "negative seek";
@@ -202,7 +233,9 @@ let lseek ctx ?(origin = Record.O_app) fd offset whence =
 let sync_named ctx ~origin ~func fd =
   let f = lookup_fd ctx func fd in
   let time = emit ctx ~origin ~func ~file:f.path ~fd () in
-  ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path
+  with_handle func f.path (fun () ->
+      ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path);
+  Md.note_commit ctx.mds ~time ~client:(Sched.self ())
 
 let fsync ctx ?(origin = Record.O_app) fd = sync_named ctx ~origin ~func:"fsync" fd
 
@@ -229,6 +262,7 @@ let fopen ctx ?(origin = Record.O_app) path mode =
     | "a+" -> (true, false, true, true, true)
     | m -> err "fopen" abs ("bad mode " ^ m)
   in
+  Md.note_open ctx.mds ~time ~client:(Sched.self ()) ~create abs;
   let size =
     try
       ctx.backend.Backend.open_file ~time ~rank:(Sched.self ()) ~create
@@ -236,6 +270,7 @@ let fopen ctx ?(origin = Record.O_app) path mode =
     with Namespace.Not_found_path _ ->
       err "fopen" abs "no such file or directory"
   in
+  if trunc then Md.note_local_write ctx.mds ~client:(Sched.self ()) abs;
   let pos = if append then size else 0 in
   Hashtbl.replace s.fds fd { path = abs; pos; append; writable; readable };
   fd
@@ -259,8 +294,8 @@ let fflush ctx ?(origin = Record.O_app) fd =
 
 let stat_named ctx ~origin ~func path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func ~file:abs ());
-  try Namespace.stat (Pfs.namespace ctx.backend.Backend.pfs) abs
+  let time = emit ctx ~origin ~func ~file:abs () in
+  try Md.stat ctx.mds ~time ~client:(Sched.self ()) abs
   with Namespace.Not_found_path _ -> err func abs "no such file or directory"
 
 let stat ctx ?(origin = Record.O_app) path = stat_named ctx ~origin ~func:"stat" path
@@ -270,31 +305,32 @@ let lstat ctx ?(origin = Record.O_app) path =
 
 let fstat ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "fstat" fd in
-  ignore (emit ctx ~origin ~func:"fstat" ~file:f.path ~fd ());
-  Namespace.stat (Pfs.namespace ctx.backend.Backend.pfs) f.path
+  let time = emit ctx ~origin ~func:"fstat" ~file:f.path ~fd () in
+  with_handle "fstat" f.path (fun () ->
+      Md.stat ctx.mds ~time ~client:(Sched.self ()) f.path)
 
 let access ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"access" ~file:abs ());
-  Namespace.exists (Pfs.namespace ctx.backend.Backend.pfs) abs
+  let time = emit ctx ~origin ~func:"access" ~file:abs () in
+  Md.exists ctx.mds ~time ~client:(Sched.self ()) abs
 
 let mkdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"mkdir" ~file:abs () in
-  try Namespace.mkdir (Pfs.namespace ctx.backend.Backend.pfs) ~time abs
+  try Md.mkdir ctx.mds ~time ~client:(Sched.self ()) abs
   with Namespace.Exists _ -> err "mkdir" abs "file exists"
 
 let rmdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"rmdir" ~file:abs ());
-  try Namespace.rmdir (Pfs.namespace ctx.backend.Backend.pfs) abs with
+  let time = emit ctx ~origin ~func:"rmdir" ~file:abs () in
+  try Md.rmdir ctx.mds ~time ~client:(Sched.self ()) abs with
   | Namespace.Not_found_path _ -> err "rmdir" abs "no such file or directory"
   | Namespace.Not_empty _ -> err "rmdir" abs "directory not empty"
 
 let unlink ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"unlink" ~file:abs ());
-  try Namespace.unlink (Pfs.namespace ctx.backend.Backend.pfs) abs
+  let time = emit ctx ~origin ~func:"unlink" ~file:abs () in
+  try Md.unlink ctx.mds ~time ~client:(Sched.self ()) abs
   with Namespace.Not_found_path _ ->
     err "unlink" abs "no such file or directory"
 
@@ -303,9 +339,12 @@ let rename ctx ?(origin = Record.O_app) src dst =
   let time =
     emit ctx ~origin ~func:"rename" ~file:src ~args:[ ("dst", dst) ] ()
   in
-  try Namespace.rename (Pfs.namespace ctx.backend.Backend.pfs) ~time src dst with
+  try Md.rename ctx.mds ~time ~client:(Sched.self ()) src dst with
   | Namespace.Not_found_path _ -> err "rename" src "no such file or directory"
-  | Namespace.Exists _ -> err "rename" dst "file exists"
+  | Namespace.Is_a_directory _ -> err "rename" dst "is a directory"
+  | Namespace.Not_a_directory _ -> err "rename" dst "not a directory"
+  | Namespace.Not_empty _ -> err "rename" dst "directory not empty"
+  | Namespace.Invalid_rename _ -> err "rename" dst "invalid argument"
 
 let getcwd ctx ?(origin = Record.O_app) () =
   let s = rank_state ctx in
@@ -314,22 +353,25 @@ let getcwd ctx ?(origin = Record.O_app) () =
 
 let chdir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"chdir" ~file:abs ());
-  if not (Namespace.is_dir (Pfs.namespace ctx.backend.Backend.pfs) abs) then
+  let time = emit ctx ~origin ~func:"chdir" ~file:abs () in
+  if not (Md.is_dir ctx.mds ~time ~client:(Sched.self ()) abs) then
     err "chdir" abs "not a directory";
   (rank_state ctx).cwd <- abs
 
 let truncate ctx ?(origin = Record.O_app) path len =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"truncate" ~file:abs ~count:len () in
-  try ctx.backend.Backend.truncate ~time abs len
-  with Namespace.Not_found_path _ ->
-    err "truncate" abs "no such file or directory"
+  (try ctx.backend.Backend.truncate ~time abs len
+   with Namespace.Not_found_path _ ->
+     err "truncate" abs "no such file or directory");
+  Md.note_local_write ctx.mds ~client:(Sched.self ()) abs
 
 let ftruncate ctx ?(origin = Record.O_app) fd len =
   let f = lookup_fd ctx "ftruncate" fd in
   let time = emit ctx ~origin ~func:"ftruncate" ~file:f.path ~fd ~count:len () in
-  ctx.backend.Backend.truncate ~time f.path len
+  with_handle "ftruncate" f.path (fun () ->
+      ctx.backend.Backend.truncate ~time f.path len);
+  Md.note_local_write ctx.mds ~client:(Sched.self ()) f.path
 
 let dup ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "dup" fd in
@@ -366,9 +408,9 @@ let fileno ctx ?(origin = Record.O_app) fd =
 
 let opendir ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"opendir" ~file:abs ());
+  let time = emit ctx ~origin ~func:"opendir" ~file:abs () in
   let entries =
-    try Namespace.readdir (Pfs.namespace ctx.backend.Backend.pfs) abs
+    try Md.readdir ctx.mds ~time ~client:(Sched.self ()) abs
     with Namespace.Not_found_path _ ->
       err "opendir" abs "no such file or directory"
   in
@@ -386,7 +428,9 @@ let mmap ctx ?(origin = Record.O_app) fd ~len =
 let msync ctx ?(origin = Record.O_app) fd =
   let f = lookup_fd ctx "msync" fd in
   let time = emit ctx ~origin ~func:"msync" ~file:f.path ~fd () in
-  ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path
+  with_handle "msync" f.path (fun () ->
+      ctx.backend.Backend.fsync ~time ~rank:(Sched.self ()) f.path);
+  Md.note_commit ctx.mds ~time ~client:(Sched.self ())
 
 let readlink ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
@@ -402,12 +446,12 @@ let chmod ctx ?(origin = Record.O_app) path mode =
 let utime ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
   let time = emit ctx ~origin ~func:"utime" ~file:abs () in
-  Namespace.touch_mtime (Pfs.namespace ctx.backend.Backend.pfs) ~time abs
+  Md.utime ctx.mds ~time ~client:(Sched.self ()) abs
 
 let remove ctx ?(origin = Record.O_app) path =
   let abs = resolve ctx path in
-  ignore (emit ctx ~origin ~func:"remove" ~file:abs ());
-  try Namespace.unlink (Pfs.namespace ctx.backend.Backend.pfs) abs
+  let time = emit ctx ~origin ~func:"remove" ~file:abs () in
+  try Md.unlink ctx.mds ~time ~client:(Sched.self ()) abs
   with Namespace.Not_found_path _ ->
     err "remove" abs "no such file or directory"
 

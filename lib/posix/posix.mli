@@ -11,20 +11,29 @@
     taken from the scheduler. *)
 
 type ctx
-(** Shared state of one traced run: the PFS, the trace collector, and the
-    per-rank descriptor tables. *)
+(** Shared state of one traced run: the PFS, the trace collector, the
+    metadata service, and the per-rank descriptor tables. *)
 
-val make_ctx : Hpcfs_fs.Pfs.t -> Hpcfs_trace.Collector.t -> ctx
-(** A ctx whose data operations go straight to the PFS. *)
+val make_ctx :
+  ?mds:Hpcfs_md.Service.t -> Hpcfs_fs.Pfs.t -> Hpcfs_trace.Collector.t -> ctx
+(** A ctx whose data operations go straight to the PFS.  [mds] (default: a
+    fresh {!Hpcfs_md.Service} over the PFS) carries the metadata path —
+    pass an existing service to keep shard loads and cache statistics
+    across several ctxs of one run (e.g. restart attempts). *)
 
-val make_ctx_backend : Hpcfs_fs.Backend.t -> Hpcfs_trace.Collector.t -> ctx
+val make_ctx_backend :
+  ?mds:Hpcfs_md.Service.t ->
+  Hpcfs_fs.Backend.t -> Hpcfs_trace.Collector.t -> ctx
 (** A ctx whose data operations route through an arbitrary backend (e.g. a
-    burst-buffer tier); metadata operations always address the backend's
-    underlying PFS namespace. *)
+    burst-buffer tier); metadata operations go through the sharded
+    metadata service over the backend's underlying PFS. *)
 
 val pfs : ctx -> Hpcfs_fs.Pfs.t
 val backend : ctx -> Hpcfs_fs.Backend.t
 val collector : ctx -> Hpcfs_trace.Collector.t
+
+val mds : ctx -> Hpcfs_md.Service.t
+(** The metadata service: per-shard load, cache counters, staleness. *)
 
 exception Posix_error of { func : string; path : string; msg : string }
 
@@ -67,7 +76,13 @@ val fwrite : ctx -> ?origin:origin -> int -> bytes -> int
 val fseek : ctx -> ?origin:origin -> int -> int -> whence -> unit
 val fflush : ctx -> ?origin:origin -> int -> unit
 
-(** {1 Metadata and utility operations (footnote 3)} *)
+(** {1 Metadata and utility operations (footnote 3)}
+
+    These route through the sharded metadata service
+    ({!Hpcfs_md.Service}): lookups may be served from the calling rank's
+    stat/dentry cache according to the active consistency engine, and
+    every server round-trip is accounted against — and refused by, with
+    [Target.Mds_down] — the directory shard owning the path. *)
 
 val stat : ctx -> ?origin:origin -> string -> Hpcfs_fs.Namespace.stat
 val lstat : ctx -> ?origin:origin -> string -> Hpcfs_fs.Namespace.stat

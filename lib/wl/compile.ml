@@ -131,9 +131,100 @@ let exec_read env st i path =
   end;
   st.tag <- st.tag + i.count
 
+(* A storm never aborts the workload: a stat of a file another rank has
+   not created yet (or already unlinked) is just a failed lookup, which
+   is itself realistic storm traffic. *)
+let try_meta f = try f () with Posix.Posix_error _ -> ()
+
+let meta_participants env m =
+  min env.Runner.nprocs (Option.value ~default:env.Runner.nprocs m.m_ranks)
+
+(* Metadata burst.  shared-dir puts every rank's files in one directory —
+   the whole storm funnels into that directory's shard — while fpp gives
+   each rank its own subdirectory, spreading the load across shards.
+   Stats and readdirs target the *next* ranks' files, so under a relaxed
+   engine they can be served stale from the local cache. *)
+let exec_meta env st w m =
+  let posix = env.Runner.posix in
+  let rank = App_common.rank env in
+  let k = meta_participants env m in
+  let base = dir_of w ^ "/" ^ m.m_dir in
+  (* The storm directory itself: rank 0 creates it once, behind a
+     barrier every rank executes (same discipline as open_write). *)
+  if not (Hashtbl.mem st.created base) then begin
+    Hashtbl.replace st.created base ();
+    if App_common.is_rank0 env then
+      try_meta (fun () -> Posix.mkdir posix base);
+    Mpi.barrier env.Runner.comm
+  end;
+  (match m.m_layout with
+  | File_per_process ->
+    if rank < k then begin
+      let d = Printf.sprintf "%s/r%d" base rank in
+      if not (Hashtbl.mem st.created d) then begin
+        Hashtbl.replace st.created d ();
+        try_meta (fun () -> Posix.mkdir posix d)
+      end
+    end
+  | Shared -> ());
+  if rank < k then begin
+    let path ~owner i =
+      match m.m_layout with
+      | Shared -> Printf.sprintf "%s/f%d.%d" base owner i
+      | File_per_process -> Printf.sprintf "%s/r%d/f%d" base owner i
+    in
+    match m.m_op with
+    | Mcreate ->
+      for i = 0 to m.m_files - 1 do
+        try_meta (fun () ->
+            let fd =
+              Posix.openf posix (path ~owner:rank i)
+                [ Posix.O_WRONLY; Posix.O_CREAT ]
+            in
+            Posix.close posix fd)
+      done
+    | Mstat ->
+      for i = 0 to m.m_files - 1 do
+        let owner = (rank + 1 + i) mod k in
+        try_meta (fun () -> ignore (Posix.stat posix (path ~owner i)))
+      done
+    | Mreaddir ->
+      let d =
+        match m.m_layout with
+        | Shared -> base
+        | File_per_process -> Printf.sprintf "%s/r%d" base ((rank + 1) mod k)
+      in
+      for _ = 1 to m.m_files do
+        try_meta (fun () -> ignore (Posix.opendir posix d))
+      done
+    | Munlink ->
+      for i = 0 to m.m_files - 1 do
+        try_meta (fun () -> Posix.unlink posix (path ~owner:rank i))
+      done
+    | Mmkdir ->
+      for i = 0 to m.m_files - 1 do
+        let d =
+          match m.m_layout with
+          | Shared -> Printf.sprintf "%s/d%d.%d" base rank i
+          | File_per_process -> Printf.sprintf "%s/r%d/d%d" base rank i
+        in
+        try_meta (fun () -> Posix.mkdir posix d)
+      done
+    | Mrename ->
+      for i = 0 to m.m_files - 1 do
+        let dst =
+          match m.m_layout with
+          | Shared -> Printf.sprintf "%s/g%d.%d" base rank i
+          | File_per_process -> Printf.sprintf "%s/r%d/g%d" base rank i
+        in
+        try_meta (fun () -> Posix.rename posix (path ~owner:rank i) dst)
+      done
+  end
+
 let exec_phase w env st = function
   | Write i -> exec_write env st i (path_of w env i)
   | Read i -> exec_read env st i (path_of w env i)
+  | Meta m -> exec_meta env st w m
   | Checkpoint { io = i; steps; every } ->
     for step = 1 to steps do
       App_common.compute_allreduce env;

@@ -35,6 +35,20 @@ let checkpoint_gen =
   let* every = int_range 1 steps in
   return (Checkpoint { io = { io with file = "ck-" ^ io.file }; steps; every })
 
+(* Metadata bursts are failure-tolerant by construction (a stat of a file
+   nobody created is swallowed), so any op sequence is valid. *)
+let meta_gen =
+  let open Gen in
+  let* op =
+    oneofl [ Mcreate; Mstat; Mreaddir; Munlink; Mmkdir; Mrename ]
+  in
+  let* files = int_range 1 8 in
+  let* layout = layout_gen in
+  let* dir = oneofl [ "m0"; "m1" ] in
+  let* ranks = oneof [ return None; map (fun k -> Some (k + 1)) (int_bound 3) ] in
+  return (Meta { m_op = op; m_files = files; m_layout = layout; m_dir = dir;
+                 m_ranks = ranks })
+
 let phases_gen =
   let open Gen in
   let* n = int_range 1 6 in
@@ -44,7 +58,7 @@ let phases_gen =
       let* choice =
         frequency
           [ (4, return `W); (3, return `R); (2, return `C); (1, return `B);
-            (1, return `K) ]
+            (1, return `K); (2, return `M) ]
       in
       match choice with
       | `R when written <> [] ->
@@ -61,6 +75,9 @@ let phases_gen =
       | `K ->
         let* ck = checkpoint_gen in
         build (i + 1) written (ck :: acc)
+      | `M ->
+        let* m = meta_gen in
+        build (i + 1) written (m :: acc)
   in
   build 0 [] []
 

@@ -20,16 +20,42 @@ type io = {
   sync : sync;
 }
 
+type meta_op = Mcreate | Mstat | Mreaddir | Munlink | Mmkdir | Mrename
+
+type meta = {
+  m_op : meta_op;
+  m_files : int;
+  m_layout : layout;
+  m_dir : string;
+  m_ranks : int option;
+}
+
 type phase =
   | Write of io
   | Read of io
   | Checkpoint of { io : io; steps : int; every : int }
+  | Meta of meta
   | Barrier
   | Compute of int
 
 type t = { name : string; phases : phase list }
 
 let layout_name = function Shared -> "shared" | File_per_process -> "fpp"
+
+(* In a metadata phase the layout names the directory shape, not a file
+   striping: every participant in one directory vs one directory per
+   rank. *)
+let meta_layout_name = function
+  | Shared -> "shared-dir"
+  | File_per_process -> "fpp"
+
+let meta_op_name = function
+  | Mcreate -> "create"
+  | Mstat -> "stat"
+  | Mreaddir -> "readdir"
+  | Munlink -> "unlink"
+  | Mmkdir -> "mkdir"
+  | Mrename -> "rename"
 
 let order_name = function
   | Consecutive -> "consecutive"
@@ -55,6 +81,11 @@ let checkpoint ?layout ?order ?block ?count ?ranks ?(file = "ckpt") ?sync
     ?(steps = 20) ?(every = 10) () =
   Checkpoint
     { io = io ?layout ?order ?block ?count ?ranks ~file ?sync (); steps; every }
+
+let meta ?(op = Mcreate) ?(files = 16) ?(layout = Shared) ?(dir = "meta")
+    ?ranks () =
+  Meta { m_op = op; m_files = files; m_layout = layout; m_dir = dir;
+         m_ranks = ranks }
 
 let barrier = Barrier
 let compute n = Compute n
@@ -101,6 +132,23 @@ let phase_to_string = function
       @ io_fields ~default:default_ckpt_io i
     in
     "checkpoint:" ^ String.concat "," fields
+  | Meta m ->
+    let fields =
+      List.concat
+        [
+          [ "op=" ^ meta_op_name m.m_op ];
+          (if m.m_files <> 16 then [ Printf.sprintf "files=%d" m.m_files ]
+           else []);
+          (if m.m_layout <> Shared then
+             [ "layout=" ^ meta_layout_name m.m_layout ]
+           else []);
+          (if m.m_dir <> "meta" then [ "dir=" ^ m.m_dir ] else []);
+          (match m.m_ranks with
+          | Some k -> [ Printf.sprintf "ranks=%d" k ]
+          | None -> []);
+        ]
+    in
+    "meta:" ^ String.concat "," fields
   | Barrier -> "barrier"
   | Compute 1 -> "compute"
   | Compute n -> Printf.sprintf "compute:n=%d" n
@@ -135,6 +183,18 @@ let check_phase = function
       Error (Printf.sprintf "checkpoint: steps must be positive, got %d" steps)
     else if every <= 0 then
       Error (Printf.sprintf "checkpoint: every must be positive, got %d" every)
+    else Ok ()
+  | Meta m ->
+    if m.m_files <= 0 then
+      Error
+        (Printf.sprintf "meta: files must be positive, got %d" m.m_files)
+    else if (match m.m_ranks with Some k -> k <= 0 | None -> false) then
+      Error
+        (Printf.sprintf "meta: ranks must be positive, got %d"
+           (Option.get m.m_ranks))
+    else if m.m_dir = "" || String.contains m.m_dir '/' then
+      Error
+        (Printf.sprintf "meta: dir must be a plain name, got %S" m.m_dir)
     else Ok ()
   | Barrier -> Ok ()
   | Compute n ->
@@ -232,6 +292,46 @@ let parse_phase spec =
       | Some v -> Spec.parse_int head "every" v
     in
     Ok (Checkpoint { io = i; steps; every })
+  | "meta" ->
+    let* kvs = Spec.parse_fields head fields in
+    let* () =
+      Spec.check_keys head
+        ~accepted:[ "op"; "files"; "layout"; "dir"; "ranks" ]
+        kvs
+    in
+    let* op =
+      match List.assoc_opt "op" kvs with
+      | None -> Ok Mcreate
+      | Some v ->
+        Spec.enum_field head "op"
+          ~accepted:
+            [
+              ("create", Mcreate); ("stat", Mstat); ("readdir", Mreaddir);
+              ("unlink", Munlink); ("mkdir", Mmkdir); ("rename", Mrename);
+            ]
+          v
+    in
+    let* files =
+      match List.assoc_opt "files" kvs with
+      | None -> Ok 16
+      | Some v -> Spec.parse_int head "files" v
+    in
+    let* layout =
+      match List.assoc_opt "layout" kvs with
+      | None -> Ok Shared
+      | Some v ->
+        Spec.enum_field head "layout"
+          ~accepted:[ ("shared-dir", Shared); ("fpp", File_per_process) ]
+          v
+    in
+    let dir = Option.value ~default:"meta" (List.assoc_opt "dir" kvs) in
+    let* ranks =
+      match List.assoc_opt "ranks" kvs with
+      | None -> Ok None
+      | Some v -> Result.map Option.some (Spec.parse_int head "ranks" v)
+    in
+    Ok (Meta { m_op = op; m_files = files; m_layout = layout; m_dir = dir;
+               m_ranks = ranks })
   | "barrier" ->
     if fields = [] then Ok Barrier
     else Error (Printf.sprintf "barrier: takes no keys, got %S" rest)
@@ -248,7 +348,7 @@ let parse_phase spec =
     Error
       (Printf.sprintf
          "unknown workload phase %S; expected write, read, checkpoint, \
-          barrier or compute"
+          meta, barrier or compute"
          other)
 
 let of_string ?(name = "workload") s =

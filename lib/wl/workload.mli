@@ -19,6 +19,8 @@
     write:layout=shared,pattern=strided,block=512,count=3
     read:layout=fpp,count=1,sync=close
     checkpoint:steps=100,every=20,layout=shared,pattern=strided
+    meta:op=create,files=64,layout=shared-dir
+    meta:op=stat,files=64,layout=fpp
     barrier
     compute:n=2
     v}
@@ -30,6 +32,13 @@
     [sync] (none|fsync|close: leave the file open dirty, fsync it, or
     close it at the end of the phase).  [checkpoint] adds [steps] and
     [every] (checkpoint cadence: a fresh file every [every]-th step).
+
+    Keys for [meta]: [op] (create|stat|readdir|unlink|mkdir|rename),
+    [files] (operations per participating rank), [layout] (shared-dir:
+    every rank in one directory — the classic metadata storm; fpp: one
+    subdirectory per rank), [dir] (directory name inside the workload's
+    directory) and [ranks].
+
     Parse errors name the offending token and the accepted keys. *)
 
 type layout = Shared | File_per_process
@@ -48,12 +57,31 @@ type io = {
   sync : sync;
 }
 
+type meta_op = Mcreate | Mstat | Mreaddir | Munlink | Mmkdir | Mrename
+
+type meta = {
+  m_op : meta_op;
+  m_files : int;  (** operations per participating rank *)
+  m_layout : layout;
+      (** [Shared]: every rank works in one shared directory (a
+          metadata storm that funnels into one shard);
+          [File_per_process]: each rank in its own subdirectory. *)
+  m_dir : string;  (** directory name inside the workload directory *)
+  m_ranks : int option;  (** only ranks [< k] participate; [None] = all *)
+}
+
 type phase =
   | Write of io
   | Read of io
   | Checkpoint of { io : io; steps : int; every : int }
       (** [steps] compute steps; every [every]-th step opens a fresh
           epoch file, writes [io] into it and applies [io.sync]. *)
+  | Meta of meta
+      (** A metadata burst: [m_files] creates/stats/... per participating
+          rank.  Stats target {e other} ranks' files, so relaxed-engine
+          stat caches can serve stale attributes.  Failing operations
+          (stat of a not-yet-created file) are swallowed — a storm never
+          aborts the workload. *)
   | Barrier
   | Compute of int  (** allreduce steps *)
 
@@ -110,6 +138,17 @@ val checkpoint :
   phase
 (** Defaults: 20 steps, checkpoint every 10, file ["ckpt"]. *)
 
+val meta :
+  ?op:meta_op ->
+  ?files:int ->
+  ?layout:layout ->
+  ?dir:string ->
+  ?ranks:int ->
+  unit ->
+  phase
+(** Defaults: [create], 16 files, shared directory, dir ["meta"], every
+    rank. *)
+
 val barrier : phase
 val compute : int -> phase
 
@@ -132,6 +171,11 @@ val pp : Format.formatter -> t -> unit
 val layout_name : layout -> string
 val order_name : order -> string
 val sync_name : sync -> string
+val meta_op_name : meta_op -> string
+
+val meta_layout_name : layout -> string
+(** ["shared-dir"] / ["fpp"] — in a metadata phase the layout names the
+    directory shape, not a file striping. *)
 
 val validate : t -> (t, string) result
 (** Static checks beyond the grammar: at least one phase, positive sizes

@@ -308,19 +308,55 @@ let test_namespace_rename () =
 let test_namespace_rename_onto_existing () =
   let ns = Namespace.create () in
   Namespace.mkdir ns ~time:1 "/x";
-  ignore (Namespace.create_file ns ~time:2 "/x/a");
+  let fd = Namespace.create_file ns ~time:2 "/x/a" in
+  Fdata.write fd ~rank:0 ~time:2 ~off:0 (b "new");
   Namespace.mkdir ns ~time:3 "/x/d";
   ignore (Namespace.create_file ns ~time:4 "/x/d/child");
-  (* The destination exists (a non-empty directory): rename refuses rather
-     than clobbering the subtree. *)
-  Alcotest.check_raises "rename onto non-empty dir" (Namespace.Exists "/x/d")
+  (* A file cannot replace a directory (EISDIR)... *)
+  Alcotest.check_raises "rename file onto dir" (Namespace.Is_a_directory "/x/d")
     (fun () -> Namespace.rename ns ~time:5 "/x/a" "/x/d");
   Alcotest.(check bool) "source untouched" true (Namespace.exists ns "/x/a");
   Alcotest.(check bool) "dest subtree untouched" true
     (Namespace.exists ns "/x/d/child");
-  (* Same refusal when the destination is a plain file. *)
-  Alcotest.check_raises "rename onto file" (Namespace.Exists "/x/a") (fun () ->
-      Namespace.rename ns ~time:6 "/x/d" "/x/a")
+  (* ...nor a directory a file (ENOTDIR)... *)
+  Alcotest.check_raises "rename dir onto file"
+    (Namespace.Not_a_directory "/x/a") (fun () ->
+      Namespace.rename ns ~time:6 "/x/d" "/x/a");
+  (* ...nor anything a non-empty directory (ENOTEMPTY). *)
+  Namespace.mkdir ns ~time:7 "/x/e";
+  Alcotest.check_raises "rename dir onto non-empty dir"
+    (Namespace.Not_empty "/x/d") (fun () ->
+      Namespace.rename ns ~time:7 "/x/e" "/x/d");
+  (* POSIX: an existing regular-file destination is atomically replaced. *)
+  let old = Namespace.create_file ns ~time:8 "/x/b" in
+  Fdata.write old ~rank:0 ~time:8 ~off:0 (b "stale!");
+  Namespace.rename ns ~time:9 "/x/a" "/x/b";
+  Alcotest.(check bool) "source gone" false (Namespace.exists ns "/x/a");
+  let fd' = Namespace.lookup_file ns "/x/b" in
+  Alcotest.(check int) "destination replaced by source payload" 3
+    (Fdata.size fd');
+  (* An empty directory destination is replaced by a directory source. *)
+  Namespace.rename ns ~time:10 "/x/d" "/x/e";
+  Alcotest.(check bool) "dir source gone" false (Namespace.exists ns "/x/d");
+  Alcotest.(check bool) "subtree moved onto empty dir" true
+    (Namespace.exists ns "/x/e/child")
+
+let test_namespace_rename_into_own_subtree () =
+  let ns = Namespace.create () in
+  Namespace.mkdir ns ~time:1 "/a";
+  Namespace.mkdir ns ~time:2 "/a/b";
+  (* Moving a directory under itself would orphan the subtree (EINVAL). *)
+  Alcotest.check_raises "rename dir into own child"
+    (Namespace.Invalid_rename "/a/b/c") (fun () ->
+      Namespace.rename ns ~time:3 "/a" "/a/b/c");
+  Alcotest.check_raises "rename dir into itself deeper"
+    (Namespace.Invalid_rename "/a/b/b") (fun () ->
+      Namespace.rename ns ~time:4 "/a/b" "/a/b/b");
+  Alcotest.(check bool) "tree untouched" true (Namespace.is_dir ns "/a/b");
+  (* Renaming a path to itself is a successful no-op. *)
+  Namespace.rename ns ~time:5 "/a/b" "/a/b";
+  Namespace.rename ns ~time:6 "/a//b" "/a/b";
+  Alcotest.(check bool) "still there" true (Namespace.is_dir ns "/a/b")
 
 let test_namespace_rename_dir_across_parents () =
   let ns = Namespace.create () in
@@ -714,6 +750,8 @@ let suite =
     Alcotest.test_case "namespace rename" `Quick test_namespace_rename;
     Alcotest.test_case "namespace rename onto existing" `Quick
       test_namespace_rename_onto_existing;
+    Alcotest.test_case "namespace rename into own subtree" `Quick
+      test_namespace_rename_into_own_subtree;
     Alcotest.test_case "namespace rename dir across parents" `Quick
       test_namespace_rename_dir_across_parents;
     Alcotest.test_case "namespace readdir after unlink" `Quick

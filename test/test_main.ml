@@ -8,6 +8,7 @@ let () =
       ("trace", Test_trace.suite);
       ("codec", Test_codec.suite);
       ("posix", Test_posix.suite);
+      ("md", Test_md.suite);
       ("mpiio", Test_mpiio.suite);
       ("hdf5", Test_hdf5.suite);
       ("formats", Test_formats.suite);

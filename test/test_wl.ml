@@ -63,7 +63,7 @@ let test_parse_errors () =
   in
   check "unknown phase"
     "unknown workload phase \"frobnicate\"; expected write, read, \
-     checkpoint, barrier or compute"
+     checkpoint, meta, barrier or compute"
     "frobnicate";
   check "unknown key"
     "write: unknown key \"bogus\" (accepted: layout, pattern, block, count, \
@@ -84,7 +84,18 @@ let test_parse_errors () =
     "write:file=a/b";
   check "checkpoint cadence"
     "checkpoint: every must be positive, got 0"
-    "checkpoint:every=0"
+    "checkpoint:every=0";
+  check "meta bad op"
+    "meta: op: expected one of create, stat, readdir, unlink, mkdir, \
+     rename, got \"chmod\""
+    "meta:op=chmod";
+  check "meta bad layout"
+    "meta: layout: expected one of shared-dir, fpp, got \"shared\""
+    "meta:layout=shared";
+  check "meta zero files" "meta: files must be positive, got 0"
+    "meta:files=0";
+  check "meta dir with slash" "meta: dir must be a plain name, got \"a/b\""
+    "meta:dir=a/b"
 
 (* The engine-spec parser the CLI delegates to (satellite of the same spec
    family): eventual takes an explicit delay instead of a hard-coded one. *)
