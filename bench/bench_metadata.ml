@@ -152,6 +152,42 @@ let cells c =
     Printf.sprintf "%.0f" c.stats_per_s;
   ]
 
+(* One large cell on the superstep-parallel scheduler: the fpp storm at
+   10k ranks (1k under HPCFS_BENCH_SMALL) across 4 domains, reporting the
+   scheduler's per-shard step counters next to the modelled MDS load. *)
+let scale_cell () =
+  let ranks = if small then 1_000 else 10_000 in
+  let domains = 4 and mds_shards = List.fold_left max 1 shard_counts in
+  section
+    (Printf.sprintf "Metadata scale cell: %d ranks across %d domains" ranks
+       domains);
+  let sink = Obs.create () in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Obs.with_sink sink (fun () ->
+        Runner.run ~nprocs:ranks ~domains ~semantics:Consistency.Session
+          ~mds_shards fpp_storm.Registry.body)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let md = result.Runner.md in
+  let steps =
+    List.init domains (fun k ->
+        Obs.find_counter sink (Printf.sprintf "sim.shard.steps.%d" k))
+  in
+  let imbalance =
+    float_of_int (Obs.find_gauge sink "sim.shard.imbalance_x1000") /. 1000.
+  in
+  Printf.printf
+    "fpp-storm ranks=%d shards=%d: %d server ops, makespan %d, hit ratio \
+     %.2f\n"
+    ranks mds_shards md.Md.server_ops (Md.makespan md) (Md.hit_ratio md);
+  Printf.printf "shard steps: [%s]  max/min imbalance %.2f  wall %.1fs\n"
+    (String.concat "; " (List.map string_of_int steps))
+    imbalance dt;
+  Bench_perf.record_scenario
+    ~name:(Printf.sprintf "metadata/scale/ranks=%d/domains=%d" ranks domains)
+    ~ns:(dt *. 1e9) ~allocs:0.
+
 let metadata () =
   section "Metadata storms: MDS shard count x consistency engine";
   Printf.printf "%d ranks; modelled shard rate %.0f cost units/s\n\n"
@@ -210,4 +246,5 @@ let metadata () =
         ~creates_per_s:c.creates_per_s ~stats_per_s:c.stats_per_s
         ~hit_ratio:(Md.hit_ratio c.md) ~stale_stats:c.md.Md.stale_stats)
     grid;
+  scale_cell ();
   Bench_perf.write_bench_json ()

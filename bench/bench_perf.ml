@@ -434,3 +434,106 @@ let scaling () =
   print_endline
     "(expected shape: realistic-trace time grows ~linearly with the access\n\
     \ count; the all-overlapping workload exhibits the quadratic worst case.)"
+
+(* Rank scaling under the domain-parallel scheduler ------------------------ *)
+
+module Runner = Hpcfs_apps.Runner
+module Workload = Hpcfs_wl.Workload
+module Wl_compile = Hpcfs_wl.Compile
+module Obs = Hpcfs_obs.Obs
+
+let record_rank_scaling ~ranks ~domains ~seconds ~records ~supersteps
+    ~imbalance_x1000 ~speedup =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"rank_scaling/fpp_write/ranks=%d/domains=%d\", \"ranks\": \
+       %d, \"domains\": %d, \"cores\": %d, \"seconds\": %.3f, \"records\": \
+       %d, \"records_per_s\": %.0f, \"supersteps\": %d, \
+       \"shard_imbalance_x1000\": %d, \"speedup_vs_domains1\": %.2f}"
+      ranks domains ranks domains
+      (Domain.recommended_domain_count ())
+      seconds records
+      (float_of_int records /. seconds)
+      supersteps imbalance_x1000 speedup
+    :: !json_objs
+
+(* The scaling workload: file-per-process writes, the one pattern with no
+   cross-rank data dependencies, so wall time isolates scheduler overhead.
+   No collectives beyond the compiler's final barrier. *)
+let scaling_workload =
+  let open Workload in
+  make ~name:"scale-fpp"
+    [ write ~layout:File_per_process ~order:Consecutive ~block:4096 ~count:2 () ]
+
+(* One (ranks, domains) cell: wall seconds, trace size, and the shard
+   balance counters the parallel scheduler emits. *)
+let scaling_cell ~ranks ~domains =
+  let sink = Obs.create () in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Obs.with_sink sink (fun () ->
+        Runner.run ~nprocs:ranks ~domains (Wl_compile.body scaling_workload))
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let records = List.length result.Runner.records in
+  let supersteps = Obs.find_counter sink "sim.supersteps" in
+  let imbalance_x1000 =
+    try Obs.find_gauge sink "sim.shard.imbalance_x1000" with Not_found -> 1000
+  in
+  (seconds, records, supersteps, imbalance_x1000)
+
+let rank_scaling () =
+  section "Rank scaling: superstep-parallel scheduler, fpp write workload";
+  let small =
+    match Sys.getenv_opt "HPCFS_BENCH_SMALL" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  let rank_points =
+    if small then [ 100; 1_000; 10_000 ]
+    else [ 1; 100; 1_000; 10_000; 100_000 ]
+  in
+  let domain_counts = [ 1; 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "host has %d core(s) available; with fewer cores than domains the \
+     speedup\ncolumn measures superstep overhead, not parallelism.\n\n"
+    cores;
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right ]
+      [ "ranks"; "domains"; "seconds"; "records"; "records/s"; "imbalance";
+        "speedup" ]
+  in
+  List.iter
+    (fun ranks ->
+      let base = ref nan in
+      List.iter
+        (fun domains ->
+          let seconds, records, supersteps, imbalance_x1000 =
+            scaling_cell ~ranks ~domains
+          in
+          if domains = 1 then base := seconds;
+          let speedup = !base /. seconds in
+          Table.add_row t
+            [
+              string_of_int ranks;
+              string_of_int domains;
+              Printf.sprintf "%.3f" seconds;
+              string_of_int records;
+              Printf.sprintf "%.0f" (float_of_int records /. seconds);
+              Printf.sprintf "%.2f" (float_of_int imbalance_x1000 /. 1000.);
+              Printf.sprintf "%.2fx" speedup;
+            ];
+          record_rank_scaling ~ranks ~domains ~seconds ~records ~supersteps
+            ~imbalance_x1000 ~speedup)
+        domain_counts)
+    rank_points;
+  Table.print t;
+  Printf.printf
+    "(speedup is relative to domains=1 at the same rank count.  Domains\n\
+    \ beyond the core count add coordination cost without parallel work;\n\
+    \ the cores field in BENCH_PERF.json records what this host offered.)\n";
+  write_bench_json ()

@@ -59,6 +59,48 @@ let grid =
       (("none", None) :: (if small then [] else [ ("crash", Some crash) ]));
   }
 
+(* One large cell on the superstep-parallel scheduler: the fpp workload
+   at 10k ranks (1k under HPCFS_BENCH_SMALL) across 4 domains, reporting
+   the per-shard step counters the scheduler emits so the table shows how
+   evenly the rank shards were loaded. *)
+let scale_cell () =
+  let ranks = if small then 1_000 else 10_000 in
+  let domains = 4 in
+  Bench_common.section
+    (Printf.sprintf "Sweep scale cell: %d ranks across %d domains" ranks
+       domains);
+  let grid =
+    { Sweep.default_grid with
+      Sweep.ranks = [ ranks ];
+      workloads = [ List.nth workloads 2 (* fpp-rw *) ];
+      engines = [ Consistency.Session ];
+    }
+  in
+  let sink = Hpcfs_obs.Obs.create () in
+  let t0 = Unix.gettimeofday () in
+  let rows = Hpcfs_obs.Obs.with_sink sink (fun () -> Sweep.run ~domains grid) in
+  let dt = Unix.gettimeofday () -. t0 in
+  let steps =
+    List.init domains (fun k ->
+        Hpcfs_obs.Obs.find_counter sink (Printf.sprintf "sim.shard.steps.%d" k))
+  in
+  let imbalance =
+    float_of_int (Hpcfs_obs.Obs.find_gauge sink "sim.shard.imbalance_x1000")
+    /. 1000.
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "%s ranks=%d engine=%s: %s sharing, %d stale reads\n"
+        r.Sweep.workload r.Sweep.ranks r.Sweep.engine r.Sweep.xy
+        r.Sweep.stale_reads)
+    rows;
+  Printf.printf "shard steps: [%s]  max/min imbalance %.2f  wall %.1fs\n"
+    (String.concat "; " (List.map string_of_int steps))
+    imbalance dt;
+  Bench_perf.record_scenario
+    ~name:(Printf.sprintf "sweep/scale/ranks=%d/domains=%d" ranks domains)
+    ~ns:(dt *. 1e9) ~allocs:0.
+
 let sweep () =
   Bench_common.section "What-if sweep: workload grid across engines";
   Printf.printf
@@ -92,4 +134,5 @@ let sweep () =
         ~ns:(total *. 1e9 /. float_of_int (List.length ws))
         ~allocs:0.)
     grid.Sweep.workloads;
+  scale_cell ();
   Bench_perf.write_bench_json ()

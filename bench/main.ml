@@ -32,6 +32,9 @@ let experiments =
       "metadata storms: MDS shards x engine, modelled throughput",
       Bench_metadata.metadata );
     ("perf", "analysis micro-benchmarks", Bench_perf.perf);
+    ( "ranks",
+      "rank scaling: superstep-parallel scheduler, 1 -> 100k ranks x domains",
+      Bench_perf.rank_scaling );
     ( "trace",
       "binary trace codec throughput and streaming analysis",
       Bench_trace.trace );

@@ -67,6 +67,16 @@ let mds_shards_arg =
   in
   Arg.(value & opt int 1 & info [ "mds-shards" ] ~docv:"K" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard ranks across $(docv) OCaml domains on the superstep-parallel \
+     scheduler.  The logical clock is merged deterministically at \
+     superstep boundaries, so the trace and the report are bit-identical \
+     for any domain count (including $(b,--domains 1)); omitting the flag \
+     runs the legacy single-domain scheduler."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
+
 let tier_config policy ranks_per_node =
   Option.map
     (fun policy ->
@@ -324,14 +334,15 @@ let format_arg =
 
 let run_cmd =
   let run app workload ranks trace_path format tier ranks_per_node mds_shards
-      obs_dir =
+      domains obs_dir =
     exits_of_result
       (Result.map
          (fun entry ->
            let tier = tier_config tier ranks_per_node in
            with_obs obs_dir @@ fun obs ->
            let result =
-             Runner.run ~nprocs:ranks ?tier ~mds_shards entry.Registry.body
+             Runner.run ~nprocs:ranks ?tier ~mds_shards ?domains
+               entry.Registry.body
            in
            Printf.printf "ran %s on %d ranks: %d trace records\n"
              (Registry.label entry) ranks
@@ -361,7 +372,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ workload_arg $ ranks_arg $ trace_arg $ format_arg
-      $ tier_arg $ ranks_per_node_arg $ mds_shards_arg $ obs_arg)
+      $ tier_arg $ ranks_per_node_arg $ mds_shards_arg $ domains_arg
+      $ obs_arg)
 
 (* analyze ------------------------------------------------------------------ *)
 

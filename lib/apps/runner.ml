@@ -1,4 +1,5 @@
 module Sched = Hpcfs_sim.Sched
+module Psched = Hpcfs_sim.Psched
 module Mpi = Hpcfs_mpi.Mpi
 module Pfs = Hpcfs_fs.Pfs
 module Posix = Hpcfs_posix.Posix
@@ -41,8 +42,25 @@ type env = {
    and — when the plan schedules a restart — the body re-runs on the
    surviving file system with the logical clock continued past the crash,
    the recovery path of checkpoint/restart practice. *)
-let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
-    ~mds_shards body =
+(* Dispatch one simulation to the legacy single-domain scheduler or, when
+   [domains] is given, to the superstep-parallel one.  The parallel path
+   pre-sizes every lazily initialised per-rank table first so no two
+   ranks race on first touch. *)
+let sched_run ?clock ?before_step ~domains ~nprocs body =
+  match domains with
+  | None -> Sched.run ?clock ?before_step ~nprocs body
+  | Some d -> Psched.run ?clock ?before_step ~domains:d ~nprocs body
+
+let prepare_parallel ~domains ~nprocs ~comm ~posix ~mpiio ~inj =
+  if domains <> None then begin
+    Mpi.prepare comm ~nprocs;
+    Posix.prepare posix ~nprocs;
+    ignore (Mpiio.aggregators mpiio);
+    Option.iter (fun i -> Injector.prepare i ~nprocs) inj
+  end
+
+let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
+    ~plan ~mds_shards body =
   let inj = Injector.create plan in
   Hpcfs_hdf5.Hdf5.reset_registries ();
   let pfs = Pfs.create ~local_order ~mds_shards semantics in
@@ -147,6 +165,7 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
     let posix = Posix.make_ctx_backend ~mds backend collector in
     let comm = Mpi.world () in
     let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+    prepare_parallel ~domains ~nprocs ~comm ~posix ~mpiio ~inj:(Some inj);
     let env = { comm; posix; mpiio; tier; nprocs; seed; attempt } in
     let status =
       try
@@ -157,7 +176,7 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
               ("attempt", string_of_int attempt);
             ]
           (fun () ->
-            Sched.run ~clock
+            sched_run ~clock ~domains
               ~before_step:(fun r ->
                 Injector.before_step inj ~now:(Sched.now ()) r)
               ~nprocs
@@ -278,12 +297,35 @@ let run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
 
 let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
     ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?(mds_shards = 1) ?tier
-    ?faults body =
+    ?faults ?domains body =
+  (* HPCFS_DOMAINS supplies a default when the caller leaves [domains]
+     unset — the tier-1 suite runs unchanged under the parallel scheduler
+     (CI exercises it at 4), possible only because traces are
+     bit-identical across domain counts.  Faulted runs are exempt from
+     the env default: a crash aborts the legacy scheduler mid-round
+     (later ranks lose that round's slice) but aborts Psched only at the
+     superstep boundary (every slice completes), so the two schedulers
+     produce different — each internally deterministic — lost-byte
+     accounting.  Tests lock the legacy numbers; Psched's faulted
+     determinism is locked separately in test_psched.  An explicit
+     [?domains] always wins. *)
+  let domains =
+    match (domains, faults) with
+    | Some _, _ -> domains
+    | None, Some _ -> None
+    | None, None -> (
+      match Sys.getenv_opt "HPCFS_DOMAINS" with
+      | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some d when d > 1 -> Some d
+        | Some _ | None -> None)
+      | None -> None)
+  in
   let go () =
     match faults with
     | Some plan ->
-      run_faulted ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier ~plan
-        ~mds_shards body
+      run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes
+        ~tier ~plan ~mds_shards body
     | None ->
       Hpcfs_hdf5.Hdf5.reset_registries ();
       let pfs = Pfs.create ~local_order ~mds_shards semantics in
@@ -297,11 +339,12 @@ let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
       in
       let comm = Mpi.world () in
       let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
+      prepare_parallel ~domains ~nprocs ~comm ~posix ~mpiio ~inj:None;
       let env = { comm; posix; mpiio; tier; nprocs; seed; attempt = 0 } in
       Obs.span Obs.T_sched "simulate"
         ~args:[ ("nprocs", string_of_int nprocs) ]
         (fun () ->
-          Sched.run ~nprocs (fun _rank ->
+          sched_run ~domains ~nprocs (fun _rank ->
               Mpi.barrier comm;
               body env;
               Mpi.barrier comm));

@@ -79,6 +79,7 @@ type t = {
   mutable s_drain_aborts : int;
   mutable s_drain_target_down : int;
   mutable s_crash_lost_bytes : int;
+  mu : Mutex.t; (* serializes the data surface during parallel runs *)
 }
 
 let create ?(config = default_config) pfs =
@@ -114,6 +115,7 @@ let create ?(config = default_config) pfs =
     s_drain_aborts = 0;
     s_drain_target_down = 0;
     s_crash_lost_bytes = 0;
+    mu = Mutex.create ();
   }
 
 let set_fault t ?prng hook =
@@ -580,6 +582,49 @@ let crash_node t ~node:id ~time:_ =
       Obs.gauge "bb.backlog" t.occupancy
     end;
     !lost
+
+(* Concurrency: the tier's node logs, backlog queue and occupancy
+   accounting are shared across every rank, so a domain-parallel run
+   serializes the whole data surface on one coarse lock (burst-buffer
+   traffic is not the bottleneck the parallel scheduler targets).  The
+   lock nests above the per-file Fdata locks — a tier operation may take
+   an Fdata lock via the PFS, never the reverse — so the ordering is
+   acyclic.  Legacy runs take a branch, not the lock. *)
+
+let locked t f =
+  if Hpcfs_util.Domctx.parallel () then begin
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  end
+  else f ()
+
+let open_file t ~time ~rank ?create ?trunc path =
+  locked t (fun () -> open_file t ~time ~rank ?create ?trunc path)
+
+let close_file t ~time ~rank path =
+  locked t (fun () -> close_file t ~time ~rank path)
+
+let fsync t ~time ~rank path = locked t (fun () -> fsync t ~time ~rank path)
+
+let write t ~time ~rank path ~off data =
+  locked t (fun () -> write t ~time ~rank path ~off data)
+
+let read t ~time ~rank path ~off ~len =
+  locked t (fun () -> read t ~time ~rank path ~off ~len)
+
+let truncate t ~time path len = locked t (fun () -> truncate t ~time path len)
+let file_size t path = locked t (fun () -> file_size t path)
+
+let stage_in t ~time ~rank path =
+  locked t (fun () -> stage_in t ~time ~rank path)
+
+let laminate t ~time path = locked t (fun () -> laminate t ~time path)
+let stage_out t ~time path = locked t (fun () -> stage_out t ~time path)
+let drain_file t ?time path = locked t (fun () -> drain_file t ?time path)
+let drain_all t ?time () = locked t (fun () -> drain_all t ?time ())
+
+let crash_node t ~node ~time =
+  locked t (fun () -> crash_node t ~node ~time)
 
 (* Backend ------------------------------------------------------------------ *)
 

@@ -2,6 +2,7 @@ module Backend = Hpcfs_fs.Backend
 module Fdata = Hpcfs_fs.Fdata
 module Prng = Hpcfs_util.Prng
 module Obs = Hpcfs_obs.Obs
+module Domctx = Hpcfs_util.Domctx
 
 exception Crashed of { rank : int; time : int; io_index : int }
 
@@ -42,6 +43,7 @@ type t = {
   target_events : target_event list;
   mutable storage_hook : (time:int -> storage_action -> unit) option;
   io_counts : (int, int ref) Hashtbl.t;
+  mu : Mutex.t; (* guards the shared tallies during a parallel run *)
   mutable injected_crashes : int;
   mutable injected_drain_faults : int;
 }
@@ -92,11 +94,27 @@ let create plan =
     target_events = List.rev targets;
     storage_hook = None;
     io_counts = Hashtbl.create 8;
+    mu = Mutex.create ();
     injected_crashes = 0;
     injected_drain_faults = 0;
   }
 
 let plan t = t.plan
+
+let locked t f =
+  if Domctx.parallel () then begin
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  end
+  else f ()
+
+(* Pre-populate the per-rank I/O counters so no two ranks of a parallel
+   run race on first-touch insertion; each counter then has a single
+   writer (its rank).  Idempotent. *)
+let prepare t ~nprocs =
+  for r = 0 to nprocs - 1 do
+    if not (Hashtbl.mem t.io_counts r) then Hashtbl.add t.io_counts r (ref 0)
+  done
 let drain_prng t = t.drain_prng
 let retry_prng t = t.retry_prng
 let keep_stripes t ~total = Prng.int t.tear_prng (total + 1)
@@ -161,8 +179,10 @@ let io_count t rank =
     r
 
 let fire t c ~rank ~time =
+  (* [c_fired] has a single writer (events name one rank); the shared
+     tally needs the lock. *)
   c.c_fired <- true;
-  t.injected_crashes <- t.injected_crashes + 1;
+  locked t (fun () -> t.injected_crashes <- t.injected_crashes + 1);
   Obs.incr "fault.crashes";
   Obs.event Obs.T_sched
     ~args:[ ("rank", string_of_int rank); ("time", string_of_int time) ]
@@ -217,8 +237,9 @@ let drain_fault t ~node ~time =
   match hit with
   | None -> false
   | Some d ->
-    d.d_left <- d.d_left - 1;
-    t.injected_drain_faults <- t.injected_drain_faults + 1;
+    locked t (fun () ->
+        d.d_left <- d.d_left - 1;
+        t.injected_drain_faults <- t.injected_drain_faults + 1);
     Obs.incr "fault.drain_faults";
     true
 
@@ -227,35 +248,46 @@ let injected_drain_faults t = t.injected_drain_faults
 
 (* Storage transitions fire before the operation (a write issued at or
    after the failure time must find the target already down), the
-   operation runs, then the post-op crash triggers are evaluated. *)
+   operation runs, then the post-op crash triggers are evaluated.
+
+   In a domain-parallel run the per-operation calls are skipped: firing a
+   transition from whichever rank's I/O happens to observe the clock
+   first would mutate shared target state mid-superstep and make the
+   outcome depend on the sharding.  Transitions then fire only from the
+   scheduler's [before_step] hook — single-threaded, at the superstep
+   boundary, still stamped with the *scheduled* time — so the observation
+   lag grows from one tick to at most one superstep. *)
+let advance_targets_io t ~time =
+  if not (Domctx.parallel ()) then advance_targets t ~time
+
 let wrap_backend t (b : Backend.t) =
   {
     b with
     Backend.open_file =
       (fun ~time ~rank ~create ~trunc path ->
-        advance_targets t ~time;
+        advance_targets_io t ~time;
         let size = b.Backend.open_file ~time ~rank ~create ~trunc path in
         after_io t ~rank ~time;
         size);
     close_file =
       (fun ~time ~rank path ->
-        advance_targets t ~time;
+        advance_targets_io t ~time;
         b.Backend.close_file ~time ~rank path;
         after_io t ~rank ~time);
     read =
       (fun ~time ~rank path ~off ~len ->
-        advance_targets t ~time;
+        advance_targets_io t ~time;
         let r = b.Backend.read ~time ~rank path ~off ~len in
         after_io t ~rank ~time;
         r);
     write =
       (fun ~time ~rank path ~off data ->
-        advance_targets t ~time;
+        advance_targets_io t ~time;
         b.Backend.write ~time ~rank path ~off data;
         after_io t ~rank ~time);
     fsync =
       (fun ~time ~rank path ->
-        advance_targets t ~time;
+        advance_targets_io t ~time;
         b.Backend.fsync ~time ~rank path;
         after_io t ~rank ~time);
   }

@@ -34,11 +34,16 @@
 module Interval = Hpcfs_util.Interval
 module Extmap = Hpcfs_util.Extmap
 module Obs = Hpcfs_obs.Obs
+module Domctx = Hpcfs_util.Domctx
 
 let unpublished = max_int
 
 type write_rec = {
-  w_seq : int;  (* insertion index; stable identity *)
+  mutable w_seq : int;
+      (* insertion index; stable identity.  Mutable only for the
+         superstep-boundary canonicalization of domain-parallel runs,
+         which re-sorts the log into a schedule-independent order and
+         renumbers it. *)
   w_rank : int;
   w_time : int;
   mutable w_iv : Interval.t;
@@ -133,6 +138,13 @@ type t = {
   mutable caches : cache list;
   mutable watermark : int;  (* max event/write time seen (event clock) *)
   mutable monotonic : bool;  (* event clock never went backwards *)
+  (* Domain-parallel state: the per-file lock every public operation
+     takes while Domctx.parallel, and same-superstep multi-rank write
+     detection driving the boundary canonicalization. *)
+  fd_mu : Mutex.t;
+  mutable epoch : int;  (* superstep of the last parallel write *)
+  mutable epoch_rank : int;  (* its writer; -2 once two ranks collide *)
+  mutable dirty : bool;  (* canonicalization scheduled at the boundary *)
 }
 
 let multi_writer = min_int
@@ -169,6 +181,10 @@ let create () =
     caches = [];
     watermark = min_int;
     monotonic = true;
+    fd_mu = Mutex.create ();
+    epoch = -1;
+    epoch_rank = -1;
+    dirty = false;
   }
 
 let size t = t.size
@@ -339,11 +355,35 @@ let fold_eventual t =
       | _ -> ())
     t.caches
 
+(* Forward reference: canonicalization needs [reindex], defined with the
+   truncate/crash machinery below; [write] only ever schedules it. *)
+let canonicalize_ref : (t -> unit) ref = ref (fun _ -> ())
+
+(* Same-superstep multi-rank write detection.  Called under the file
+   lock; schedules a boundary canonicalization exactly once per dirty
+   superstep (see [canonicalize] below). *)
+let note_parallel_write t ~rank =
+  if Domctx.parallel () then begin
+    let ss = Domctx.superstep () in
+    if t.epoch <> ss then begin
+      t.epoch <- ss;
+      t.epoch_rank <- rank
+    end
+    else if t.epoch_rank <> rank && t.epoch_rank <> -2 then begin
+      t.epoch_rank <- -2;
+      if not t.dirty then begin
+        t.dirty <- true;
+        Domctx.at_boundary (fun () -> !canonicalize_ref t)
+      end
+    end
+  end
+
 let write t ~rank ~time ~off data =
   if is_laminated t then invalid_arg "Fdata.write: file is laminated";
   let len = Bytes.length data in
   if len > 0 then begin
     bump_watermark t time;
+    note_parallel_write t ~rank;
     let w =
       {
         w_seq = t.log_n;
@@ -494,6 +534,32 @@ let reindex t =
   done;
   invalidate_caches t;
   if Obs.enabled () then Obs.incr "fs.extent.reindexes"
+
+(* Superstep-boundary canonicalization for domain-parallel runs: when two
+   or more ranks wrote this file inside one superstep, their log arrival
+   order depends on domain scheduling.  Re-sort the whole log by
+   (w_time, w_rank, lo, hi) — a total order: ticks are unique per rank,
+   and same-tick records (one striped op split into pieces) have disjoint
+   intervals — renumber w_seq, and rebuild every index.  Runs
+   single-threaded at the boundary; afterwards all derived state is
+   independent of how the superstep's writes interleaved. *)
+let canonicalize t =
+  let sub = Array.sub t.log 0 t.log_n in
+  Array.sort
+    (fun a b ->
+      compare
+        (a.w_time, a.w_rank, a.w_iv.Interval.lo, a.w_iv.Interval.hi)
+        (b.w_time, b.w_rank, b.w_iv.Interval.lo, b.w_iv.Interval.hi))
+    sub;
+  Array.blit sub 0 t.log 0 t.log_n;
+  for i = 0 to t.log_n - 1 do
+    t.log.(i).w_seq <- i
+  done;
+  reindex t;
+  t.dirty <- false;
+  if Obs.enabled () then Obs.incr "fs.extent.canonicalizations"
+
+let () = canonicalize_ref := canonicalize
 
 let truncate t ~time:_ len =
   for i = 0 to t.log_n - 1 do
@@ -1066,3 +1132,42 @@ let read ?(local_order = true) t ~semantics ~rank ~time ~off ~len =
         if fast_ok t c ~rank ~time ~off ~len then
           read_fast t c ~semantics ~rank ~time ~off ~len
         else read_slow t ~local_order:true ~semantics ~rank ~time ~off ~len)
+
+(* Concurrency: during a domain-parallel run every public operation —
+   reads included, since they rebuild caches and recompute pub fields —
+   serializes on the per-file lock.  Legacy runs take one branch.  The
+   wrappers shadow the plain implementations; no implementation calls
+   another through its public name, so the (non-reentrant) lock is taken
+   at most once per call.  [size], [write_count] and [is_laminated] stay
+   lock-free: single-word reads. *)
+
+let locked t f =
+  if Domctx.parallel () then begin
+    Mutex.lock t.fd_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.fd_mu) f
+  end
+  else f ()
+
+let write t ~rank ~time ~off data =
+  locked t (fun () -> write t ~rank ~time ~off data)
+
+let truncate t ~time len = locked t (fun () -> truncate t ~time len)
+let commit t ~rank ~time = locked t (fun () -> commit t ~rank ~time)
+
+let session_open t ~rank ~time =
+  locked t (fun () -> session_open t ~rank ~time)
+
+let session_close t ~rank ~time =
+  locked t (fun () -> session_close t ~rank ~time)
+
+let laminate t ~time = locked t (fun () -> laminate t ~time)
+
+let crash t ~semantics ~time ~stripe_size ~keep_stripes =
+  locked t (fun () -> crash t ~semantics ~time ~stripe_size ~keep_stripes)
+
+let crash_target t ~semantics ~time ~stripe_size ~server_count ~target =
+  locked t (fun () ->
+      crash_target t ~semantics ~time ~stripe_size ~server_count ~target)
+
+let read ?local_order t ~semantics ~rank ~time ~off ~len =
+  locked t (fun () -> read ?local_order t ~semantics ~rank ~time ~off ~len)

@@ -2,6 +2,7 @@ module Interval = Hpcfs_util.Interval
 module Backoff = Hpcfs_util.Backoff
 module Prng = Hpcfs_util.Prng
 module Obs = Hpcfs_obs.Obs
+module Domctx = Hpcfs_util.Domctx
 
 type state = Applied | Parked | Dirty | Settled | Lost
 
@@ -35,6 +36,10 @@ type t = {
   mutable parked_writes : int;
   mutable replayed_writes : int;
   mutable replayed_bytes : int;
+  (* Serializes the client-side log and retry accounting during a
+     domain-parallel run; replay/inspection run single-threaded at
+     superstep boundaries and stay lock-free. *)
+  mu : Mutex.t;
 }
 
 let create ?(retry = Backoff.default) ~prng pfs =
@@ -54,9 +59,17 @@ let create ?(retry = Backoff.default) ~prng pfs =
     parked_writes = 0;
     replayed_writes = 0;
     replayed_bytes = 0;
+    mu = Mutex.create ();
   }
 
 let pfs t = t.pfs
+
+let locked t f =
+  if Domctx.parallel () then begin
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  end
+  else f ()
 
 let watermark tbl ~rank ~path =
   match Hashtbl.find_opt tbl (rank, path) with Some w -> w | None -> min_int
@@ -76,7 +89,7 @@ let settled_at t e ~time =
   | Consistency.Eventual { delay } -> e.e_time + delay <= time
 
 let record t ~rank ~path ~time ~off data state =
-  if Bytes.length data > 0 then begin
+  if Bytes.length data > 0 then locked t @@ fun () -> begin
     t.entries <-
       {
         e_rank = rank;
@@ -95,12 +108,14 @@ let record t ~rank ~path ~time ~off data state =
     end
   end
 
-let note_commit t ~rank ~path ~time = bump t.commits ~rank ~path time
+let note_commit t ~rank ~path ~time =
+  locked t (fun () -> bump t.commits ~rank ~path time)
 
 let note_close t ~rank ~path ~time =
-  bump t.closes ~rank ~path time;
-  (* A close also commits (cf. {!Fdata.session_close}). *)
-  bump t.commits ~rank ~path time
+  locked t (fun () ->
+      bump t.closes ~rank ~path time;
+      (* A close also commits (cf. {!Fdata.session_close}). *)
+      bump t.commits ~rank ~path time)
 
 let laminated t path =
   let ns = Pfs.namespace t.pfs in
@@ -121,6 +136,7 @@ let on_target_fail t ~time ~target =
     t.entries
 
 let on_truncate t path len =
+  locked t @@ fun () ->
   List.iter
     (fun e ->
       if e.e_path = path && e.e_state <> Settled then
@@ -231,14 +247,19 @@ let retrying t f =
     with
     | (Target.Target_down _ | Target.Mds_down _) as e ->
       if attempt < t.retry.Backoff.max_retries then begin
-        t.retries <- t.retries + 1;
-        t.backoff_ticks <-
-          t.backoff_ticks + Backoff.delay t.retry t.prng ~attempt;
+        (* The backoff draw mutates the shared PRNG: lock it in parallel
+           runs.  Draw *order* across ranks is then scheduling-dependent,
+           so retry-tick accounting under a live target failure is outside
+           the parallel determinism contract (see DESIGN.md). *)
+        locked t (fun () ->
+            t.retries <- t.retries + 1;
+            t.backoff_ticks <-
+              t.backoff_ticks + Backoff.delay t.retry t.prng ~attempt);
         Obs.incr "fs.retry.attempts";
         go (attempt + 1)
       end
       else begin
-        t.giveups <- t.giveups + 1;
+        locked t (fun () -> t.giveups <- t.giveups + 1);
         Obs.incr "fs.retry.giveups";
         Error e
       end

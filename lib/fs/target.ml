@@ -1,4 +1,5 @@
 module Obs = Hpcfs_obs.Obs
+module Domctx = Hpcfs_util.Domctx
 
 type state = Up | Degraded | Down
 
@@ -34,7 +35,9 @@ type t = {
   mutable recoveries : int;
   mutable mds_failures : int;
   mutable mds_recoveries : int;
-  mutable rejected_ops : int;
+  (* Bumped from rank context (an op hitting a down target), so striped
+     per-domain; the other counters only move at superstep boundaries. *)
+  rejected_ops : Domctx.counter;
 }
 
 let create ?(mds_shards = 1) ~count () =
@@ -51,7 +54,7 @@ let create ?(mds_shards = 1) ~count () =
     recoveries = 0;
     mds_failures = 0;
     mds_recoveries = 0;
-    rejected_ops = 0;
+    rejected_ops = Domctx.counter ();
   }
 
 let count t = t.count
@@ -164,7 +167,7 @@ let recover_mds ?shard t ~time =
   end
 
 let note_rejected t =
-  t.rejected_ops <- t.rejected_ops + 1;
+  Domctx.add t.rejected_ops 1;
   Obs.incr "fs.target.rejected_ops"
 
 let counters t =
@@ -174,5 +177,5 @@ let counters t =
     recoveries = t.recoveries;
     mds_failures = t.mds_failures;
     mds_recoveries = t.mds_recoveries;
-    rejected_ops = t.rejected_ops;
+    rejected_ops = Domctx.total t.rejected_ops;
   }

@@ -28,11 +28,23 @@ type entry = { e_off : int; e_len : int; e_owner : int }
 type dataset_info = { data_off : int; nbytes : int; index : int }
 
 (* Dataset layouts and attribute slots survive the writer's file instance so
-   a later reader (possibly another rank or run phase) can locate them. *)
+   a later reader (possibly another rank or run phase) can locate them.
+   The registries are global across ranks, so a domain-parallel run
+   serializes access on [reg_mu] (reads too: a concurrent resize is not
+   safe to read through). *)
 let dataset_registry : (string * string, dataset_info) Hashtbl.t =
   Hashtbl.create 64
 
 let attr_registry : (string * string, int) Hashtbl.t = Hashtbl.create 64
+
+let reg_mu = Mutex.create ()
+
+let reg_locked f =
+  if Hpcfs_util.Domctx.parallel () then begin
+    Mutex.lock reg_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+  end
+  else f ()
 
 type file = {
   backend : backend;
@@ -241,7 +253,7 @@ let create_dataset file name ~nbytes =
   let aligned = (nbytes + data_align - 1) / data_align * data_align in
   let info = { data_off = file.eoa; nbytes; index } in
   file.eoa <- file.eoa + aligned;
-  Hashtbl.replace dataset_registry (file.name, name) info;
+  reg_locked (fun () -> Hashtbl.replace dataset_registry (file.name, name) info);
   dirty_header file name info;
   dirty_heap file;
   dirty_superblock file;
@@ -249,7 +261,7 @@ let create_dataset file name ~nbytes =
 
 let open_dataset file name =
   emit file ~func:"H5Dopen" ();
-  match Hashtbl.find_opt dataset_registry (file.name, name) with
+  match reg_locked (fun () -> Hashtbl.find_opt dataset_registry (file.name, name)) with
   | None -> invalid_arg ("Hdf5.open_dataset: unknown dataset " ^ name)
   | Some info ->
     (* Opening a dataset reads its object header — one of the small
@@ -314,14 +326,14 @@ let read_collective ds ~off len =
   | _ -> invalid_arg "Hdf5.read_collective: requires the MPI-IO backend"
 
 let attr_off file name =
-  match Hashtbl.find_opt attr_registry (file.name, name) with
+  match reg_locked (fun () -> Hashtbl.find_opt attr_registry (file.name, name)) with
   | Some off -> off
   | None ->
     let off = attr_base + (file.next_attr * attr_slot) in
     if off + attr_slot > header_base then
       invalid_arg "Hdf5.write_attribute: attribute region full";
     file.next_attr <- file.next_attr + 1;
-    Hashtbl.replace attr_registry (file.name, name) off;
+    reg_locked (fun () -> Hashtbl.replace attr_registry (file.name, name) off);
     off
 
 let write_attribute file name data =

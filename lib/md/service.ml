@@ -30,6 +30,7 @@ let cost_rename = 4 (* two dirents, two shards in the worst case *)
 
 type t = {
   pfs : Pfs.t;
+  mu : Mutex.t; (* serializes public operations during a parallel run *)
   ns : Namespace.t;
   semantics : Consistency.t;
   shards : int;
@@ -52,6 +53,7 @@ let create pfs =
   let shards = Pfs.mds_shards pfs in
   {
     pfs;
+    mu = Mutex.create ();
     ns = Pfs.namespace pfs;
     semantics = Pfs.semantics pfs;
     shards;
@@ -392,3 +394,55 @@ let makespan s = max s.server_makespan s.client_makespan
 let hit_ratio s =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+(* Concurrency: the per-client caches are private to their rank, but the
+   accounting (shard loads, hit/stale counters, the op and client-load
+   hash tables) is shared, so a domain-parallel run serializes every
+   public operation on one service lock.  All of it is commutative sums,
+   so totals do not depend on arrival order.  The lock nests above the
+   namespace tree lock (Service -> Namespace; never the reverse).  Legacy
+   runs take the branch, not the lock.  The wrappers shadow the plain
+   implementations; the implementations only call each other through the
+   unlocked names, so the lock is never taken twice. *)
+
+let locked t f =
+  if Hpcfs_util.Domctx.parallel () then begin
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+  end
+  else f ()
+
+let stat t ~time ~client path = locked t (fun () -> stat t ~time ~client path)
+
+let exists t ~time ~client path =
+  locked t (fun () -> exists t ~time ~client path)
+
+let is_dir t ~time ~client path =
+  locked t (fun () -> is_dir t ~time ~client path)
+
+let readdir t ~time ~client path =
+  locked t (fun () -> readdir t ~time ~client path)
+
+let mkdir t ~time ~client path =
+  locked t (fun () -> mkdir t ~time ~client path)
+
+let rmdir t ~time ~client path =
+  locked t (fun () -> rmdir t ~time ~client path)
+
+let unlink t ~time ~client path =
+  locked t (fun () -> unlink t ~time ~client path)
+
+let rename t ~time ~client src dst =
+  locked t (fun () -> rename t ~time ~client src dst)
+
+let utime t ~time ~client path =
+  locked t (fun () -> utime t ~time ~client path)
+
+let note_open t ~time ~client ~create path =
+  locked t (fun () -> note_open t ~time ~client ~create path)
+
+let note_commit t ~time ~client =
+  locked t (fun () -> note_commit t ~time ~client)
+
+let note_local_write t ~client path =
+  locked t (fun () -> note_local_write t ~client path)

@@ -1,5 +1,6 @@
 module Sched = Hpcfs_sim.Sched
 module Obs = Hpcfs_obs.Obs
+module Domctx = Hpcfs_util.Domctx
 
 type payload =
   | P_unit
@@ -16,53 +17,91 @@ type event =
 type comm = {
   mutable size : int option;
   mailboxes : (int * int * int, payload Queue.t) Hashtbl.t;
+  mu : Mutex.t; (* guards mailboxes (table and queues) in parallel runs *)
   bar_gen : int ref;
   bar_count : int ref;
+  (* Parallel-run barrier state: [bar_arrivals] only ever grows, so the
+     wake predicate [arrivals >= n * (generation + 1)] is monotone, and
+     [bar_seen.(r)] (ranks touch only their own slot) counts how many
+     barriers rank r has entered. *)
+  bar_arrivals : int Atomic.t;
+  mutable bar_seen : int array;
   mutable coll_seq : int array; (* per-rank collective sequence numbers *)
   mutable log : event list;
+  logs : event list array; (* per-domain logs of a parallel run *)
 }
 
 let world () =
   {
     size = None;
     mailboxes = Hashtbl.create 64;
+    mu = Mutex.create ();
     bar_gen = ref 0;
     bar_count = ref 0;
+    bar_arrivals = Atomic.make 0;
+    bar_seen = [||];
     coll_seq = [||];
     log = [];
+    logs = Array.make Domctx.max_slots [];
   }
+
+(* Pre-size the lazily initialised per-rank arrays so no rank races on
+   the first [size] call of a parallel run.  Idempotent; called by the
+   runner before a domain-parallel simulation starts. *)
+let prepare c ~nprocs =
+  c.size <- Some nprocs;
+  if Array.length c.coll_seq <> nprocs then c.coll_seq <- Array.make nprocs 0;
+  if Array.length c.bar_seen <> nprocs then c.bar_seen <- Array.make nprocs 0
 
 let size c =
   match c.size with
   | Some n -> n
   | None ->
     let n = Sched.nprocs () in
-    c.size <- Some n;
-    if Array.length c.coll_seq = 0 then c.coll_seq <- Array.make n 0;
+    prepare c ~nprocs:n;
     n
 
 let rank _c = Sched.self ()
 let wtime () = Sched.now ()
-let log_event c e = c.log <- e :: c.log
+
+let log_event c e =
+  if Domctx.parallel () then begin
+    let k = Domctx.slot () in
+    c.logs.(k) <- e :: c.logs.(k)
+  end
+  else c.log <- e :: c.log
 
 (* Internal tag used by collective implementations; per-channel queues are
    FIFO, so one tag suffices for any sequence of collectives. *)
 let coll_tag = -1
 
+let locked c f =
+  if Domctx.parallel () then begin
+    Mutex.lock c.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock c.mu) f
+  end
+  else f ()
+
 let mailbox c ~src ~dst ~tag =
   let key = (src, dst, tag) in
-  match Hashtbl.find_opt c.mailboxes key with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.add c.mailboxes key q;
-    q
+  locked c (fun () ->
+      match Hashtbl.find_opt c.mailboxes key with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add c.mailboxes key q;
+        q)
 
+(* Message order is deterministic under domain sharding: each channel
+   queue is pushed only by its source rank (in that rank's program
+   order) and popped only by its destination rank, so the lock serves
+   memory safety alone. *)
 let send c ~dst ~tag payload =
   let src = rank c in
   if dst < 0 || dst >= size c then invalid_arg "Mpi.send: bad destination";
   let time = Sched.tick () in
-  Queue.push payload (mailbox c ~src ~dst ~tag);
+  let q = mailbox c ~src ~dst ~tag in
+  locked c (fun () -> Queue.push payload q);
   Obs.incr "mpi.sends";
   log_event c (E_send { src; dst; tag; time })
 
@@ -71,7 +110,7 @@ let recv c ~src ~tag =
   if src < 0 || src >= size c then invalid_arg "Mpi.recv: bad source";
   let q = mailbox c ~src ~dst ~tag in
   Sched.wait_until (fun () -> not (Queue.is_empty q));
-  let payload = Queue.pop q in
+  let payload = locked c (fun () -> Queue.pop q) in
   let time = Sched.tick () in
   Obs.incr "mpi.recvs";
   log_event c (E_recv { src; dst; tag; time });
@@ -81,13 +120,28 @@ let barrier c =
   let n = size c in
   let r = rank c in
   let enter = Sched.tick () in
-  let gen = !(c.bar_gen) in
-  incr c.bar_count;
-  if !(c.bar_count) = n then begin
-    c.bar_count := 0;
-    incr c.bar_gen
-  end
-  else Sched.wait_until (fun () -> !(c.bar_gen) > gen);
+  let gen =
+    if Domctx.parallel () then begin
+      (* Every rank (the last arriver included) suspends and resumes at
+         the next superstep boundary, so barrier exit ticks do not depend
+         on arrival order or on how ranks are sharded across domains. *)
+      let g = c.bar_seen.(r) in
+      c.bar_seen.(r) <- g + 1;
+      Atomic.incr c.bar_arrivals;
+      Sched.wait_until (fun () -> Atomic.get c.bar_arrivals >= n * (g + 1));
+      g
+    end
+    else begin
+      let gen = !(c.bar_gen) in
+      incr c.bar_count;
+      if !(c.bar_count) = n then begin
+        c.bar_count := 0;
+        incr c.bar_gen
+      end
+      else Sched.wait_until (fun () -> !(c.bar_gen) > gen);
+      gen
+    end
+  in
   let exit = Sched.tick () in
   Obs.incr "mpi.barriers";
   Obs.observe "mpi.barrier_wait_ticks" (float_of_int (exit - enter));
@@ -206,5 +260,11 @@ let event_time = function
   | E_send { time; _ } | E_recv { time; _ } -> time
   | E_barrier { enter; _ } | E_coll { enter; _ } -> enter
 
+(* Every event is stamped with a globally unique tick, so sorting by time
+   is a total order: the merged per-domain logs of a parallel run and the
+   single log of a legacy run yield the same sequence. *)
 let events c =
-  List.sort (fun a b -> compare (event_time a) (event_time b)) c.log
+  let all =
+    c.log :: Array.to_list c.logs |> List.concat_map (fun l -> l)
+  in
+  List.sort (fun a b -> compare (event_time a) (event_time b)) all

@@ -50,6 +50,18 @@ let backend ctx = ctx.backend
 let collector ctx = ctx.collector
 let mds ctx = ctx.mds
 
+(* Pre-populate the per-rank state table so no two ranks of a
+   domain-parallel run race on first-touch insertion (a concurrent
+   [Hashtbl.add] can resize the table under another reader).  Idempotent;
+   called by the runner before the simulation starts.  Each rank's state
+   is then only ever touched by that rank. *)
+let prepare ctx ~nprocs =
+  for r = 0 to nprocs - 1 do
+    if not (Hashtbl.mem ctx.ranks r) then
+      Hashtbl.add ctx.ranks r
+        { fds = Hashtbl.create 16; next_fd = 3; cwd = "/"; umask = 0o022 }
+  done
+
 let rank_state ctx =
   let r = Sched.self () in
   match Hashtbl.find_opt ctx.ranks r with

@@ -35,6 +35,11 @@ val collector : ctx -> Hpcfs_trace.Collector.t
 val mds : ctx -> Hpcfs_md.Service.t
 (** The metadata service: per-shard load, cache counters, staleness. *)
 
+val prepare : ctx -> nprocs:int -> unit
+(** Pre-populate the per-rank descriptor tables for ranks [0..nprocs-1].
+    Required before a domain-parallel run (see {!Hpcfs_sim.Psched}) so no
+    two ranks race on first-touch insertion; harmless otherwise. *)
+
 exception Posix_error of { func : string; path : string; msg : string }
 
 type flag = O_RDONLY | O_WRONLY | O_RDWR | O_CREAT | O_TRUNC | O_APPEND

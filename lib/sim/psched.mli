@@ -1,0 +1,43 @@
+(** Domain-parallel superstep scheduler.
+
+    Drives the same rank bodies as {!Sched} — identical [run] signature,
+    same effects, same ambient accessors ([Sched.self], [Sched.tick], …
+    redirect here while a parallel run is active) — but shards the ranks
+    contiguously across OCaml domains: rank [r] of [nprocs] belongs to
+    shard [r * domains / nprocs].
+
+    Execution proceeds in {b supersteps}: every woken rank runs one slice
+    (to its next yield, wait, or finish) in parallel across shards, ranks
+    within a shard in ascending rank order; then a single-threaded
+    {b boundary} flushes deferred accounting ({!Hpcfs_util.Domctx}),
+    merges the per-rank logical clocks (rank [r]'s [i]-th tick in a
+    superstep with base [B] is [B + i*nprocs + r + 1], so timestamps are
+    unique and independent of the domain count), fires fault hooks in
+    rank order, and evaluates waiting predicates against the frozen state
+    to pick the next wake set.
+
+    Determinism: for workloads whose cross-rank dependencies flow through
+    scheduler synchronization (barriers, send/recv, [wait_until]) a run
+    with [domains = 1] and [domains = 8] produces byte-identical traces,
+    reports, and statistics.  See DESIGN.md, "Parallel scheduler". *)
+
+val run :
+  ?clock:int ->
+  ?before_step:(int -> unit) ->
+  ?domains:int ->
+  nprocs:int ->
+  (int -> unit) ->
+  unit
+(** Like {!Sched.run}, with the work sharded over [domains] OCaml domains
+    (default 1; clamped to [nprocs] and to {!Hpcfs_util.Domctx.max_slots}).
+    Raises [Failure] if any simulation (parallel or legacy) is already
+    running.  Exceptions from rank slices are collected per superstep and
+    the lowest-ranked one is re-raised after the superstep completes, so
+    the surviving simulation state does not depend on the domain count.
+    [before_step] hooks fire at superstep boundaries, in rank order,
+    single-threaded. *)
+
+val shard_bounds : nprocs:int -> domains:int -> (int * int) list
+(** The contiguous [(lo, hi)] inclusive rank range of each shard, after
+    clamping [domains] as {!run} does.  Exposed for tests and for the
+    shard-imbalance reporting in [bench]. *)

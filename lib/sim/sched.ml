@@ -23,23 +23,68 @@ type state = {
 
 let current_sim : state option ref = ref None
 
+(* The parallel scheduler (Psched) redirects the ambient accessors while
+   one of its runs is active: rank bodies call [self]/[tick]/[now] through
+   this module regardless of which scheduler drives them. *)
+type alt = {
+  alt_self : unit -> int;
+  alt_nprocs : unit -> int;
+  alt_tick : unit -> int;
+  alt_now : unit -> int;
+}
+
+let alt : alt option ref = ref None
+let set_alt a = alt := a
+let running () = !current_sim <> None || !alt <> None
+
 let get_sim what =
   match !current_sim with
   | Some s -> s
   | None -> invalid_arg (what ^ ": no simulation running")
 
-let self () = (get_sim "Sched.self").current
-let nprocs () = Array.length (get_sim "Sched.nprocs").procs
+let self () =
+  match !alt with
+  | Some a -> a.alt_self ()
+  | None -> (get_sim "Sched.self").current
+
+let nprocs () =
+  match !alt with
+  | Some a -> a.alt_nprocs ()
+  | None -> Array.length (get_sim "Sched.nprocs").procs
 
 let tick () =
-  let s = get_sim "Sched.tick" in
-  s.clock <- s.clock + 1;
-  s.clock
+  match !alt with
+  | Some a -> a.alt_tick ()
+  | None ->
+    let s = get_sim "Sched.tick" in
+    s.clock <- s.clock + 1;
+    s.clock
 
-let now () = (get_sim "Sched.now").clock
+let now () =
+  match !alt with
+  | Some a -> a.alt_now ()
+  | None -> (get_sim "Sched.now").clock
 
 let yield () = perform Yield
 let wait_until pred = perform (Wait pred)
+
+(* The debug monotonicity check (HPCFS_SCHED_DEBUG): evaluate every
+   waiting predicate at the top of the round, and again when its rank's
+   turn comes; a predicate that was true and turned false was un-made by
+   an earlier rank's step — exactly the nondeterminism class the
+   [wait_until] contract rules out. *)
+let debug_checks () =
+  match Sys.getenv_opt "HPCFS_SCHED_DEBUG" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let nonmonotone_failure who r =
+  failwith
+    (Printf.sprintf
+       "%s: wait_until predicate of rank %d is not monotone (observed \
+        true, then false before the rank resumed); see the wait_until \
+        contract in sched.mli"
+       who r)
 
 (* Run one process until it yields, blocks or finishes; record the resulting
    proc state back into the array.
@@ -88,7 +133,10 @@ let step s r =
 
 let run ?(clock = 0) ?before_step ~nprocs body =
   if nprocs <= 0 then invalid_arg "Sched.run: nprocs must be positive";
-  if !current_sim <> None then invalid_arg "Sched.run: already running";
+  if running () then
+    failwith
+      "Sched.run: a simulation is already running (the scheduler is not \
+       reentrant; finish or fail the active run first)";
   let s =
     {
       procs = Array.init nprocs (fun r -> Fresh (fun () -> body r));
@@ -101,6 +149,8 @@ let run ?(clock = 0) ?before_step ~nprocs body =
   (* The telemetry layer stamps spans with this simulation's Lamport clock
      for as long as the run lasts. *)
   Obs.set_logical_clock (fun () -> s.clock);
+  let debug = debug_checks () in
+  let snap = if debug then Array.make nprocs false else [||] in
   let all_finished () =
     Array.for_all (function Finished -> true | _ -> false) s.procs
   in
@@ -114,8 +164,19 @@ let run ?(clock = 0) ?before_step ~nprocs body =
       Obs.incr "sim.rounds";
       let clock_before = s.clock in
       let progressed = ref false in
+      if debug then
+        Array.iteri
+          (fun r p ->
+            snap.(r) <-
+              (match p with Waiting (pred, _) -> pred () | _ -> false))
+          s.procs;
       for r = 0 to nprocs - 1 do
         let before = s.procs.(r) in
+        (if debug && snap.(r) then
+           match s.procs.(r) with
+           | Waiting (pred, _) when not (pred ()) ->
+             nonmonotone_failure "Sched" r
+           | _ -> ());
         step s r;
         (match (before, s.procs.(r)) with
         | Waiting _, Waiting _ -> ()

@@ -54,7 +54,7 @@ let matrix (s : Conflict.summary) =
   Printf.sprintf "%d/%d/%d/%d" s.Conflict.waw_s s.Conflict.waw_d
     s.Conflict.raw_s s.Conflict.raw_d
 
-let run ?(progress = fun _ -> ()) ?(seed = 42) (g : grid) =
+let run ?(progress = fun _ -> ()) ?(seed = 42) ?domains (g : grid) =
   (* One fault-free strong reference per (workload, scale), shared by
      every engine/tier/plan cell that compares against it. *)
   let refs = Hashtbl.create 8 in
@@ -63,7 +63,8 @@ let run ?(progress = fun _ -> ()) ?(seed = 42) (g : grid) =
     | Some d -> d
     | None ->
       let r =
-        Runner.run ~semantics:Consistency.Strong ~nprocs ~seed (Compile.body w)
+        Runner.run ~semantics:Consistency.Strong ~nprocs ~seed ?domains
+          (Compile.body w)
       in
       let d = Validation.final_digests r in
       Hashtbl.replace refs (name, nprocs) d;
@@ -85,7 +86,7 @@ let run ?(progress = fun _ -> ()) ?(seed = 42) (g : grid) =
                       let t0 = Sys.time () in
                       let result =
                         Runner.run ~semantics:engine ~local_order:true ~nprocs
-                          ~seed ?tier ?faults:plan (Compile.body w)
+                          ~seed ?domains ?tier ?faults:plan (Compile.body w)
                       in
                       let wall_s = Sys.time () -. t0 in
                       let report =

@@ -44,12 +44,15 @@ type row = {
 val cells : grid -> int
 (** Number of cells the grid expands to. *)
 
-val run : ?progress:(string -> unit) -> ?seed:int -> grid -> row list
+val run :
+  ?progress:(string -> unit) -> ?seed:int -> ?domains:int -> grid -> row list
 (** Run every cell.  [progress] receives a one-line label per cell as it
     starts (for harness chatter; default silent); [seed] seeds every run
-    (default 42).  The strong fault-free reference of each
-    (workload, ranks) pair is run once and shared by the cells that
-    compare against it. *)
+    (default 42); [domains] runs every cell (references included) on the
+    superstep-parallel scheduler, which leaves rows unchanged — traces
+    are bit-identical across domain counts — but scales the wall clock.
+    The strong fault-free reference of each (workload, ranks) pair is run
+    once and shared by the cells that compare against it. *)
 
 val csv_header : string
 

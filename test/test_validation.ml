@@ -12,7 +12,10 @@ module Skew = Hpcfs_trace.Skew
 module Record = Hpcfs_trace.Record
 
 (* A deliberately session-unsafe application: rank 0 writes, rank 1 reads
-   the same bytes after a barrier but without any close/open in between. *)
+   the same bytes after a barrier but without any close/open in between.
+   The final barrier pins the read before the writer's closing close on
+   every scheduler (legacy rounds and superstep-parallel alike), so the
+   conflict classification below is schedule-independent. *)
 let session_unsafe (env : Runner.env) =
   let posix = env.Runner.posix in
   let rank = Mpi.rank env.Runner.comm in
@@ -25,6 +28,7 @@ let session_unsafe (env : Runner.env) =
   if rank = 0 then ignore (Posix.write posix fd (Bytes.make 64 'v'));
   Mpi.barrier env.Runner.comm;
   if rank = 1 then ignore (Posix.read posix fd 64);
+  Mpi.barrier env.Runner.comm;
   Posix.close posix fd
 
 (* The same application made commit-safe by an fsync before the barrier. *)
@@ -42,6 +46,7 @@ let commit_safe (env : Runner.env) =
   end;
   Mpi.barrier env.Runner.comm;
   if rank = 1 then ignore (Posix.read posix fd 64);
+  Mpi.barrier env.Runner.comm;
   Posix.close posix fd
 
 let outcome_for outcomes model =
