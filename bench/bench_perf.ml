@@ -107,6 +107,22 @@ let record_metadata ~name ~creates_per_s ~stats_per_s ~hit_ratio ~stale_stats =
       (json_escape name) creates_per_s stats_per_s hit_ratio stale_stats
     :: !json_objs
 
+let record_logging ~name ~ack_ms ~stalls ~peak =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"ack_ms\": %.3f, \"stalls\": %d, \
+       \"peak_occupancy\": %d}"
+      (json_escape name) ack_ms stalls peak
+    :: !json_objs
+
+let record_logging_crash ~name ~lost ~torn ~recovered ~direct_lost =
+  json_objs :=
+    Printf.sprintf
+      "{\"name\": \"%s\", \"wal_lost_bytes\": %d, \"wal_torn_bytes\": %d, \
+       \"wal_recovered_bytes\": %d, \"direct_lost_bytes\": %d}"
+      (json_escape name) lost torn recovered direct_lost
+    :: !json_objs
+
 let record_readpath ~name ~writes ~reads ~extent ~reference =
   let ens, ea = extent and rns, ra = reference in
   json_objs :=

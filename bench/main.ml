@@ -24,6 +24,9 @@ let experiments =
     ("burstfs", "BurstFS same-process ordering exception", Bench_validate.burstfs);
     ("bb", "burst-buffer tier drain-policy comparison", Bench_bb.bb);
     ("faults", "fault injection: crash/restart recovery", Bench_faults.faults);
+    ( "logging",
+      "write-ahead logging tier: checkpoint ack latency and crash recovery",
+      Bench_logging.logging );
     ( "failover",
       "storage-target failure, failover and journal replay",
       Bench_failover.failover );

@@ -21,6 +21,8 @@ module Consistency = Hpcfs_fs.Consistency
 module Table = Hpcfs_util.Table
 module Tier = Hpcfs_bb.Tier
 module Drain = Hpcfs_bb.Drain
+module Wal = Hpcfs_wal.Wal
+module Spec = Hpcfs_util.Spec
 module Obs = Hpcfs_obs.Obs
 module Export_chrome = Hpcfs_obs.Export_chrome
 module Export_metrics = Hpcfs_obs.Export_metrics
@@ -36,27 +38,76 @@ let ranks_arg =
   let doc = "Number of simulated MPI ranks." in
   Arg.(value & opt int 64 & info [ "r"; "ranks" ] ~docv:"N" ~doc)
 
+(* --tier selects between three data paths: direct PFS, the burst-buffer
+   tier (one of its drain policies), or the write-ahead logging tier with
+   optional replay-bandwidth and log-capacity knobs. *)
+type tier_sel =
+  | Sel_none
+  | Sel_bb of Drain.t
+  | Sel_wal of { bw : int option; cap : int option }
+
+let parse_tier s =
+  match String.lowercase_ascii s with
+  | "none" -> Ok Sel_none
+  | "sync-close" -> Ok (Sel_bb Drain.Sync_on_close)
+  | "async" -> Ok (Sel_bb Drain.default_async)
+  | "laminate" -> Ok (Sel_bb Drain.On_laminate)
+  | _ -> (
+    let ( let* ) = Result.bind in
+    match Spec.split_head s with
+    | "wal", rest ->
+      let* kvs = Spec.parse_int_fields "wal" (Spec.fields_of rest) in
+      let* () = Spec.check_keys "wal" ~accepted:[ "bw"; "cap" ] (List.rev kvs) in
+      let positive key =
+        match List.assoc_opt key kvs with
+        | Some v when v <= 0 ->
+          Error (Printf.sprintf "wal: %s must be positive" key)
+        | v -> Ok v
+      in
+      let* bw = positive "bw" in
+      let* cap = positive "cap" in
+      Ok (Sel_wal { bw; cap })
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown tier %S; expected none, sync-close, async, laminate or \
+            wal[:bw=N,cap=BYTES]"
+           s))
+
+let tier_conv =
+  let parse s =
+    match parse_tier s with Ok v -> Ok v | Error e -> Error (`Msg e)
+  in
+  let print ppf = function
+    | Sel_none -> Format.pp_print_string ppf "none"
+    | Sel_bb policy -> Format.pp_print_string ppf (Drain.name policy)
+    | Sel_wal { bw; cap } ->
+      Format.pp_print_string ppf "wal";
+      let fields =
+        List.filter_map
+          (fun (k, v) -> Option.map (Printf.sprintf "%s=%d" k) v)
+          [ ("bw", bw); ("cap", cap) ]
+      in
+      if fields <> [] then
+        Format.fprintf ppf ":%s" (String.concat "," fields)
+  in
+  Arg.conv (parse, print)
+
 let tier_arg =
   let doc =
-    "Route data operations through a burst-buffer tier with the given drain \
-     policy: $(b,none) (direct PFS, the default), $(b,sync-close), \
-     $(b,async) or $(b,laminate)."
+    "Route data operations through a staging tier: $(b,none) (direct PFS, \
+     the default); a burst-buffer tier with drain policy $(b,sync-close), \
+     $(b,async) or $(b,laminate); or $(b,wal[:bw=N,cap=BYTES]), the \
+     host-side write-ahead log ($(b,bw) = replay bandwidth in bytes/tick, \
+     $(b,cap) = per-node log capacity)."
   in
-  Arg.(
-    value
-    & opt
-        (enum
-           [
-             ("none", None);
-             ("sync-close", Some Drain.Sync_on_close);
-             ("async", Some Drain.default_async);
-             ("laminate", Some Drain.On_laminate);
-           ])
-        None
-    & info [ "tier" ] ~docv:"POLICY" ~doc)
+  Arg.(value & opt tier_conv Sel_none & info [ "tier" ] ~docv:"POLICY" ~doc)
 
 let ranks_per_node_arg =
-  let doc = "Ranks sharing one burst-buffer node (with $(b,--tier))." in
+  let doc =
+    "Ranks sharing one burst-buffer node or write-ahead log (with \
+     $(b,--tier))."
+  in
   Arg.(value & opt int 4 & info [ "ranks-per-node" ] ~docv:"N" ~doc)
 
 let mds_shards_arg =
@@ -77,11 +128,25 @@ let domains_arg =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc)
 
-let tier_config policy ranks_per_node =
-  Option.map
-    (fun policy ->
-      { Tier.default_config with Tier.policy; ranks_per_node })
-    policy
+(* Resolve the selection into the (at most one) tier config Runner.run
+   accepts: burst-buffer or WAL, never both. *)
+let tier_config sel ranks_per_node =
+  match sel with
+  | Sel_none -> (None, None)
+  | Sel_bb policy ->
+    (Some { Tier.default_config with Tier.policy; ranks_per_node }, None)
+  | Sel_wal { bw; cap } ->
+    let c = Wal.default_config in
+    ( None,
+      Some
+        {
+          c with
+          Wal.ranks_per_node;
+          bandwidth_bytes_per_tick =
+            Option.value bw ~default:c.Wal.bandwidth_bytes_per_tick;
+          capacity_per_node =
+            (match cap with Some _ -> cap | None -> c.Wal.capacity_per_node);
+        } )
 
 let app_arg =
   let doc =
@@ -203,6 +268,26 @@ let tier_extra t =
       ("stale_reads", string_of_int s.Tier.stale_reads);
     ] )
 
+let wal_extra w =
+  let s = Wal.stats w in
+  ( Printf.sprintf "Write-ahead log tier (%d B/tick replay)"
+      (Wal.config w).Wal.bandwidth_bytes_per_tick,
+    [
+      ("writes", string_of_int s.Wal.writes);
+      ("reads", string_of_int s.Wal.reads);
+      ("bytes_written", string_of_int s.Wal.bytes_written);
+      ("bytes_read", string_of_int s.Wal.bytes_read);
+      ("appended_bytes", string_of_int s.Wal.appended_bytes);
+      ("drained_bytes", string_of_int s.Wal.drained_bytes);
+      ("flushes", string_of_int s.Wal.flushes);
+      ("stalls", string_of_int s.Wal.stalls);
+      ("stalled_bytes", string_of_int s.Wal.stalled_bytes);
+      ("peak_occupancy", string_of_int s.Wal.peak_occupancy);
+      ("stale_reads", string_of_int s.Wal.stale_reads);
+      ("writethrough_writes", string_of_int s.Wal.writethrough_writes);
+      ("log_faults", string_of_int s.Wal.log_faults);
+    ] )
+
 let md_extra (s : Md.stats) =
   ( Printf.sprintf "Metadata service (%d shards)"
       (List.length s.Md.shard_ops),
@@ -226,6 +311,9 @@ let result_extras (result : Runner.result) =
   :: (match result.Runner.tier with
      | Some t -> [ tier_extra t ]
      | None -> [])
+  @ (match result.Runner.wal with
+    | Some w -> [ wal_extra w ]
+    | None -> [])
 
 (* Write everything [--obs DIR] promises.  [records] feeds both the
    per-rank trace tracks and the I/O report. *)
@@ -338,10 +426,10 @@ let run_cmd =
     exits_of_result
       (Result.map
          (fun entry ->
-           let tier = tier_config tier ranks_per_node in
+           let tier, wal = tier_config tier ranks_per_node in
            with_obs obs_dir @@ fun obs ->
            let result =
-             Runner.run ~nprocs:ranks ?tier ~mds_shards ?domains
+             Runner.run ~nprocs:ranks ?tier ?wal ~mds_shards ?domains
                entry.Registry.body
            in
            Printf.printf "ran %s on %d ranks: %d trace records\n"
@@ -353,6 +441,12 @@ let run_cmd =
                  (Drain.name (Tier.config t).Tier.policy)
                  Tier.pp_stats (Tier.stats t))
              result.Runner.tier;
+           Option.iter
+             (fun w ->
+               Format.printf "write-ahead log tier (%d B/tick replay):@.%a@."
+                 (Wal.config w).Wal.bandwidth_bytes_per_tick
+                 Wal.pp_stats (Wal.stats w))
+             result.Runner.wal;
            (match trace_path with
            | Some path ->
              Tracefile.save ~format path result.Runner.records;
@@ -541,15 +635,24 @@ let validate_cmd =
     exits_of_result
       (Result.map
          (fun entry ->
-           let tier = tier_config tier ranks_per_node in
+           let tier, wal = tier_config tier ranks_per_node in
            Option.iter
              (fun c ->
                Format.printf "burst-buffer tier: %a, %d ranks/node@."
                  Drain.pp c.Tier.policy c.Tier.ranks_per_node)
              tier;
+           Option.iter
+             (fun c ->
+               Format.printf
+                 "write-ahead log tier: %d B/tick replay, %d ranks/node%s@."
+                 c.Wal.bandwidth_bytes_per_tick c.Wal.ranks_per_node
+                 (match c.Wal.capacity_per_node with
+                 | Some b -> Printf.sprintf ", %d B/node log" b
+                 | None -> ""))
+             wal;
            with_obs obs_dir @@ fun obs ->
            let outcomes =
-             Validation.validate ~nprocs:ranks ?tier entry.Registry.body
+             Validation.validate ~nprocs:ranks ?tier ?wal entry.Registry.body
            in
            let t =
              Table.create
@@ -609,8 +712,12 @@ let plan_arg =
      burst-buffer drain attempts fail transiently, \
      $(b,ostfail:target=K,t=T[,recover=D][,failover=1]) fails storage \
      target K at time T (recovering D ticks later; with $(b,failover) a \
-     standby replica keeps serving it), and $(b,mdsfail:t=T[,recover=D]) \
-     fails the metadata server."
+     standby replica keeps serving it), $(b,mdsfail:t=T[,recover=D]) \
+     fails the metadata server, \
+     $(b,logfail:count=K[,node=N][,after=T]) makes the next K write-ahead \
+     log append attempts fail transiently (with $(b,--tier wal)), and \
+     $(b,logcap:bytes=B) (shorthand $(b,logcap=B)) caps every node's log \
+     at B bytes."
   in
   Arg.(
     required
@@ -644,10 +751,10 @@ let faults_cmd =
        let* entry = find_app ?workload app in
        let* plan = Fault_plan.of_string ~seed:plan_seed plan_spec in
        let* semantics = Consistency.list_of_string sem_spec in
-       let tier = tier_config tier ranks_per_node in
+       let tier, wal = tier_config tier ranks_per_node in
        with_obs obs_dir @@ fun obs ->
        let rows =
-         Validation.crash_report ~nprocs:ranks ~semantics ?tier
+         Validation.crash_report ~nprocs:ranks ~semantics ?tier ?wal
            ~app:(Registry.label entry) ~plan entry.Registry.body
        in
        Format.printf "fault plan: %a (seed %d)@.@." Fault_plan.pp plan
@@ -677,7 +784,9 @@ let faults_cmd =
      crash, burst-buffer bytes lost with the victim node, and whether the \
      recovered files match a fault-free reference.  Plans with storage \
      failures ($(b,ostfail)/$(b,mdsfail)) add columns for target failures, \
-     journal-replayed bytes, unreplayable bytes, and fsck verdicts."
+     journal-replayed bytes, unreplayable bytes, and fsck verdicts; runs \
+     through $(b,--tier wal) add columns for injected log faults and the \
+     log's recovered/lost/torn bytes."
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
@@ -692,12 +801,12 @@ let stats_cmd =
     exits_of_result
       (Result.map
          (fun entry ->
-           let tier = tier_config tier ranks_per_node in
+           let tier, wal = tier_config tier ranks_per_node in
            let sink = Obs.create () in
            let result =
              Obs.with_sink sink (fun () ->
                  let result =
-                   Runner.run ~nprocs:ranks ?tier ~mds_shards
+                   Runner.run ~nprocs:ranks ?tier ?wal ~mds_shards
                      entry.Registry.body
                  in
                  ignore (Report.analyze ~nprocs:ranks result.Runner.records);

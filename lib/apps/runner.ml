@@ -7,6 +7,7 @@ module Mpiio = Hpcfs_mpiio.Mpiio
 module Collector = Hpcfs_trace.Collector
 module Prng = Hpcfs_util.Prng
 module Tier = Hpcfs_bb.Tier
+module Wal = Hpcfs_wal.Wal
 module Obs = Hpcfs_obs.Obs
 module Injector = Hpcfs_fault.Injector
 module Plan = Hpcfs_fault.Plan
@@ -22,6 +23,7 @@ type result = {
   md : Md.stats;
   pfs : Pfs.t;
   tier : Tier.t option;
+  wal : Wal.t option;
   nprocs : int;
   faults : Injector.outcome option;
 }
@@ -60,7 +62,7 @@ let prepare_parallel ~domains ~nprocs ~comm ~posix ~mpiio ~inj =
   end
 
 let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
-    ~plan ~mds_shards body =
+    ~wal ~plan ~mds_shards body =
   let inj = Injector.create plan in
   Hpcfs_hdf5.Hdf5.reset_registries ();
   let pfs = Pfs.create ~local_order ~mds_shards semantics in
@@ -72,18 +74,31 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
       Tier.set_fault t ~prng:(Injector.drain_prng inj)
         (Some (fun ~node ~time -> Injector.drain_fault inj ~node ~time)))
     tier;
+  let wal = Option.map (fun config -> Wal.create ~config pfs) wal in
+  Option.iter
+    (fun w ->
+      (* Like the drain hook: installed only when the plan has log events,
+         so other plans leave the WAL code path untouched. *)
+      if Injector.has_log_events inj then begin
+        Wal.set_fault w ~prng:(Injector.log_prng inj)
+          (Some (fun ~node ~time -> Injector.log_fault inj ~node ~time));
+        Wal.set_cap_override w (Injector.log_cap inj)
+      end)
+    wal;
   (* The client journal exists only when the plan can fail storage: without
      an ostfail/mdsfail event the backend chain — and every byte of output —
-     is identical to a build without the failure domain. *)
+     is identical to a build without the failure domain.  A WAL-tiered run
+     never journals: the WAL parks, replays and fscks its own records. *)
   let journal =
-    if Injector.has_target_events inj then
+    if Injector.has_target_events inj && wal = None then
       Some (Journal.create ~prng:(Injector.retry_prng inj) pfs)
     else None
   in
   let base_backend =
-    match tier with
-    | None -> Hpcfs_fs.Backend.of_pfs pfs
-    | Some t -> Tier.backend t
+    match (tier, wal) with
+    | Some t, _ -> Tier.backend t
+    | None, Some w -> Wal.backend w
+    | None, None -> Hpcfs_fs.Backend.of_pfs pfs
   in
   let backend =
     Injector.wrap_backend inj
@@ -121,6 +136,13 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
                 Pfs.fail_target pfs ~time ~failover target)
           in
           Option.iter (fun j -> Journal.on_target_fail j ~time ~target) journal;
+          Option.iter
+            (fun w ->
+              Wal.on_target_fail w ~time ~target;
+              (* The failover replica serves immediately; re-replay the
+                 parked records into it on the spot. *)
+              if failover then ignore (Wal.drain_all w))
+            wal;
           target_records :=
             {
               Injector.tr_kind = `Ost;
@@ -138,7 +160,8 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
           if failover then replay_journal ~time
         | Injector.Recover_ost target ->
           Pfs.recover_target pfs ~time target;
-          replay_journal ~time
+          replay_journal ~time;
+          Option.iter (fun w -> ignore (Wal.drain_all w)) wal
         | Injector.Fail_mds { shard } ->
           Pfs.fail_mds ?shard pfs ~time;
           let tr_target = match shard with Some k -> k | None -> -1 in
@@ -201,6 +224,15 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
         | None -> 0
         | Some t -> Tier.crash_node t ~node:(Tier.node_of_rank t rank) ~time
       in
+      (* The WAL applies the crash *before* the PFS reconciles: the victim
+         node's un-flushed log tail dies (torn at a record boundary), and
+         applied-but-unpublished records revert to the surviving log so
+         the post-restart replay rebuilds what the PFS is about to drop. *)
+      let wal_summary =
+        match wal with
+        | None -> { Wal.lost_bytes = 0; torn_bytes = 0 }
+        | Some w -> Wal.on_crash w ~victim:(Wal.node_of_rank w rank) ~time ()
+      in
       let stats, per_file =
         Obs.span Obs.T_fs "crash-reconcile" (fun () ->
             Pfs.crash pfs ~time
@@ -218,6 +250,8 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
           cr_stats = stats;
           cr_per_file = per_file;
           cr_bb_lost_bytes = bb_lost;
+          cr_wal_lost_bytes = wal_summary.Wal.lost_bytes;
+          cr_wal_torn_bytes = wal_summary.Wal.torn_bytes;
         }
         :: !crashes;
       (match Injector.restart_delay_of inj ~rank with
@@ -230,6 +264,9 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
       (* A metadata-server failure aborts the job fail-stop (every rank's
          next open/truncate would hang): reconcile pending data exactly
          like a whole-job crash, with a synthetic victim rank of -1. *)
+      (* No victim node: every host (and its log) survives an MDS abort,
+         but applied-unpublished records still revert for re-replay. *)
+      Option.iter (fun w -> ignore (Wal.on_crash w ~time ())) wal;
       let stats, per_file =
         Obs.span Obs.T_fs "crash-reconcile" (fun () ->
             Pfs.crash pfs ~time
@@ -244,6 +281,8 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
           cr_stats = stats;
           cr_per_file = per_file;
           cr_bb_lost_bytes = 0;
+          cr_wal_lost_bytes = 0;
+          cr_wal_torn_bytes = 0;
         }
         :: !crashes;
       (match Injector.mds_restart_time inj with
@@ -267,12 +306,19 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
       Obs.span Obs.T_bb "epilogue-drain" (fun () ->
           ignore (Tier.drain_all t ())))
     tier;
+  Option.iter
+    (fun w ->
+      Obs.span Obs.T_bb "epilogue-drain" (fun () -> ignore (Wal.drain_all w)))
+    wal;
   let recovery =
     Option.map
       (fun j ->
         Obs.span Obs.T_fs "fsck" (fun () ->
             Recovery.check j ~time:epilogue_time))
       journal
+  in
+  let wal_check =
+    Option.map (fun w -> Obs.span Obs.T_fs "fsck" (fun () -> Wal.check w)) wal
   in
   {
     records = Collector.records collector;
@@ -281,6 +327,7 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
     md = Md.stats mds;
     pfs;
     tier;
+    wal;
     nprocs;
     faults =
       Some
@@ -289,15 +336,22 @@ let run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes ~tier
           o_crashes = List.rev !crashes;
           o_restarts = !restarts;
           o_drain_faults = Injector.injected_drain_faults inj;
+          o_log_faults = Injector.injected_log_faults inj;
           o_target_failures = List.rev !target_records;
           o_journal = Option.map Journal.stats journal;
           o_recovery = recovery;
+          o_wal = Option.map Wal.stats wal;
+          o_wal_check = wal_check;
         };
   }
 
 let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
-    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?(mds_shards = 1) ?tier
+    ?(nprocs = 64) ?(seed = 42) ?(cb_nodes = 6) ?(mds_shards = 1) ?tier ?wal
     ?faults ?domains body =
+  (match (tier, wal) with
+  | Some _, Some _ ->
+    invalid_arg "Runner.run: give at most one of ?tier and ?wal"
+  | _ -> ());
   (* HPCFS_DOMAINS supplies a default when the caller leaves [domains]
      unset — the tier-1 suite runs unchanged under the parallel scheduler
      (CI exercises it at 4), possible only because traces are
@@ -325,17 +379,19 @@ let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
     match faults with
     | Some plan ->
       run_faulted ~domains ~semantics ~local_order ~nprocs ~seed ~cb_nodes
-        ~tier ~plan ~mds_shards body
+        ~tier ~wal ~plan ~mds_shards body
     | None ->
       Hpcfs_hdf5.Hdf5.reset_registries ();
       let pfs = Pfs.create ~local_order ~mds_shards semantics in
       let mds = Md.create pfs in
       let collector = Collector.create () in
       let tier = Option.map (fun config -> Tier.create ~config pfs) tier in
+      let wal = Option.map (fun config -> Wal.create ~config pfs) wal in
       let posix =
-        match tier with
-        | None -> Posix.make_ctx ~mds pfs collector
-        | Some t -> Posix.make_ctx_backend ~mds (Tier.backend t) collector
+        match (tier, wal) with
+        | None, None -> Posix.make_ctx ~mds pfs collector
+        | Some t, _ -> Posix.make_ctx_backend ~mds (Tier.backend t) collector
+        | None, Some w -> Posix.make_ctx_backend ~mds (Wal.backend w) collector
       in
       let comm = Mpi.world () in
       let mpiio = Mpiio.make_ctx ~cb_nodes posix comm in
@@ -355,6 +411,11 @@ let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
           Obs.span Obs.T_bb "epilogue-drain" (fun () ->
               ignore (Tier.drain_all t ())))
         tier;
+      Option.iter
+        (fun w ->
+          Obs.span Obs.T_bb "epilogue-drain" (fun () ->
+              ignore (Wal.drain_all w)))
+        wal;
       {
         records = Collector.records collector;
         events = Mpi.events comm;
@@ -362,6 +423,7 @@ let run ?obs ?(semantics = Hpcfs_fs.Consistency.Strong) ?(local_order = true)
         md = Md.stats mds;
         pfs;
         tier;
+        wal;
         nprocs;
         faults = None;
       }

@@ -13,6 +13,8 @@ type result = {
   pfs : Hpcfs_fs.Pfs.t;  (** The file system after the run. *)
   tier : Hpcfs_bb.Tier.t option;
       (** The burst-buffer tier the run went through, if any. *)
+  wal : Hpcfs_wal.Wal.t option;
+      (** The write-ahead-logging tier the run went through, if any. *)
   nprocs : int;
   faults : Hpcfs_fault.Injector.outcome option;
       (** What the injector did; [None] when no plan was given. *)
@@ -42,6 +44,7 @@ val run :
   ?cb_nodes:int ->
   ?mds_shards:int ->
   ?tier:Hpcfs_bb.Tier.config ->
+  ?wal:Hpcfs_wal.Wal.config ->
   ?faults:Hpcfs_fault.Plan.t ->
   ?domains:int ->
   (env -> unit) ->
@@ -60,6 +63,16 @@ val run :
     burst-buffer {!Hpcfs_bb.Tier.t} staged over the PFS instead of hitting
     the PFS directly; any backlog left at the end of the job is drained
     before the result is returned.
+
+    With [?wal], they route through a host-side write-ahead logging
+    {!Hpcfs_wal.Wal.t} instead: writes ack at log-append time and a
+    background replayer drains them into the PFS, preserving the
+    consistency engine's publication rule.  The remaining backlog is
+    likewise replayed before the result is returned.  At most one of
+    [?tier] and [?wal] may be given (raises [Invalid_argument]).  Under
+    [?faults], a crash destroys only the victim node's un-flushed log
+    tail, [logfail:]/[logcap=] events exercise the log's failure modes,
+    and the outcome carries the WAL's statistics and post-run fsck.
 
     With [?faults], the plan's faults are injected: a planned rank crash
     aborts the whole job (fail-stop), pending data is reconciled on the

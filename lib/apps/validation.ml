@@ -3,6 +3,7 @@ module Pfs = Hpcfs_fs.Pfs
 module Namespace = Hpcfs_fs.Namespace
 module Fdata = Hpcfs_fs.Fdata
 module Tier = Hpcfs_bb.Tier
+module Wal = Hpcfs_wal.Wal
 module Obs = Hpcfs_obs.Obs
 
 let sem_key = function
@@ -36,11 +37,11 @@ let final_digests result =
       (path, Digest.bytes r.Fdata.data))
     files
 
-let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier ?faults
-    model body =
+let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier ?wal
+    ?faults model body =
   Obs.span Obs.T_core ("validate." ^ sem_key model) @@ fun () ->
   let result =
-    Runner.run ~semantics:model ~local_order ~nprocs ?tier ?faults body
+    Runner.run ~semantics:model ~local_order ~nprocs ?tier ?wal ?faults body
   in
   let digests = final_digests result in
   let corrupted =
@@ -53,9 +54,10 @@ let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier ?faults
   (* In a tiered run the application observes the tier's composite reads,
      not the raw PFS reads underneath them, so staleness is the tier's. *)
   let stale_reads =
-    match result.Runner.tier with
-    | Some t -> (Tier.stats t).Tier.stale_reads
-    | None -> result.Runner.stats.Pfs.stale_reads
+    match (result.Runner.tier, result.Runner.wal) with
+    | Some t, _ -> (Tier.stats t).Tier.stale_reads
+    | None, Some w -> (Wal.stats w).Wal.stale_reads
+    | None, None -> result.Runner.stats.Pfs.stale_reads
   in
   {
     semantics = model;
@@ -66,7 +68,7 @@ let run_against ~reference_digests ~nprocs ?(local_order = true) ?tier ?faults
 
 let validate ?obs ?(nprocs = 64)
     ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
-    ?tier ?faults body =
+    ?tier ?wal ?faults body =
   let go () =
     let reference =
       Obs.span Obs.T_core "validate.reference" (fun () ->
@@ -75,7 +77,7 @@ let validate ?obs ?(nprocs = 64)
     let reference_digests = final_digests reference in
     List.map
       (fun model ->
-        run_against ~reference_digests ~nprocs ?tier ?faults model body)
+        run_against ~reference_digests ~nprocs ?tier ?wal ?faults model body)
       semantics
   in
   match obs with None -> go () | Some sink -> Obs.with_sink sink go
@@ -85,7 +87,7 @@ let validate ?obs ?(nprocs = 64)
    strong reference. *)
 let crash_report ?obs ?(nprocs = 64)
     ?(semantics = [ Consistency.Strong; Consistency.Commit; Consistency.Session ])
-    ?tier ~app ~plan body =
+    ?tier ?wal ~app ~plan body =
   let go () =
     let reference =
       Obs.span Obs.T_core "faults.reference" (fun () ->
@@ -96,7 +98,7 @@ let crash_report ?obs ?(nprocs = 64)
       (fun model ->
         Obs.span Obs.T_core ("faults." ^ sem_key model) @@ fun () ->
         let result =
-          Runner.run ~semantics:model ~nprocs ?tier ~faults:plan body
+          Runner.run ~semantics:model ~nprocs ?tier ?wal ~faults:plan body
         in
         let digests = final_digests result in
         (* A crash without restart can leave files missing entirely, so

@@ -34,6 +34,7 @@ val validate :
   ?nprocs:int ->
   ?semantics:Hpcfs_fs.Consistency.t list ->
   ?tier:Hpcfs_bb.Tier.config ->
+  ?wal:Hpcfs_wal.Wal.config ->
   ?faults:Hpcfs_fault.Plan.t ->
   (Runner.env -> unit) ->
   outcome list
@@ -46,6 +47,8 @@ val validate :
     run stays a direct strong run, so the comparison shows whether the
     tier preserves correctness end to end.  [stale_reads] then counts the
     tier's composite reads that disagreed with the strong ground truth.
+    [?wal] does the same for the write-ahead-logging tier (at most one of
+    the two, as in {!Runner.run}).
 
     With [?obs], the sink is installed for the whole validation and each
     per-semantics run appears as a [validate.<semantics>] span.
@@ -59,6 +62,7 @@ val crash_report :
   ?nprocs:int ->
   ?semantics:Hpcfs_fs.Consistency.t list ->
   ?tier:Hpcfs_bb.Tier.config ->
+  ?wal:Hpcfs_wal.Wal.config ->
   app:string ->
   plan:Hpcfs_fault.Plan.t ->
   (Runner.env -> unit) ->

@@ -14,6 +14,7 @@ type crash_event = {
 }
 
 type drain_event = { d_node : int option; d_after : int; mutable d_left : int }
+type log_event = { l_node : int option; l_after : int; mutable l_left : int }
 
 (* A storage failure scheduled by the plan.  [`Armed] → (fail fires at
    [te_at]) → [`Down] → (recovery, if scheduled, fires at
@@ -38,65 +39,96 @@ type t = {
   tear_prng : Prng.t;  (* how many stripes of a torn write survive *)
   drain_prng : Prng.t;  (* backoff jitter of drain retries *)
   retry_prng : Prng.t;  (* backoff jitter of client journal retries *)
+  log_prng : Prng.t;  (* backoff jitter of WAL append retries *)
   crashes : crash_event list;
   drains : drain_event list;
+  log_events : log_event list;
+  log_cap : int option;  (* tightest planned [logcap=], if any *)
   target_events : target_event list;
   mutable storage_hook : (time:int -> storage_action -> unit) option;
   io_counts : (int, int ref) Hashtbl.t;
   mu : Mutex.t; (* guards the shared tallies during a parallel run *)
   mutable injected_crashes : int;
   mutable injected_drain_faults : int;
+  mutable injected_log_faults : int;
 }
 
 let create plan =
   (* Independent deterministic streams per concern, split off the plan's
      seed: consuming jitter draws never perturbs tear decisions.  Splits
-     only advance the parent, so adding the retry stream after the
-     existing two leaves their values untouched. *)
+     only advance the parent, so adding a stream after the existing ones
+     leaves their values untouched. *)
   let root = Prng.create plan.Plan.seed in
   let tear_prng = Prng.split root in
   let drain_prng = Prng.split root in
   let retry_prng = Prng.split root in
-  let crashes, drains, targets =
+  let log_prng = Prng.split root in
+  let crashes, drains, logs, log_cap, targets =
     List.fold_left
-      (fun (cs, ds, ts) -> function
+      (fun (cs, ds, ls, cap, ts) -> function
         | Plan.Rank_crash { rank; trigger; restart_delay } ->
           ( { c_rank = rank; c_trigger = trigger; c_restart = restart_delay;
               c_fired = false }
             :: cs,
             ds,
+            ls,
+            cap,
             ts )
         | Plan.Drain_fault { node; after; failures } ->
-          (cs, { d_node = node; d_after = after; d_left = failures } :: ds, ts)
+          ( cs,
+            { d_node = node; d_after = after; d_left = failures } :: ds,
+            ls,
+            cap,
+            ts )
+        | Plan.Log_fail { node; after; failures } ->
+          ( cs,
+            ds,
+            { l_node = node; l_after = after; l_left = failures } :: ls,
+            cap,
+            ts )
+        | Plan.Log_cap { bytes } ->
+          ( cs,
+            ds,
+            ls,
+            Some (match cap with Some c -> min c bytes | None -> bytes),
+            ts )
         | Plan.Ost_fail { target; at; recover; failover } ->
           ( cs,
             ds,
+            ls,
+            cap,
             { te_kind = `Ost; te_target = target; te_at = at;
               te_recover = recover; te_failover = failover; te_phase = `Armed }
             :: ts )
         | Plan.Mds_fail { at; recover; shard } ->
           ( cs,
             ds,
+            ls,
+            cap,
             { te_kind = `Mds;
               te_target = (match shard with Some k -> k | None -> -1);
               te_at = at; te_recover = recover;
               te_failover = false; te_phase = `Armed }
             :: ts ))
-      ([], [], []) plan.Plan.events
+      ([], [], [], None, []) plan.Plan.events
   in
   {
     plan;
     tear_prng;
     drain_prng;
     retry_prng;
+    log_prng;
     crashes = List.rev crashes;
     drains = List.rev drains;
+    log_events = List.rev logs;
+    log_cap;
     target_events = List.rev targets;
     storage_hook = None;
     io_counts = Hashtbl.create 8;
     mu = Mutex.create ();
     injected_crashes = 0;
     injected_drain_faults = 0;
+    injected_log_faults = 0;
   }
 
 let plan t = t.plan
@@ -117,8 +149,11 @@ let prepare t ~nprocs =
   done
 let drain_prng t = t.drain_prng
 let retry_prng t = t.retry_prng
+let log_prng t = t.log_prng
 let keep_stripes t ~total = Prng.int t.tear_prng (total + 1)
 let has_target_events t = t.target_events <> []
+let has_log_events t = t.log_events <> [] || t.log_cap <> None
+let log_cap t = t.log_cap
 
 (* When the job can come back from an MDS failure: the earliest scheduled
    MDS recovery, [None] if the plan never recovers it. *)
@@ -243,8 +278,26 @@ let drain_fault t ~node ~time =
     Obs.incr "fault.drain_faults";
     true
 
+let log_fault t ~node ~time =
+  let hit =
+    List.find_opt
+      (fun l ->
+        l.l_left > 0 && time >= l.l_after
+        && match l.l_node with None -> true | Some n -> n = node)
+      t.log_events
+  in
+  match hit with
+  | None -> false
+  | Some l ->
+    locked t (fun () ->
+        l.l_left <- l.l_left - 1;
+        t.injected_log_faults <- t.injected_log_faults + 1);
+    Obs.incr "fault.log_faults";
+    true
+
 let injected_crashes t = t.injected_crashes
 let injected_drain_faults t = t.injected_drain_faults
+let injected_log_faults t = t.injected_log_faults
 
 (* Storage transitions fire before the operation (a write issued at or
    after the failure time must find the target already down), the
@@ -301,6 +354,8 @@ type crash_record = {
   cr_stats : Fdata.crash_stats;
   cr_per_file : (string * Fdata.crash_stats) list;
   cr_bb_lost_bytes : int;
+  cr_wal_lost_bytes : int;
+  cr_wal_torn_bytes : int;
 }
 
 type target_record = {
@@ -319,9 +374,12 @@ type outcome = {
   o_crashes : crash_record list;  (** In firing order. *)
   o_restarts : int;
   o_drain_faults : int;
+  o_log_faults : int;
   o_target_failures : target_record list;  (** In firing order. *)
   o_journal : Hpcfs_fs.Journal.stats option;
   o_recovery : Hpcfs_fs.Recovery.report option;
+  o_wal : Hpcfs_wal.Wal.stats option;
+  o_wal_check : Hpcfs_wal.Wal.check_report option;
 }
 
 (* Total data loss of the run: whole-job crashes plus what storage-target
@@ -346,8 +404,18 @@ let crash_stats outcome =
     | None -> 0
   in
   let target_lost = max 0 (targets.Fdata.lost_bytes - replayed) in
-  Fdata.add_crash_stats crashes
-    { targets with Fdata.lost_bytes = target_lost }
+  let total =
+    Fdata.add_crash_stats crashes { targets with Fdata.lost_bytes = target_lost }
+  in
+  (* Same rule for the WAL: bytes its durable log re-replayed into the
+     PFS after a crash or target failure are not lost. *)
+  match outcome.o_wal with
+  | None -> total
+  | Some w ->
+    { total with
+      Fdata.lost_bytes =
+        max 0 (total.Fdata.lost_bytes - w.Hpcfs_wal.Wal.recovered_bytes);
+    }
 
 let bb_lost_bytes outcome =
   List.fold_left (fun acc cr -> acc + cr.cr_bb_lost_bytes) 0 outcome.o_crashes
@@ -362,4 +430,19 @@ let replayed_bytes outcome =
 let journal_lost_bytes outcome =
   match outcome.o_journal with
   | Some j -> j.Hpcfs_fs.Journal.outstanding_bytes
+  | None -> 0
+
+let wal_lost_bytes outcome =
+  match outcome.o_wal_check with
+  | Some c -> c.Hpcfs_wal.Wal.lost_bytes + c.Hpcfs_wal.Wal.pending_bytes
+  | None -> 0
+
+let wal_torn_bytes outcome =
+  match outcome.o_wal_check with
+  | Some c -> c.Hpcfs_wal.Wal.torn_bytes
+  | None -> 0
+
+let wal_recovered_bytes outcome =
+  match outcome.o_wal with
+  | Some w -> w.Hpcfs_wal.Wal.recovered_bytes
   | None -> 0

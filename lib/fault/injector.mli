@@ -48,6 +48,23 @@ val retry_prng : t -> Hpcfs_util.Prng.t
     {!Hpcfs_fs.Journal.create}).  A separate split, so journaling never
     perturbs tear or drain decisions. *)
 
+val log_prng : t -> Hpcfs_util.Prng.t
+(** The stream WAL append-retry jitter is drawn from (pass to
+    {!Hpcfs_wal.Wal.set_fault}); again a separate split. *)
+
+val log_fault : t -> node:int -> time:int -> bool
+(** WAL hook ({!Hpcfs_wal.Wal.set_fault}): [true] when a planned log-device
+    failure should hit this append attempt; each [true] consumes one unit
+    of a matching [Log_fail] budget. *)
+
+val has_log_events : t -> bool
+(** Does the plan schedule any [Log_fail]/[Log_cap]?  Gates installing the
+    WAL fault hook, so plans without them leave WAL runs untouched. *)
+
+val log_cap : t -> int option
+(** The tightest planned [logcap=] capacity, to pass to
+    {!Hpcfs_wal.Wal.set_cap_override}. *)
+
 val keep_stripes : t -> total:int -> int
 (** Deterministic tear decision for one in-flight write: how many of its
     [total] stripe-aligned pieces survive (0..[total], inclusive). *)
@@ -58,6 +75,7 @@ val restart_delay_of : t -> rank:int -> int option
 
 val injected_crashes : t -> int
 val injected_drain_faults : t -> int
+val injected_log_faults : t -> int
 
 (** {1 Storage failures} *)
 
@@ -99,6 +117,9 @@ type crash_record = {
   cr_per_file : (string * Hpcfs_fs.Fdata.crash_stats) list;
       (** Per-file breakdown, sorted by path. *)
   cr_bb_lost_bytes : int;  (** Undrained burst-buffer bytes lost. *)
+  cr_wal_lost_bytes : int;
+      (** Un-flushed WAL log-tail bytes destroyed with the victim node. *)
+  cr_wal_torn_bytes : int;  (** The WAL's torn in-flight append. *)
 }
 
 type target_record = {
@@ -119,6 +140,7 @@ type outcome = {
   o_crashes : crash_record list;  (** In firing order. *)
   o_restarts : int;  (** Restarts actually performed. *)
   o_drain_faults : int;  (** Transient drain failures injected. *)
+  o_log_faults : int;  (** Transient WAL append failures injected. *)
   o_target_failures : target_record list;  (** In firing order. *)
   o_journal : Hpcfs_fs.Journal.stats option;
       (** Client journal counters; [None] when the plan scheduled no
@@ -126,6 +148,10 @@ type outcome = {
   o_recovery : Hpcfs_fs.Recovery.report option;
       (** Fsck verdicts after the final replay pass; [None] without a
           journal. *)
+  o_wal : Hpcfs_wal.Wal.stats option;
+      (** WAL-tier counters; [None] when the run was not WAL-tiered. *)
+  o_wal_check : Hpcfs_wal.Wal.check_report option;
+      (** The WAL's post-run fsck (replayed/lost/torn per file). *)
 }
 
 val crash_stats : outcome -> Hpcfs_fs.Fdata.crash_stats
@@ -138,3 +164,10 @@ val replayed_bytes : outcome -> int
 val journal_lost_bytes : outcome -> int
 (** Bytes still parked/dirty/lost in the journal at end of run — the
     unreplayable remainder. *)
+
+val wal_lost_bytes : outcome -> int
+(** Bytes the WAL could not bring back: destroyed log tail plus records
+    with no live target to replay to.  0 for untiered runs. *)
+
+val wal_torn_bytes : outcome -> int
+val wal_recovered_bytes : outcome -> int

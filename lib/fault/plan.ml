@@ -10,6 +10,8 @@ type event =
       failover : bool;
     }
   | Mds_fail of { at : int; recover : int option; shard : int option }
+  | Log_fail of { node : int option; after : int; failures : int }
+  | Log_cap of { bytes : int }
 
 type t = { name : string; seed : int; events : event list }
 
@@ -25,6 +27,8 @@ let ost_fail ?recover ?(failover = false) ~target at =
   Ost_fail { target; at; recover; failover }
 
 let mds_fail ?recover ?shard at = Mds_fail { at; recover; shard }
+let log_fail ?node ?(after = 0) failures = Log_fail { node; after; failures }
+let log_cap bytes = Log_cap { bytes }
 
 let crash_count t =
   List.length
@@ -33,6 +37,11 @@ let crash_count t =
 let has_target_failures t =
   List.exists
     (function Ost_fail _ | Mds_fail _ -> true | _ -> false)
+    t.events
+
+let has_log_events t =
+  List.exists
+    (function Log_fail _ | Log_cap _ -> true | _ -> false)
     t.events
 
 (* Spec syntax ------------------------------------------------------------- *)
@@ -77,6 +86,16 @@ let event_to_string = function
         | Some d -> Printf.sprintf ",recover=%d" d
         | None -> "");
       ]
+  | Log_fail { node; after; failures } ->
+    String.concat ""
+      [
+        Printf.sprintf "logfail:count=%d" failures;
+        (match node with
+        | Some n -> Printf.sprintf ",node=%d" n
+        | None -> "");
+        (if after > 0 then Printf.sprintf ",after=%d" after else "");
+      ]
+  | Log_cap { bytes } -> Printf.sprintf "logcap:bytes=%d" bytes
 
 let to_string t = String.concat ";" (List.map event_to_string t.events)
 
@@ -89,18 +108,47 @@ let ( let* ) = Result.bind
 
 module Spec = Hpcfs_util.Spec
 
-let check_keys = Spec.check_keys
+(* Accepted keys per event head.  Checked on the raw string fields,
+   *before* integer conversion, so a misspelled key is always reported as
+   an unknown key with the event's accepted alternatives — not as a bad
+   value for a key that doesn't exist. *)
+let accepted_keys = function
+  | "crash" -> [ "rank"; "io"; "t"; "restart" ]
+  | "drainfail" | "logfail" -> [ "count"; "node"; "after" ]
+  | "ostfail" -> [ "target"; "t"; "recover"; "failover" ]
+  | "mdsfail" -> [ "t"; "shard"; "recover" ]
+  | "logcap" -> [ "bytes" ]
+  | _ -> []
+
+(* Convert checked fields to ints in spec order (first bad value wins);
+   the consed result stays in reverse field order so [List.assoc_opt]
+   keeps seeing the last occurrence of a repeated key. *)
+let int_fields head kvs =
+  List.fold_left
+    (fun acc (k, v) ->
+      let* acc = acc in
+      let* v = Spec.parse_int head k v in
+      Ok ((k, v) :: acc))
+    (Ok []) (List.rev kvs)
 
 let parse_event spec =
+  (* [logcap=BYTES] is sugar for [logcap:bytes=BYTES]. *)
+  let spec =
+    match Spec.split_head (String.lowercase_ascii spec) with
+    | head, "" when String.length head > 7 && String.sub head 0 7 = "logcap=" ->
+      "logcap:bytes=" ^ String.sub head 7 (String.length head - 7)
+    | _ -> spec
+  in
   let head, rest = Spec.split_head spec in
   let fields = Spec.fields_of rest in
   match head with
-  | "crash" | "drainfail" | "ostfail" | "mdsfail" -> (
-    let* kvs = Spec.parse_int_fields head fields in
+  | "crash" | "drainfail" | "ostfail" | "mdsfail" | "logfail" | "logcap" -> (
+    let* kvs = Spec.parse_fields head fields in
+    let* () = Spec.check_keys head ~accepted:(accepted_keys head) (List.rev kvs) in
+    let* kvs = int_fields head kvs in
     let get k = List.assoc_opt k kvs in
     match head with
     | "crash" ->
-      let* () = check_keys head ~accepted:[ "rank"; "io"; "t"; "restart" ] kvs in
       let rank = Option.value ~default:0 (get "rank") in
       let* trigger =
         match (get "io", get "t") with
@@ -110,22 +158,18 @@ let parse_event spec =
         | None, None -> Error "crash: missing trigger (io=N or t=T)"
       in
       Ok (Rank_crash { rank; trigger; restart_delay = get "restart" })
-    | "drainfail" ->
-      let* () = check_keys head ~accepted:[ "count"; "node"; "after" ] kvs in
+    | "drainfail" | "logfail" ->
       let* failures =
-        Option.to_result ~none:"drainfail: missing count=K" (get "count")
+        Option.to_result
+          ~none:(Printf.sprintf "%s: missing count=K" head)
+          (get "count")
       in
+      let node = get "node" in
+      let after = Option.value ~default:0 (get "after") in
       Ok
-        (Drain_fault
-           {
-             node = get "node";
-             after = Option.value ~default:0 (get "after");
-             failures;
-           })
+        (if head = "drainfail" then Drain_fault { node; after; failures }
+         else Log_fail { node; after; failures })
     | "ostfail" ->
-      let* () =
-        check_keys head ~accepted:[ "target"; "t"; "recover"; "failover" ] kvs
-      in
       let* target =
         Option.to_result ~none:"ostfail: missing target=K" (get "target")
       in
@@ -139,14 +183,20 @@ let parse_event spec =
              failover =
                (match get "failover" with Some v -> v <> 0 | None -> false);
            })
-    | _ ->
-      let* () = check_keys head ~accepted:[ "t"; "shard"; "recover" ] kvs in
+    | "mdsfail" ->
       let* at = Option.to_result ~none:"mdsfail: missing t=T" (get "t") in
-      Ok (Mds_fail { at; recover = get "recover"; shard = get "shard" }))
+      Ok (Mds_fail { at; recover = get "recover"; shard = get "shard" })
+    | _ ->
+      let* bytes =
+        Option.to_result ~none:"logcap: missing bytes=B" (get "bytes")
+      in
+      if bytes <= 0 then Error "logcap: bytes must be positive"
+      else Ok (Log_cap { bytes }))
   | other ->
     Error
       (Printf.sprintf
-         "unknown fault event %S; expected crash, drainfail, ostfail or mdsfail"
+         "unknown fault event %S; expected crash, drainfail, ostfail, \
+          mdsfail, logfail or logcap"
          other)
 
 let of_string ?(name = "plan") ?(seed = 42) s =

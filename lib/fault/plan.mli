@@ -36,6 +36,16 @@ type event =
           partitioned metadata shard — fails at time [at]: metadata
           operations on paths it owns are refused, which aborts the job
           fail-stop.  It restarts [recover] ticks later ([None]: never). *)
+  | Log_fail of { node : int option; after : int; failures : int }
+      (** The next [failures] write-ahead-log append attempts at/after
+          time [after] — on node [node], or on any node for [None] — fail
+          transiently; the WAL tier retries under its backoff policy and
+          degrades the write to write-through once the budget is spent.
+          No effect on untiered runs. *)
+  | Log_cap of { bytes : int }
+      (** Cap every node's write-ahead log at [bytes] for the whole run,
+          exercising log-full backpressure (drain stalls, then
+          write-through).  No effect on untiered runs. *)
 
 type t = { name : string; seed : int; events : event list }
 
@@ -50,6 +60,8 @@ val ost_fail : ?recover:int -> ?failover:bool -> target:int -> int -> event
     to false. *)
 
 val mds_fail : ?recover:int -> ?shard:int -> int -> event
+val log_fail : ?node:int -> ?after:int -> int -> event
+val log_cap : int -> event
 
 val crash_count : t -> int
 
@@ -57,6 +69,10 @@ val has_target_failures : t -> bool
 (** Does the plan contain any [Ost_fail]/[Mds_fail] event?  (Gates the
     client journal: without one, runs stay byte-identical to a build with
     no failure domain.) *)
+
+val has_log_events : t -> bool
+(** Does the plan contain any [Log_fail]/[Log_cap] event?  (Gates the WAL
+    fault hook the same way.) *)
 
 val to_string : t -> string
 (** Compact spec, e.g. ["crash:rank=3,io=120,restart=64;drainfail:count=2"].
@@ -66,9 +82,11 @@ val of_string : ?name:string -> ?seed:int -> string -> (t, string) result
 (** Parse a [;]-separated list of events:
     [crash:rank=R,io=N|t=T[,restart=D]],
     [drainfail:count=K[,node=N][,after=T]],
-    [ostfail:target=K,t=T[,recover=D][,failover=1]] and
-    [mdsfail:t=T[,shard=K][,recover=D]].  Unknown event names and unknown keys are
-    errors; messages name the offending token and the accepted
-    alternatives. *)
+    [ostfail:target=K,t=T[,recover=D][,failover=1]],
+    [mdsfail:t=T[,shard=K][,recover=D]],
+    [logfail:count=K[,node=N][,after=T]] and
+    [logcap:bytes=B] (shorthand: [logcap=B]).  Unknown event names and
+    unknown keys are errors; messages name the offending token and the
+    accepted alternatives for the event being parsed. *)
 
 val pp : Format.formatter -> t -> unit

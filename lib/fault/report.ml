@@ -20,12 +20,18 @@ type row = {
   r_fsck_clean : int;
   r_fsck_recovered : int;
   r_fsck_corrupted : int;
+  r_wal : bool;
+  r_log_faults : int;
+  r_wal_recovered_bytes : int;
+  r_wal_lost_bytes : int;
+  r_wal_torn_bytes : int;
 }
 
 let survives r =
   r.r_lost_writes = 0 && r.r_torn_writes = 0 && r.r_bb_lost_bytes = 0
   && r.r_journal_lost_bytes = 0 && r.r_fsck_corrupted = 0
-  && r.r_post_corrupted = 0
+  && r.r_post_corrupted = 0 && r.r_wal_lost_bytes = 0
+  && r.r_wal_torn_bytes = 0
 
 let recovered r = r.r_post_corrupted = 0
 
@@ -44,12 +50,16 @@ let row_of_outcome ~app ~semantics ~post_files ~post_corrupted
     | c :: _ -> (c.Injector.cr_rank, c.Injector.cr_time)
   in
   let fsck_clean, fsck_recovered, fsck_corrupted =
-    match o.Injector.o_recovery with
-    | None -> (0, 0, 0)
-    | Some r ->
+    match (o.Injector.o_recovery, o.Injector.o_wal_check) with
+    | Some r, _ ->
       ( r.Hpcfs_fs.Recovery.clean,
         r.Hpcfs_fs.Recovery.recovered,
         r.Hpcfs_fs.Recovery.corrupted )
+    | None, Some c ->
+      ( c.Hpcfs_wal.Wal.clean,
+        c.Hpcfs_wal.Wal.recovered,
+        c.Hpcfs_wal.Wal.corrupted )
+    | None, None -> (0, 0, 0)
   in
   {
     r_app = app;
@@ -73,25 +83,52 @@ let row_of_outcome ~app ~semantics ~post_files ~post_corrupted
     r_fsck_clean = fsck_clean;
     r_fsck_recovered = fsck_recovered;
     r_fsck_corrupted = fsck_corrupted;
+    r_wal = o.Injector.o_wal <> None;
+    r_log_faults = o.Injector.o_log_faults;
+    r_wal_recovered_bytes = Injector.wal_recovered_bytes o;
+    r_wal_lost_bytes = Injector.wal_lost_bytes o;
+    r_wal_torn_bytes = Injector.wal_torn_bytes o;
   }
 
 (* The extended (target-failure) columns appear only when some row saw a
-   storage failure: plans without ostfail/mdsfail events render the exact
-   historical table and CSV, byte for byte. *)
+   storage failure, and the WAL columns only when some row ran through the
+   WAL tier: legacy inputs render the exact historical table and CSV,
+   byte for byte. *)
 let extended rows = List.exists (fun r -> r.r_target_failures > 0) rows
+let walled rows = List.exists (fun r -> r.r_wal) rows
 
-let csv_header =
-  "app,semantics,plan,crashed,crash_rank,crash_time,restarts,lost_writes,lost_bytes,torn_writes,torn_bytes,bb_lost_bytes,drain_faults,post_files,post_corrupted,verdict"
+let base_columns =
+  [
+    "app"; "semantics"; "plan"; "crashed"; "crash_rank"; "crash_time";
+    "restarts"; "lost_writes"; "lost_bytes"; "torn_writes"; "torn_bytes";
+    "bb_lost_bytes"; "drain_faults"; "post_files"; "post_corrupted";
+  ]
 
-let csv_header_extended =
-  "app,semantics,plan,crashed,crash_rank,crash_time,restarts,lost_writes,lost_bytes,torn_writes,torn_bytes,bb_lost_bytes,drain_faults,post_files,post_corrupted,target_failures,replayed_bytes,journal_lost_bytes,fsck_clean,fsck_recovered,fsck_corrupted,verdict"
+let extended_columns =
+  [
+    "target_failures"; "replayed_bytes"; "journal_lost_bytes"; "fsck_clean";
+    "fsck_recovered"; "fsck_corrupted";
+  ]
+
+let wal_columns =
+  [ "log_faults"; "wal_recovered_bytes"; "wal_lost_bytes"; "wal_torn_bytes" ]
+
+let header ~ext ~wal =
+  String.concat ","
+    (base_columns
+    @ (if ext then extended_columns else [])
+    @ (if wal then wal_columns else [])
+    @ [ "verdict" ])
+
+let csv_header = header ~ext:false ~wal:false
+let csv_header_extended = header ~ext:true ~wal:false
 
 let csv_quote s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
-let to_csv_row ~ext r =
+let to_csv_row ~ext ~wal r =
   let base =
     [
       csv_quote r.r_app;
@@ -111,7 +148,7 @@ let to_csv_row ~ext r =
       string_of_int r.r_post_corrupted;
     ]
   in
-  let tail =
+  let ext_tail =
     if ext then
       [
         string_of_int r.r_target_failures;
@@ -120,20 +157,48 @@ let to_csv_row ~ext r =
         string_of_int r.r_fsck_clean;
         string_of_int r.r_fsck_recovered;
         string_of_int r.r_fsck_corrupted;
-        verdict r;
       ]
-    else [ verdict r ]
+    else []
   in
-  String.concat "," (base @ tail)
+  let wal_tail =
+    if wal then
+      [
+        string_of_int r.r_log_faults;
+        string_of_int r.r_wal_recovered_bytes;
+        string_of_int r.r_wal_lost_bytes;
+        string_of_int r.r_wal_torn_bytes;
+      ]
+    else []
+  in
+  String.concat "," (base @ ext_tail @ wal_tail @ [ verdict r ])
 
 let to_csv rows =
   let ext = extended rows in
-  let header = if ext then csv_header_extended else csv_header in
-  String.concat "\n" (header :: List.map (to_csv_row ~ext) rows) ^ "\n"
+  let wal = walled rows in
+  String.concat "\n"
+    (header ~ext ~wal :: List.map (to_csv_row ~ext ~wal) rows)
+  ^ "\n"
 
 let pp ppf rows =
   let open Format in
-  if extended rows then begin
+  if walled rows then begin
+    fprintf ppf
+      "%-14s %-10s %7s %8s %10s %10s %8s %10s %9s %8s %8s %7s %10s@."
+      "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_bytes"
+      "ost_fail" "log_fault" "wal_recov" "wal_lost" "wal_torn" "corrupt"
+      "verdict";
+    List.iter
+      (fun r ->
+        fprintf ppf
+          "%-14s %-10s %7s %8d %10d %10d %8d %10d %9d %8d %8d %7d %10s@."
+          r.r_app r.r_semantics
+          (if r.r_crashed then "yes" else "no")
+          r.r_restarts r.r_lost_bytes r.r_torn_bytes r.r_target_failures
+          r.r_log_faults r.r_wal_recovered_bytes r.r_wal_lost_bytes
+          r.r_wal_torn_bytes r.r_post_corrupted (verdict r))
+      rows
+  end
+  else if extended rows then begin
     fprintf ppf
       "%-14s %-10s %7s %8s %10s %7s %10s %8s %8s %9s %9s %7s %10s@."
       "app" "semantics" "crashed" "restarts" "lost_bytes" "torn_wr"

@@ -28,9 +28,16 @@ type row = {
   r_target_failures : int;  (** OST/MDS failures injected. *)
   r_replayed_bytes : int;  (** Bytes the client journal replayed back. *)
   r_journal_lost_bytes : int;  (** Journaled bytes that stayed unreplayable. *)
-  r_fsck_clean : int;  (** {!Hpcfs_fs.Recovery.check} verdict counts. *)
+  r_fsck_clean : int;
+      (** {!Hpcfs_fs.Recovery.check} verdict counts — or, for a WAL-tiered
+          run with no client journal, {!Hpcfs_wal.Wal.check} counts. *)
   r_fsck_recovered : int;
   r_fsck_corrupted : int;
+  r_wal : bool;  (** Did the run go through the WAL tier? *)
+  r_log_faults : int;  (** Transient WAL append failures injected. *)
+  r_wal_recovered_bytes : int;  (** Bytes the durable log re-replayed. *)
+  r_wal_lost_bytes : int;  (** Log-tail bytes the crash destroyed. *)
+  r_wal_torn_bytes : int;  (** The torn in-flight log append. *)
 }
 
 val survives : row -> bool
@@ -59,9 +66,10 @@ val csv_header_extended : string
 
 val to_csv : row list -> string
 (** Header plus one line per row, ["\n"]-terminated.  The extended columns
-    appear only when some row saw a storage failure, so plans without
-    ostfail/mdsfail events produce the historical CSV byte for byte. *)
+    appear only when some row saw a storage failure, and the WAL columns
+    only when some row ran WAL-tiered, so legacy inputs produce the
+    historical CSV byte for byte. *)
 
 val pp : Format.formatter -> row list -> unit
 (** Fixed-width human-readable table; same conditional column rule as
-    {!to_csv}. *)
+    {!to_csv} (the WAL layout wins when both apply). *)

@@ -1,0 +1,190 @@
+(** Host-side write-ahead logging tier.
+
+    Interposes on the {!Hpcfs_fs.Backend} facade like {!Hpcfs_bb.Tier}, but
+    with journal semantics instead of cache semantics: every write appends a
+    {!Hpcfs_fs.Journal}-shaped record (original timestamp, rank, offset,
+    bytes) to its compute node's sequential log and is acknowledged at
+    append time.  A background replayer drains the log into the PFS at a
+    configurable bandwidth, replaying each record with its original
+    [(time, rank)] so the PFS's own consistency engine still governs
+    publication — the log changes *when* bytes arrive at the servers, never
+    what any process is allowed to observe:
+
+    - strong: the whole file is replayed before any read observes it;
+    - commit: the file is replayed by the time an [fsync] returns;
+    - session: the file is replayed by the time a [close] returns;
+    - eventual: records are replayed within the engine's TTL.
+
+    Crash semantics are defined end to end.  A whole-job crash loses only
+    the victim node's un-flushed log tail, torn at a record boundary;
+    records already on the log platter survive and are re-replayed after
+    restart.  A storage-target or MDS failure during replay parks the
+    affected records host-side for journal-style re-replay.  A planned
+    log-device failure ([logfail:]) retries under the configured capped
+    backoff and then degrades that write to write-through; a log-capacity
+    plan ([logcap=]) forces drain-stalls and write-through once a node's
+    log is full.  {!check} is the post-crash fsck classifying what the log
+    recovered and what the crash semantics allowed to disappear. *)
+
+type t
+
+type config = {
+  ranks_per_node : int;
+      (** Ranks sharing one node-local log (and its flush watermark). *)
+  bandwidth_bytes_per_tick : int;  (** Background replay bandwidth. *)
+  drain_interval : int;
+      (** Logical ticks between background replay passes. *)
+  capacity_per_node : int option;
+      (** Log size limit; [None] = unbounded.  A full log forces replay
+          stalls, then write-through. *)
+  retry : Hpcfs_util.Backoff.policy;
+      (** Retry policy for transient log-device failures ([logfail:]). *)
+}
+
+val default_config : config
+(** 4 ranks/node, 64 KiB/tick replay bandwidth, drain every 32 ticks,
+    unbounded log, {!Hpcfs_util.Backoff.default} retries. *)
+
+val create : ?config:config -> Hpcfs_fs.Pfs.t -> t
+
+val backend : t -> Hpcfs_fs.Backend.t
+(** The interposed data surface: hand it to [Posix.make_ctx_backend] and
+    the whole POSIX layer runs through the log. *)
+
+val pfs : t -> Hpcfs_fs.Pfs.t
+val config : t -> config
+
+val occupancy : t -> int
+(** Logged-but-not-yet-replayed bytes across all node logs. *)
+
+val node_of_rank : t -> int -> int
+(** Which node's log a rank appends to (negative synthetic ranks keep
+    their own identity). *)
+
+(** {1 Data operations}
+
+    Same contracts as the corresponding {!Hpcfs_fs.Pfs} operations;
+    metadata failures ([Target.Mds_down]) propagate from the PFS. *)
+
+val open_file :
+  t -> time:int -> rank:int -> ?create:bool -> ?trunc:bool -> string -> int
+
+val close_file : t -> time:int -> rank:int -> string -> unit
+val fsync : t -> time:int -> rank:int -> string -> unit
+val write : t -> time:int -> rank:int -> string -> off:int -> bytes -> unit
+
+val read :
+  t ->
+  time:int ->
+  rank:int ->
+  string ->
+  off:int ->
+  len:int ->
+  Hpcfs_fs.Fdata.read_result
+(** Staleness is accounted against the same strongly-consistent ground
+    truth the PFS and the burst-buffer tier use (PFS oracle plus all
+    still-logged records), so a fault-free WAL run reports exactly the
+    staleness a direct run would. *)
+
+val truncate : t -> time:int -> string -> int -> unit
+val file_size : t -> string -> int
+
+val drain_all : t -> int
+(** Replay everything that can reach a live target (end-of-job epilogue,
+    or after a target recovery); returns the bytes replayed.  Files whose
+    replay head is refused by a down target keep their records logged, in
+    order. *)
+
+(** {1 Failure handling} *)
+
+type crash_summary = {
+  lost_bytes : int;  (** Un-flushed log-tail records destroyed whole. *)
+  torn_bytes : int;  (** The in-flight append, torn at its boundary. *)
+}
+
+val on_crash : t -> ?victim:int -> time:int -> unit -> crash_summary
+(** Apply a whole-job crash to the log.  Call {b before}
+    {!Hpcfs_fs.Pfs.crash}: applied-but-unpublished records revert to the
+    log (with their file's applied suffix, preserving replay order) so the
+    post-restart replay rebuilds what the PFS is about to drop.  [victim]
+    is the crashed node ({!node_of_rank} of the crashed rank); omit it for
+    a victimless abort (MDS death), which loses no log bytes. *)
+
+val on_target_fail : t -> time:int -> target:int -> unit
+(** A storage target failed: park its applied-but-unpersisted records
+    (and each file's applied suffix after them) for re-replay. *)
+
+(** {1 Post-crash fsck} *)
+
+type verdict = Clean | Recovered | Corrupted
+
+type file_check = {
+  c_path : string;
+  c_verdict : verdict;
+  c_recovered_bytes : int;  (** Re-replayed from the durable log. *)
+  c_lost_bytes : int;  (** Destroyed with the victim's log tail. *)
+  c_torn_bytes : int;  (** The torn in-flight append. *)
+  c_pending_bytes : int;  (** Still logged, no live target to replay to. *)
+}
+
+type check_report = {
+  files : file_check list;  (** Sorted by path. *)
+  recovered_bytes : int;
+  lost_bytes : int;
+  torn_bytes : int;
+  pending_bytes : int;
+  clean : int;
+  recovered : int;
+  corrupted : int;
+}
+
+val check : t -> check_report
+(** Final replay pass ({!drain_all}) followed by per-file classification —
+    the WAL analogue of {!Hpcfs_fs.Recovery.check}. *)
+
+val pp_check : Format.formatter -> check_report -> unit
+
+(** {1 Fault injection} *)
+
+val set_fault :
+  t -> ?prng:Hpcfs_util.Prng.t -> (node:int -> time:int -> bool) option -> unit
+(** Install the injector's log-device failure hook ([logfail:] events);
+    a [true] return fails one append attempt.  [prng] drives the retry
+    backoff jitter (deterministic per plan seed). *)
+
+val set_cap_override : t -> int option -> unit
+(** A plan's [logcap=BYTES]: caps every node log below the configured
+    capacity for the rest of the run. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  writes : int;
+  reads : int;
+  bytes_written : int;
+  bytes_read : int;
+  appended_bytes : int;  (** Bytes acknowledged at log-append time. *)
+  drained_bytes : int;  (** Bytes replayed into the PFS. *)
+  flushes : int;  (** fsync/close log-flush watermark bumps. *)
+  stalls : int;  (** Synchronous replays a caller waited for. *)
+  stalled_bytes : int;
+  peak_occupancy : int;
+  stale_reads : int;
+  stale_bytes : int;
+  writethrough_writes : int;  (** Writes degraded to direct PFS writes. *)
+  writethrough_bytes : int;
+  log_faults : int;  (** Injected log-device append failures. *)
+  log_retries : int;
+  log_backoff_ticks : int;
+  log_aborts : int;  (** Appends that exhausted their retry budget. *)
+  drain_target_down : int;  (** Replays refused by a down target. *)
+  crash_lost_bytes : int;
+  crash_torn_bytes : int;
+  recovered_bytes : int;  (** Bytes re-replayed after a failure. *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Fault, crash and write-through lines appear only when nonzero, so
+    fault-free output has a stable shape. *)

@@ -17,6 +17,10 @@ type state = {
       (* shared paths the workload already created: identical on every
          rank because every rank walks the same phase list *)
   prng : Prng.t;
+  mix_prng : Prng.t;
+      (* branch choices of Mix phases: seeded rank-independently so every
+         rank draws the same branch sequence, keeping collective branches
+         (barriers, shared-file creation) aligned across ranks *)
   mutable tag : int;  (* distinct payload contents per burst *)
 }
 
@@ -221,7 +225,7 @@ let exec_meta env st w m =
       done
   end
 
-let exec_phase w env st = function
+let rec exec_phase w env st = function
   | Write i -> exec_write env st i (path_of w env i)
   | Read i -> exec_read env st i (path_of w env i)
   | Meta m -> exec_meta env st w m
@@ -239,6 +243,16 @@ let exec_phase w env st = function
     for _ = 1 to n do
       App_common.compute_allreduce env
     done
+  | Mix { draws; branches } ->
+    let total = List.fold_left (fun acc (w, _) -> acc + w) 0 branches in
+    for _ = 1 to draws do
+      let rec pick r = function
+        | [ (_, p) ] -> p
+        | (w, p) :: rest -> if r < w then p else pick (r - w) rest
+        | [] -> assert false (* validate: branches nonempty *)
+      in
+      exec_phase w env st (pick (Prng.int st.mix_prng total) branches)
+    done
 
 let body w env =
   let st =
@@ -246,6 +260,7 @@ let body w env =
       fds = Hashtbl.create 8;
       created = Hashtbl.create 8;
       prng = Runner.rank_prng env;
+      mix_prng = Prng.create ((env.Runner.seed * 1_000_003) - 1);
       tag = 0;
     }
   in

@@ -49,6 +49,29 @@ let meta_gen =
   return (Meta { m_op = op; m_files = files; m_layout = layout; m_dir = dir;
                  m_ranks = ranks })
 
+(* Mix branches execute probabilistically, so a write inside one cannot
+   guarantee its file exists for later reads — branch writes stay out of
+   the [written] pool and branch reads only re-target files a top-level
+   write already created. *)
+let mix_gen written =
+  let open Gen in
+  let* draws = int_range 1 6 in
+  let* n = int_range 1 3 in
+  let branch_gen =
+    let* weight = int_range 1 3 in
+    let* p =
+      oneof
+        ([ map (fun io -> Write io) write_gen;
+           map (fun k -> Compute k) (int_range 1 2); return Barrier ]
+        @
+        if written <> [] then [ map (fun io -> Read io) (read_gen written) ]
+        else [])
+    in
+    return (weight, p)
+  in
+  let* branches = list_repeat n branch_gen in
+  return (Mix { draws; branches })
+
 let phases_gen =
   let open Gen in
   let* n = int_range 1 6 in
@@ -58,7 +81,7 @@ let phases_gen =
       let* choice =
         frequency
           [ (4, return `W); (3, return `R); (2, return `C); (1, return `B);
-            (1, return `K); (2, return `M) ]
+            (1, return `K); (2, return `M); (2, return `X) ]
       in
       match choice with
       | `R when written <> [] ->
@@ -77,6 +100,9 @@ let phases_gen =
         build (i + 1) written (ck :: acc)
       | `M ->
         let* m = meta_gen in
+        build (i + 1) written (m :: acc)
+      | `X ->
+        let* m = mix_gen written in
         build (i + 1) written (m :: acc)
   in
   build 0 [] []

@@ -37,6 +37,7 @@ type phase =
   | Meta of meta
   | Barrier
   | Compute of int
+  | Mix of { draws : int; branches : (int * phase) list }
 
 type t = { name : string; phases : phase list }
 
@@ -89,6 +90,7 @@ let meta ?(op = Mcreate) ?(files = 16) ?(layout = Shared) ?(dir = "meta")
 
 let barrier = Barrier
 let compute n = Compute n
+let mix ?(draws = 8) branches = Mix { draws; branches }
 
 let make ?(name = "workload") phases = { name; phases }
 
@@ -119,7 +121,7 @@ let io_fields ~default i =
       (if i.sync <> default.sync then [ "sync=" ^ sync_name i.sync ] else []);
     ]
 
-let phase_to_string = function
+let rec phase_to_string = function
   | Write i ->
     let fields = io_fields ~default:default_io i in
     if fields = [] then "write" else "write:" ^ String.concat "," fields
@@ -152,6 +154,14 @@ let phase_to_string = function
   | Barrier -> "barrier"
   | Compute 1 -> "compute"
   | Compute n -> Printf.sprintf "compute:n=%d" n
+  | Mix { draws; branches } ->
+    (* Weights and the draw count are always printed, so the canonical
+       form round-trips regardless of which defaults the builder used. *)
+    Printf.sprintf "mix:n=%d|%s" draws
+      (String.concat "|"
+         (List.map
+            (fun (w, p) -> Printf.sprintf "%d*%s" w (phase_to_string p))
+            branches))
 
 let to_string t = String.concat ";" (List.map phase_to_string t.phases)
 
@@ -174,7 +184,7 @@ let check_io head i =
     Error (Printf.sprintf "%s: file must be a plain name, got %S" head i.file)
   else Ok ()
 
-let check_phase = function
+let rec check_phase = function
   | Write i -> check_io "write" i
   | Read i -> check_io "read" i
   | Checkpoint { io = i; steps; every } ->
@@ -201,6 +211,21 @@ let check_phase = function
     if n <= 0 then
       Error (Printf.sprintf "compute: n must be positive, got %d" n)
     else Ok ()
+  | Mix { draws; branches } ->
+    if draws <= 0 then
+      Error (Printf.sprintf "mix: n must be positive, got %d" draws)
+    else if branches = [] then Error "mix: needs at least one branch"
+    else
+      List.fold_left
+        (fun acc (w, p) ->
+          let* () = acc in
+          if w <= 0 then
+            Error (Printf.sprintf "mix: weight must be positive, got %d" w)
+          else
+            match p with
+            | Mix _ -> Error "mix: branches cannot nest mix"
+            | p -> check_phase p)
+        (Ok ()) branches
 
 let validate t =
   if t.phases = [] then Error "empty workload"
@@ -265,7 +290,20 @@ let parse_io head ~default kvs =
   in
   Ok { layout; order; block; count; ranks; file; sync }
 
-let parse_phase spec =
+(* A mix branch is [W*phase-spec] ([W*] optional, weight 1 when absent):
+   the prefix before the first ['*'] is a weight only when it is all
+   digits, so a ['*'] inside a field value never splits a branch. *)
+let split_branch seg =
+  match String.index_opt seg '*' with
+  | Some i
+    when i > 0
+         && String.for_all
+              (function '0' .. '9' -> true | _ -> false)
+              (String.sub seg 0 i) ->
+    (int_of_string (String.sub seg 0 i), String.sub seg (i + 1) (String.length seg - i - 1))
+  | _ -> (1, seg)
+
+let rec parse_phase spec =
   let head, rest = Spec.split_head spec in
   let fields = Spec.fields_of rest in
   match head with
@@ -344,11 +382,40 @@ let parse_phase spec =
       | Some v -> Spec.parse_int head "n" v
     in
     Ok (Compute n)
+  | "mix" ->
+    (* [mix:n=K|W*branch|W*branch...]: ['|'] separates the branches; an
+       [n=K] first segment sets the draw count (default 8). *)
+    let segments = String.split_on_char '|' rest in
+    let* draws, segments =
+      match segments with
+      | first :: tail
+        when String.length first >= 2 && String.sub first 0 2 = "n=" ->
+        let* kvs = Spec.parse_fields head (Spec.fields_of first) in
+        let* () = Spec.check_keys head ~accepted:[ "n" ] kvs in
+        let* n = Spec.parse_int head "n" (List.assoc "n" kvs) in
+        Ok (n, tail)
+      | segments -> Ok (8, segments)
+    in
+    let segments = List.filter (fun s -> String.trim s <> "") segments in
+    if segments = [] then Error "mix: needs at least one branch"
+    else
+      let* branches =
+        List.fold_left
+          (fun acc seg ->
+            let* acc = acc in
+            let w, spec = split_branch seg in
+            let* p = parse_phase (String.trim spec) in
+            match p with
+            | Mix _ -> Error "mix: branches cannot nest mix"
+            | p -> Ok ((w, p) :: acc))
+          (Ok []) segments
+      in
+      Ok (Mix { draws; branches = List.rev branches })
   | other ->
     Error
       (Printf.sprintf
          "unknown workload phase %S; expected write, read, checkpoint, \
-          meta, barrier or compute"
+          meta, barrier, compute or mix"
          other)
 
 let of_string ?(name = "workload") s =

@@ -23,6 +23,7 @@
     meta:op=stat,files=64,layout=fpp
     barrier
     compute:n=2
+    mix:n=8|3*write:layout=shared|1*read|2*compute
     v}
 
     Keys for [write]/[read]/[checkpoint]: [layout] (shared|fpp), [pattern]
@@ -38,6 +39,12 @@
     every rank in one directory — the classic metadata storm; fpp: one
     subdirectory per rank), [dir] (directory name inside the workload's
     directory) and [ranks].
+
+    [mix] draws [n] phases (default 8) at random from its [|]-separated
+    branches, each weighted by an optional [W*] prefix (default weight 1).
+    The branch sequence is drawn from a seed-derived stream shared by
+    every rank, so collective branches (barriers, shared-file creation)
+    stay aligned; branches cannot nest another [mix].
 
     Parse errors name the offending token and the accepted keys. *)
 
@@ -84,6 +91,11 @@ type phase =
           aborts the workload. *)
   | Barrier
   | Compute of int  (** allreduce steps *)
+  | Mix of { draws : int; branches : (int * phase) list }
+      (** [draws] phases picked at random from the weighted [branches]
+          (every rank draws the same sequence, from a seed-derived stream
+          independent of the per-rank data streams).  Branches cannot nest
+          another [Mix]. *)
 
 type t = { name : string; phases : phase list }
 
@@ -151,6 +163,9 @@ val meta :
 
 val barrier : phase
 val compute : int -> phase
+
+val mix : ?draws:int -> (int * phase) list -> phase
+(** Weighted random phase mix; default 8 draws. *)
 
 val make : ?name:string -> phase list -> t
 

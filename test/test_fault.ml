@@ -41,6 +41,10 @@ let test_plan_roundtrip () =
       "mdsfail:t=100";
       "mdsfail:t=9,recover=5";
       "crash:rank=1,io=7;ostfail:target=1,t=5,recover=8";
+      "logfail:count=4";
+      "logfail:count=2,node=1,after=50";
+      "logcap:bytes=4096";
+      "crash:rank=0,t=90;logfail:count=1;logcap:bytes=65536";
     ];
   List.iter
     (fun spec ->
@@ -79,8 +83,19 @@ let test_plan_parse_error_messages () =
   err "crash:rank=1,io=2,restart=zz" "crash: restart: not an integer: \"zz\"";
   err "drainfail:node=0" "drainfail: missing count=K";
   err "meteor:rank=1"
-    "unknown fault event \"meteor\"; expected crash, drainfail, ostfail or \
-     mdsfail"
+    "unknown fault event \"meteor\"; expected crash, drainfail, ostfail, \
+     mdsfail, logfail or logcap";
+  (* An unknown key is always reported as an unknown key with the event's
+     accepted alternatives — even when its value is not an integer, which
+     used to shadow the real mistake with a bad-value message. *)
+  err "crash:t=5,fanout=wide"
+    "crash: unknown key \"fanout\" (accepted: rank, io, t, restart)";
+  err "logfail:count=2,when=3"
+    "logfail: unknown key \"when\" (accepted: count, node, after)";
+  err "logfail:node=0" "logfail: missing count=K";
+  err "logcap:limit=9" "logcap: unknown key \"limit\" (accepted: bytes)";
+  err "logcap:bytes=0" "logcap: bytes must be positive";
+  err "logcap=x" "logcap: bytes: not an integer: \"x\""
 
 let test_plan_constructors () =
   let plan =
@@ -92,7 +107,16 @@ let test_plan_constructors () =
   in
   Alcotest.(check int) "one crash" 1 (Plan.crash_count plan);
   Alcotest.(check string) "spec" "crash:rank=2,io=9,restart=16;drainfail:count=3,node=1"
-    (Plan.to_string plan)
+    (Plan.to_string plan);
+  let log_plan = Plan.make [ Plan.log_fail ~node:2 ~after:10 5; Plan.log_cap 4096 ] in
+  Alcotest.(check string) "log spec" "logfail:count=5,node=2,after=10;logcap:bytes=4096"
+    (Plan.to_string log_plan);
+  Alcotest.(check bool) "has log events" true (Plan.has_log_events log_plan);
+  Alcotest.(check bool) "no log events" false (Plan.has_log_events plan);
+  (* [logcap=B] is shorthand for [logcap:bytes=B]. *)
+  match Plan.of_string "logcap=8192" with
+  | Ok p -> Alcotest.(check string) "shorthand" "logcap:bytes=8192" (Plan.to_string p)
+  | Error e -> Alcotest.fail e
 
 (* Per-engine crash reconciliation ----------------------------------------- *)
 
@@ -578,6 +602,11 @@ let test_report_verdicts () =
       r_fsck_clean = 0;
       r_fsck_recovered = 0;
       r_fsck_corrupted = 0;
+      r_wal = false;
+      r_log_faults = 0;
+      r_wal_recovered_bytes = 0;
+      r_wal_lost_bytes = 0;
+      r_wal_torn_bytes = 0;
     }
   in
   Alcotest.(check string) "survives" "survives" (Report.verdict base);

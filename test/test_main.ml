@@ -16,6 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("apps", Test_apps.suite);
       ("bb", Test_bb.suite);
+      ("wal", Test_wal.suite);
       ("fault", Test_fault.suite);
       ("wl", Test_wl.suite);
       ("obs", Test_obs.suite);

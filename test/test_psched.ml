@@ -289,9 +289,12 @@ let engines =
    synchronization, and readdir becomes stat — a same-phase create in a
    shared directory would make the per-entry record count of a
    same-superstep readdir schedule-dependent (exactly the documented
-   same-superstep-race carve-out of the determinism contract). *)
+   same-superstep-race carve-out of the determinism contract).  A mix
+   executes its drawn branches back to back with no barrier between the
+   draws, so it is collapsed to its first branch — racy mixed phases are
+   the legacy soak's territory (test_wl). *)
 let determinize w =
-  let depose = function
+  let rec depose = function
     | Workload.Meta m ->
       Workload.Meta
         {
@@ -301,6 +304,7 @@ let determinize w =
             | Workload.Mreaddir -> Workload.Mstat
             | op -> op);
         }
+    | Workload.Mix { branches = (_, p) :: _; _ } -> depose p
     | p -> p
   in
   let rec sep = function

@@ -23,6 +23,18 @@ let wl spec =
   | Ok w -> w
   | Error e -> Alcotest.failf "parse %S: %s" spec e
 
+(* Pin a test to the legacy scheduler: raw generated/mixed workloads may
+   issue unsynchronized same-superstep metadata ops from different ranks,
+   which is outside the parallel scheduler's determinism contract. *)
+let with_legacy_sched f =
+  let saved = Sys.getenv_opt "HPCFS_DOMAINS" in
+  (* putenv cannot unset; "" is ignored by the Runner parser. *)
+  Unix.putenv "HPCFS_DOMAINS" "";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "HPCFS_DOMAINS" (Option.value saved ~default:""))
+    f
+
 (* Parser ------------------------------------------------------------------- *)
 
 let test_parse_roundtrip_canonical () =
@@ -40,7 +52,19 @@ let test_parse_roundtrip_canonical () =
       "write;barrier;read";
       "compute";
       "compute:n=3";
+      "mix:n=8|3*write:layout=fpp|1*read|2*compute";
+      "mix:n=2|1*barrier|1*checkpoint:steps=4,every=2";
+      "write;mix:n=4|2*write:pattern=strided|1*read;barrier";
     ]
+
+let test_mix_defaults () =
+  (* Omitted n and weights come back as the canonical explicit form. *)
+  Alcotest.(check string) "defaults made explicit"
+    "mix:n=8|1*write|1*read"
+    (Workload.to_string (wl "mix:write|read"));
+  match (wl "mix:write").Workload.phases with
+  | [ Workload.Mix { draws = 8; branches = [ (1, Workload.Write _) ] } ] -> ()
+  | _ -> Alcotest.fail "default draws/weight"
 
 let test_parse_aliases_and_case () =
   Alcotest.(check string) "ckpt alias"
@@ -63,7 +87,7 @@ let test_parse_errors () =
   in
   check "unknown phase"
     "unknown workload phase \"frobnicate\"; expected write, read, \
-     checkpoint, meta, barrier or compute"
+     checkpoint, meta, barrier, compute or mix"
     "frobnicate";
   check "unknown key"
     "write: unknown key \"bogus\" (accepted: layout, pattern, block, count, \
@@ -95,7 +119,28 @@ let test_parse_errors () =
   check "meta zero files" "meta: files must be positive, got 0"
     "meta:files=0";
   check "meta dir with slash" "meta: dir must be a plain name, got \"a/b\""
-    "meta:dir=a/b"
+    "meta:dir=a/b";
+  check "mix zero draws" "mix: n must be positive, got 0" "mix:n=0|write";
+  check "mix no branches" "mix: needs at least one branch" "mix:n=4";
+  check "mix zero weight" "mix: weight must be positive, got 0"
+    "mix:n=2|0*write";
+  (* '|' binds to the outermost mix, so a nested mix can never textually
+     parse: the inner head is left with no branches of its own. *)
+  check "mix nested" "mix: needs at least one branch" "mix:n=2|2*mix|write";
+  (let nested =
+     Workload.make
+       [ Workload.mix [ (1, Workload.mix [ (1, Workload.barrier) ]) ] ]
+   in
+   match Workload.validate nested with
+   | Error e ->
+     Alcotest.(check string) "mix nested (combinator)"
+       "mix: branches cannot nest mix" e
+   | Ok _ -> Alcotest.fail "nested mix: expected an error");
+  check "mix bad branch"
+    "unknown workload phase \"frob\"; expected write, read, checkpoint, \
+     meta, barrier, compute or mix"
+    "mix:n=2|frob";
+  check "mix bad n" "mix: n: not an integer: \"x\"" "mix:n=x|write"
 
 (* The engine-spec parser the CLI delegates to (satellite of the same spec
    family): eventual takes an explicit delay instead of a hard-coded one. *)
@@ -199,6 +244,37 @@ let test_dynamic_entry () =
   let result = Runner.run ~nprocs:4 entry.Registry.body in
   Alcotest.(check bool) "traced" true (result.Runner.records <> [])
 
+(* Mix execution ------------------------------------------------------------ *)
+
+(* The branch stream is shared by every rank, so a mix over collective
+   branches (shared-file creation, barriers) runs without deadlock on the
+   cooperative scheduler, and the same seed reproduces the run bit for
+   bit.  Different seeds draw different branch sequences. *)
+let test_mix_execution () =
+  with_legacy_sched @@ fun () ->
+  let w =
+    wl "write:count=2;mix:n=6|2*write:layout=shared,count=2|1*barrier|1*read"
+  in
+  let body = Compile.body w in
+  let digest seed =
+    let result = Runner.run ~nprocs:8 ~seed body in
+    (result.Runner.records, Validation.final_digests result)
+  in
+  Alcotest.(check bool) "same seed, same run" true (digest 7 = digest 7);
+  let records seed = fst (digest seed) in
+  Alcotest.(check bool) "different seeds draw differently" true
+    (records 7 <> records 8);
+  (* A checkpoint-plus-reader mix validates like any other workload. *)
+  let outcomes =
+    Validation.validate ~nprocs:8
+      ~semantics:[ Consistency.Strong; Consistency.Session ]
+      body
+  in
+  match outcomes with
+  | [ strong; _ ] ->
+    Alcotest.(check bool) "strong correct" true (Validation.correct strong)
+  | _ -> Alcotest.fail "expected two outcomes"
+
 (* Sweep engine ------------------------------------------------------------- *)
 
 let small_grid =
@@ -264,15 +340,6 @@ let test_sweep_deterministic () =
    mutex order decides the winner).  The parallel-scheduler QCheck soak in
    test_psched runs the same generator through a determinizing transform
    (barriers between phases) instead. *)
-let with_legacy_sched f =
-  let saved = Sys.getenv_opt "HPCFS_DOMAINS" in
-  (* putenv cannot unset; "" is ignored by the Runner parser. *)
-  Unix.putenv "HPCFS_DOMAINS" "";
-  Fun.protect
-    ~finally:(fun () ->
-      Unix.putenv "HPCFS_DOMAINS" (Option.value saved ~default:""))
-    f
-
 let qcheck_soak =
   QCheck.Test.make ~name:"generated workloads run under every engine"
     ~count:25 Wl_gen.arbitrary (fun w ->
@@ -311,6 +378,8 @@ let suite =
       test_parse_roundtrip_canonical;
     Alcotest.test_case "aliases and case" `Quick test_parse_aliases_and_case;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "mix defaults" `Quick test_mix_defaults;
+    Alcotest.test_case "mix execution" `Quick test_mix_execution;
     Alcotest.test_case "engine specs" `Quick test_engine_specs;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     Alcotest.test_case "re-express HACC-IO-POSIX" `Quick
